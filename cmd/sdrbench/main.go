@@ -1,0 +1,116 @@
+// Command sdrbench regenerates the experiment tables of the reproduction
+// (E1-E10 and the ablations A1-A3; see DESIGN.md for the per-experiment
+// index). By default every experiment is run with the full configuration;
+// use -experiment to run a single one and -quick for a fast, smaller sweep.
+//
+// Usage:
+//
+//	sdrbench [-experiment E5] [-quick] [-markdown] [-sizes 8,16,32] [-trials 5] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sdr/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sdrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sdrbench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "", "run only the experiment with this id (E1..E10, A1..A3); empty runs all")
+		quick      = fs.Bool("quick", false, "use the quick configuration (small sizes, few trials)")
+		markdown   = fs.Bool("markdown", false, "emit GitHub-flavoured markdown tables instead of aligned text")
+		sizes      = fs.String("sizes", "", "comma-separated list of network sizes overriding the configuration")
+		trials     = fs.Int("trials", 0, "number of trials per point (0 keeps the configuration default)")
+		seed       = fs.Int64("seed", 0, "base random seed (0 keeps the configuration default)")
+		list       = fs.Bool("list", false, "list the experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	cfg := bench.FullConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *sizes != "" {
+		parsed, err := parseSizes(*sizes)
+		if err != nil {
+			return err
+		}
+		cfg.Sizes = parsed
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	experiments := bench.Experiments()
+	if *experiment != "" {
+		e, err := bench.ExperimentByID(*experiment)
+		if err != nil {
+			return err
+		}
+		experiments = []bench.Experiment{e}
+	}
+
+	violations := 0
+	for _, e := range experiments {
+		table := e.Run(cfg)
+		violations += table.Violations
+		var err error
+		if *markdown {
+			err = table.Markdown(out)
+		} else {
+			err = table.Render(out)
+			fmt.Fprintln(out)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d measurement(s) violated a proven bound or failed a correctness check", violations)
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("invalid size %q (want integers ≥ 2)", part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return sizes, nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, want := range []string{"E1", "E10", "A3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentText(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-experiment", "E8", "-sizes", "6", "-trials", "1", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatalf("run E8: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "E8") || !strings.Contains(text, "bound 5n+4") {
+		t.Errorf("unexpected E8 output:\n%s", text)
+	}
+	if !strings.Contains(text, "OK") {
+		t.Errorf("the E8 run should report no violations:\n%s", text)
+	}
+}
+
+func TestRunSingleExperimentMarkdown(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-experiment", "E3", "-quick", "-sizes", "6", "-trials", "1", "-markdown"}, &out)
+	if err != nil {
+		t.Fatalf("run E3 markdown: %v", err)
+	}
+	if !strings.Contains(out.String(), "### E3") || !strings.Contains(out.String(), "|") {
+		t.Errorf("markdown output looks wrong:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "E42"}, &out); err == nil {
+		t.Error("an unknown experiment id must be rejected")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	sizes, err := parseSizes("8, 16,24")
+	if err != nil || len(sizes) != 3 || sizes[0] != 8 || sizes[2] != 24 {
+		t.Errorf("parseSizes = %v, %v", sizes, err)
+	}
+	for _, bad := range []string{"", "abc", "8,-2", "1"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) should fail", bad)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("unknown flags must be rejected")
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimulateUnison(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-algorithm", "unison", "-topology", "ring", "-n", "8", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"U(K=9)∘SDR", "stabilized", "reset", "moves by rule"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSimulateAllianceWithTrace(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-algorithm", "alliance", "-spec", "dominating-set",
+		"-topology", "random", "-n", "9", "-seed", "2", "-trace", "-format", "csv",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "1-minimal=true") {
+		t.Errorf("the alliance run should report a 1-minimal output:\n%s", text)
+	}
+	if !strings.Contains(text, "step,round,process,rule") {
+		t.Errorf("the CSV trace header is missing:\n%s", text)
+	}
+}
+
+func TestSimulateStandaloneAndBPV(t *testing.T) {
+	for _, algo := range []string{"unison-standalone", "alliance-standalone", "bpv"} {
+		var out bytes.Buffer
+		args := []string{"-algorithm", algo, "-topology", "ring", "-n", "6", "-scenario", "none", "-max-steps", "500"}
+		if err := run(args, &out); err != nil {
+			t.Errorf("algorithm %s: %v", algo, err)
+		}
+	}
+}
+
+func TestSimulateAllTopologies(t *testing.T) {
+	for _, top := range []string{"ring", "path", "star", "complete", "tree", "grid", "torus", "hypercube", "random"} {
+		var out bytes.Buffer
+		args := []string{"-topology", top, "-n", "8", "-seed", "4", "-max-steps", "50000"}
+		if err := run(args, &out); err != nil {
+			t.Errorf("topology %s: %v", top, err)
+		}
+	}
+}
+
+func TestSimulateAllDaemonsAndScenarios(t *testing.T) {
+	for _, daemon := range []string{"synchronous", "central-random", "distributed-random", "locally-central", "round-robin", "greedy-adversarial"} {
+		var out bytes.Buffer
+		args := []string{"-daemon", daemon, "-n", "6", "-max-steps", "20000"}
+		if err := run(args, &out); err != nil {
+			t.Errorf("daemon %s: %v", daemon, err)
+		}
+	}
+	for _, scenario := range []string{"random-all", "inner-only", "fake-wave", "half-corrupt", "none"} {
+		var out bytes.Buffer
+		args := []string{"-scenario", scenario, "-n", "6", "-max-steps", "20000"}
+		if err := run(args, &out); err != nil {
+			t.Errorf("scenario %s: %v", scenario, err)
+		}
+	}
+}
+
+func TestSimulateJSONTrace(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "6", "-trace", "-format", "json", "-max-steps", "5000"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "\"events\"") {
+		t.Errorf("JSON trace missing events:\n%s", out.String())
+	}
+}
+
+func TestSimulateRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-algorithm", "nope"},
+		{"-topology", "nope"},
+		{"-daemon", "nope"},
+		{"-scenario", "nope"},
+		{"-algorithm", "alliance", "-spec", "nope"},
+		{"-trace", "-format", "nope"},
+		{"-algorithm", "alliance", "-spec", "2-tuple-domination", "-topology", "path", "-n", "6"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should be rejected", args)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package sdr is the root of a from-scratch Go reproduction of
+// "Self-Stabilizing Distributed Cooperative Reset" (Stéphane Devismes and
+// Colette Johnen, ICDCS 2019).
+//
+// The library lives under internal/:
+//
+//   - internal/graph    — the network model and topology generators;
+//   - internal/sim      — the locally shared memory model with composite
+//     atomicity, daemons, and move/round accounting;
+//   - internal/core     — Algorithm SDR (the paper's contribution) and the
+//     composition operator I ∘ SDR;
+//   - internal/unison   — Algorithm U, U ∘ SDR, and the Boulinier-Petit-
+//     Villain baseline (Section 5);
+//   - internal/alliance — Algorithm FGA, FGA ∘ SDR, and the (f,g)-alliance
+//     verifiers (Section 6);
+//   - internal/checker  — closure/convergence checkers and bounded-exhaustive
+//     state-space exploration;
+//   - internal/faults   — transient-fault injection;
+//   - internal/trace    — execution recording and export;
+//   - internal/stats    — summaries and growth fits for the reports;
+//   - internal/bench    — the experiment harness (E1-E10, A1-A3).
+//
+// The executables cmd/sdrsim and cmd/sdrbench and the runnable examples under
+// examples/ are the entry points; bench_test.go at this root exposes one
+// testing.B benchmark per experiment table. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package sdr

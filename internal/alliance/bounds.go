@@ -1,0 +1,38 @@
+package alliance
+
+import "sdr/internal/core"
+
+// Theoretical bounds of Section 6, exported so that tests and benchmarks can
+// assert measured costs against them.
+
+// MaxStandaloneMovesPerProcess is the per-process move bound of Lemma 25: a
+// process v executes at most 8·δ_v·Δ + 18·δ_v + 24 moves in any execution of
+// FGA alone.
+func MaxStandaloneMovesPerProcess(degree, maxDegree int) int {
+	return 8*degree*maxDegree + 18*degree + 24
+}
+
+// MaxStandaloneMoves is the total move bound of Corollary 11: any execution
+// of FGA alone contains at most 16·Δ·m + 36·m + 24·n moves, i.e. O(Δ·m).
+func MaxStandaloneMoves(n, m, maxDegree int) int {
+	return 16*maxDegree*m + 36*m + 24*n
+}
+
+// MaxStandaloneRounds is the round bound of Theorem 10 / Corollary 12:
+// starting from a configuration satisfying P_Clean ∧ P_ICorrect everywhere
+// (in particular from γ_init), FGA terminates within at most 5n + 4 rounds.
+func MaxStandaloneRounds(n int) int { return 5*n + 4 }
+
+// MaxStabilizationMoves is the move bound derived in Section 6.5 for
+// Theorem 12: any execution of FGA ∘ SDR terminates within at most
+// (n+1)·(16·m·Δ + 36·m + 27·n) moves, i.e. O(Δ·n·m).
+func MaxStabilizationMoves(n, m, maxDegree int) int {
+	return (n + 1) * (16*m*maxDegree + 36*m + 27*n)
+}
+
+// MaxStabilizationRounds is the round bound of Theorem 14: FGA ∘ SDR reaches
+// a terminal configuration within at most 8n + 4 rounds (3n for SDR to reach
+// a normal configuration, then 5n + 4 for FGA to terminate).
+func MaxStabilizationRounds(n int) int {
+	return core.MaxResetRounds(n) + MaxStandaloneRounds(n)
+}

@@ -1,0 +1,126 @@
+// Package alliance implements the (f,g)-alliance instantiation of the paper
+// (Section 6): Algorithm FGA (Algorithm 3), which computes a 1-minimal
+// (f,g)-alliance in identified networks, its self-stabilizing composition
+// FGA ∘ SDR, verifiers for the alliance properties, and the six special
+// cases listed in Section 6.1 (dominating sets, k-domination, k-tuple
+// domination, global offensive / defensive / powerful alliances).
+//
+// Given a graph G = (V, E) and two non-negative integer functions f and g on
+// nodes, a set A ⊆ V is an (f,g)-alliance when every node u ∉ A has at least
+// f(u) neighbours in A and every node v ∈ A has at least g(v) neighbours in
+// A. A is 1-minimal when removing any single member breaks the alliance.
+package alliance
+
+import (
+	"fmt"
+
+	"sdr/internal/graph"
+)
+
+// Spec describes the (f,g) requirement pair of an alliance instance. F and G
+// receive the node index and its degree so that degree-dependent instances
+// (offensive, defensive, powerful alliances) and arbitrary per-node
+// requirements can both be expressed.
+type Spec struct {
+	// Name labels the instance in traces and benchmark tables.
+	Name string
+	// F returns f(u): the number of neighbours inside the alliance a node
+	// outside the alliance must have.
+	F func(u, degree int) int
+	// G returns g(u): the number of neighbours inside the alliance a node
+	// inside the alliance must have.
+	G func(u, degree int) int
+}
+
+// Validate checks the paper's solvability assumption δ_u ≥ max(f(u), g(u))
+// for every node of the graph, and that f and g are non-negative.
+func (s Spec) Validate(g *graph.Graph) error {
+	if s.F == nil || s.G == nil {
+		return fmt.Errorf("alliance: spec %q must define both F and G", s.Name)
+	}
+	for u := 0; u < g.N(); u++ {
+		deg := g.Degree(u)
+		fu, gu := s.F(u, deg), s.G(u, deg)
+		if fu < 0 || gu < 0 {
+			return fmt.Errorf("alliance: spec %q has negative requirement at node %d (f=%d, g=%d)", s.Name, u, fu, gu)
+		}
+		if deg < fu || deg < gu {
+			return fmt.Errorf("alliance: spec %q violates δ_u ≥ max(f(u), g(u)) at node %d (δ=%d, f=%d, g=%d)",
+				s.Name, u, deg, fu, gu)
+		}
+	}
+	return nil
+}
+
+// FOf returns f(u) on graph g.
+func (s Spec) FOf(g *graph.Graph, u int) int { return s.F(u, g.Degree(u)) }
+
+// GOf returns g(u) on graph g.
+func (s Spec) GOf(g *graph.Graph, u int) int { return s.G(u, g.Degree(u)) }
+
+// Constant returns a spec with constant requirements f and g for every node.
+func Constant(name string, f, g int) Spec {
+	return Spec{
+		Name: name,
+		F:    func(int, int) int { return f },
+		G:    func(int, int) int { return g },
+	}
+}
+
+// The six special cases of Section 6.1.
+
+// DominatingSet is the (1,0)-alliance: every node outside the set has a
+// neighbour in the set.
+func DominatingSet() Spec { return Constant("dominating-set", 1, 0) }
+
+// KDomination is the (k,0)-alliance: every node outside the set has at least
+// k neighbours in the set.
+func KDomination(k int) Spec {
+	return Constant(fmt.Sprintf("%d-domination", k), k, 0)
+}
+
+// KTupleDomination is the (k, k-1)-alliance.
+func KTupleDomination(k int) Spec {
+	return Constant(fmt.Sprintf("%d-tuple-domination", k), k, k-1)
+}
+
+// GlobalOffensiveAlliance is the (f,0)-alliance with f(u) = ⌈(δ_u+1)/2⌉.
+func GlobalOffensiveAlliance() Spec {
+	return Spec{
+		Name: "global-offensive-alliance",
+		F:    func(_, degree int) int { return (degree + 2) / 2 },
+		G:    func(int, int) int { return 0 },
+	}
+}
+
+// GlobalDefensiveAlliance is the (1,g)-alliance with g(u) = ⌈(δ_u+1)/2⌉.
+func GlobalDefensiveAlliance() Spec {
+	return Spec{
+		Name: "global-defensive-alliance",
+		F:    func(int, int) int { return 1 },
+		G:    func(_, degree int) int { return (degree + 2) / 2 },
+	}
+}
+
+// GlobalPowerfulAlliance is the (f,g)-alliance with f(u) = ⌈(δ_u+1)/2⌉ and
+// g(u) = ⌈δ_u/2⌉.
+func GlobalPowerfulAlliance() Spec {
+	return Spec{
+		Name: "global-powerful-alliance",
+		F:    func(_, degree int) int { return (degree + 2) / 2 },
+		G:    func(_, degree int) int { return (degree + 1) / 2 },
+	}
+}
+
+// StandardSpecs returns the six special-case specs of Section 6.1 with k = 2
+// for the parametric families, used by experiment E10.
+func StandardSpecs() []Spec {
+	return []Spec{
+		DominatingSet(),
+		KDomination(2),
+		KTupleDomination(2),
+		GlobalOffensiveAlliance(),
+		GlobalDefensiveAlliance(),
+		GlobalPowerfulAlliance(),
+	}
+}

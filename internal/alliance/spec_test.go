@@ -1,0 +1,101 @@
+package alliance
+
+import (
+	"strings"
+	"testing"
+
+	"sdr/internal/graph"
+)
+
+func TestConstantSpec(t *testing.T) {
+	s := Constant("test", 2, 1)
+	if s.F(0, 5) != 2 || s.G(3, 7) != 1 {
+		t.Error("constant spec must ignore node and degree")
+	}
+	g := graph.Complete(4)
+	if s.FOf(g, 0) != 2 || s.GOf(g, 0) != 1 {
+		t.Error("FOf/GOf must evaluate the spec on the graph")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	ring := graph.Ring(5) // every degree is 2
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Constant("ok", 1, 0), true},
+		{Constant("ok2", 2, 2), true},
+		{Constant("f-too-big", 3, 0), false},
+		{Constant("g-too-big", 1, 3), false},
+		{Constant("negative", -1, 0), false},
+		{Spec{Name: "nil-funcs"}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate(ring)
+		if c.ok && err != nil {
+			t.Errorf("spec %q should be valid on a ring: %v", c.spec.Name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("spec %q should be rejected on a ring", c.spec.Name)
+		}
+	}
+}
+
+func TestSpecialCaseDefinitions(t *testing.T) {
+	// Check the six §6.1 instances give the expected thresholds on known
+	// degrees.
+	cases := []struct {
+		spec   Spec
+		degree int
+		wantF  int
+		wantG  int
+	}{
+		{DominatingSet(), 4, 1, 0},
+		{KDomination(3), 4, 3, 0},
+		{KTupleDomination(3), 4, 3, 2},
+		{GlobalOffensiveAlliance(), 4, 3, 0}, // ⌈(4+1)/2⌉ = 3
+		{GlobalOffensiveAlliance(), 5, 3, 0}, // ⌈(5+1)/2⌉ = 3
+		{GlobalDefensiveAlliance(), 4, 1, 3},
+		{GlobalPowerfulAlliance(), 4, 3, 2}, // ⌈5/2⌉=3, ⌈4/2⌉=2
+		{GlobalPowerfulAlliance(), 5, 3, 3}, // ⌈6/2⌉=3, ⌈5/2⌉=3
+	}
+	for _, c := range cases {
+		if got := c.spec.F(0, c.degree); got != c.wantF {
+			t.Errorf("%s: f(degree %d) = %d, want %d", c.spec.Name, c.degree, got, c.wantF)
+		}
+		if got := c.spec.G(0, c.degree); got != c.wantG {
+			t.Errorf("%s: g(degree %d) = %d, want %d", c.spec.Name, c.degree, got, c.wantG)
+		}
+	}
+}
+
+func TestStandardSpecs(t *testing.T) {
+	specs := StandardSpecs()
+	if len(specs) != 6 {
+		t.Fatalf("expected the 6 special cases of §6.1, got %d", len(specs))
+	}
+	names := make(map[string]bool)
+	for _, s := range specs {
+		if s.Name == "" || s.F == nil || s.G == nil {
+			t.Errorf("spec %+v is incomplete", s)
+		}
+		names[s.Name] = true
+	}
+	if len(names) != 6 {
+		t.Error("spec names must be distinct")
+	}
+	// All six are solvable on a complete graph of 6 nodes (degree 5).
+	k6 := graph.Complete(6)
+	for _, s := range specs {
+		if err := s.Validate(k6); err != nil {
+			t.Errorf("%s should be solvable on K6: %v", s.Name, err)
+		}
+	}
+}
+
+func TestParametricSpecNames(t *testing.T) {
+	if !strings.Contains(KDomination(4).Name, "4") || !strings.Contains(KTupleDomination(5).Name, "5") {
+		t.Error("parametric spec names should carry the parameter")
+	}
+}

@@ -1,0 +1,68 @@
+package alliance
+
+import (
+	"fmt"
+
+	"sdr/internal/sim"
+)
+
+// NoPointer is the ⊥ value of the pointer variable ptr_u.
+const NoPointer = -1
+
+// FGAState is the local state of Algorithm FGA (Algorithm 3): the four
+// variables col_u, scr_u, canQ_u and ptr_u.
+type FGAState struct {
+	// Col reports whether the process belongs to the alliance (the output).
+	Col bool
+	// Scr is the score scr_u ∈ {-1, 0, 1}; scr_u ≤ 0 means no neighbour of u
+	// may quit the alliance.
+	Scr int
+	// CanQ reports whether the process may quit the alliance.
+	CanQ bool
+	// Ptr is the identifier of the member of the closed neighbourhood the
+	// process currently approves for leaving the alliance, or NoPointer (⊥).
+	Ptr int
+}
+
+var _ sim.State = FGAState{}
+
+// Clone implements sim.State.
+func (s FGAState) Clone() sim.State { return s }
+
+// Equal implements sim.State.
+func (s FGAState) Equal(other sim.State) bool {
+	o, ok := other.(FGAState)
+	return ok && s == o
+}
+
+// String implements sim.State.
+func (s FGAState) String() string {
+	col, canQ := 0, 0
+	if s.Col {
+		col = 1
+	}
+	if s.CanQ {
+		canQ = 1
+	}
+	ptr := "⊥"
+	if s.Ptr != NoPointer {
+		ptr = fmt.Sprintf("%d", s.Ptr)
+	}
+	return fmt.Sprintf("col=%d scr=%+d q=%d p=%s", col, s.Scr, canQ, ptr)
+}
+
+// ResetFGAState is the pre-defined state installed by the reset(u) macro and
+// used as γ_init: col = true, scr = 1, canQ = true, ptr = ⊥.
+func ResetFGAState() FGAState {
+	return FGAState{Col: true, Scr: 1, CanQ: true, Ptr: NoPointer}
+}
+
+// fgaOf extracts an FGA state, panicking on foreign state types so that
+// wiring mistakes surface immediately.
+func fgaOf(s sim.State) FGAState {
+	fs, ok := s.(FGAState)
+	if !ok {
+		panic(fmt.Sprintf("alliance: expected FGAState, got %T", s))
+	}
+	return fs
+}

@@ -1,0 +1,142 @@
+package alliance
+
+import (
+	"fmt"
+
+	"sdr/internal/graph"
+)
+
+// membersIn counts the neighbours of u that belong to the set.
+func membersIn(g *graph.Graph, set map[int]bool, u int) int {
+	count := 0
+	for _, v := range g.Neighbors(u) {
+		if set[v] {
+			count++
+		}
+	}
+	return count
+}
+
+// toSet converts a member slice to a membership map.
+func toSet(members []int) map[int]bool {
+	set := make(map[int]bool, len(members))
+	for _, u := range members {
+		set[u] = true
+	}
+	return set
+}
+
+// IsAlliance reports whether the given member set is an (f,g)-alliance of g
+// under the spec: every node outside the set has at least f(u) neighbours in
+// it, and every node inside has at least g(u).
+func IsAlliance(g *graph.Graph, spec Spec, members []int) bool {
+	return ExplainAlliance(g, spec, members) == nil
+}
+
+// ExplainAlliance returns nil when members is an (f,g)-alliance and an error
+// naming the first violating node otherwise.
+func ExplainAlliance(g *graph.Graph, spec Spec, members []int) error {
+	set := toSet(members)
+	for u := 0; u < g.N(); u++ {
+		in := membersIn(g, set, u)
+		if set[u] {
+			if need := spec.GOf(g, u); in < need {
+				return fmt.Errorf("alliance: member %d has %d neighbours in the alliance, needs g(%d)=%d", u, in, u, need)
+			}
+		} else {
+			if need := spec.FOf(g, u); in < need {
+				return fmt.Errorf("alliance: non-member %d has %d neighbours in the alliance, needs f(%d)=%d", u, in, u, need)
+			}
+		}
+	}
+	return nil
+}
+
+// Is1Minimal reports whether members is a 1-minimal (f,g)-alliance: it is an
+// alliance but removing any single member breaks the alliance property.
+func Is1Minimal(g *graph.Graph, spec Spec, members []int) bool {
+	return Explain1Minimal(g, spec, members) == nil
+}
+
+// Explain1Minimal returns nil when members is a 1-minimal (f,g)-alliance and
+// an error describing the first violation otherwise (either not an alliance,
+// or a member whose removal keeps the alliance property).
+func Explain1Minimal(g *graph.Graph, spec Spec, members []int) error {
+	if err := ExplainAlliance(g, spec, members); err != nil {
+		return err
+	}
+	for i, drop := range members {
+		reduced := make([]int, 0, len(members)-1)
+		reduced = append(reduced, members[:i]...)
+		reduced = append(reduced, members[i+1:]...)
+		if IsAlliance(g, spec, reduced) {
+			return fmt.Errorf("alliance: not 1-minimal: removing member %d still yields an (f,g)-alliance", drop)
+		}
+	}
+	return nil
+}
+
+// IsMinimal reports whether members is a minimal (f,g)-alliance: no proper
+// subset of it is an alliance. The check enumerates all proper subsets and is
+// therefore only usable for small alliances (it is exponential in their
+// size); tests use it on small graphs to exercise Property 1 of the paper.
+func IsMinimal(g *graph.Graph, spec Spec, members []int) bool {
+	if !IsAlliance(g, spec, members) {
+		return false
+	}
+	n := len(members)
+	if n > 20 {
+		panic(fmt.Sprintf("alliance: IsMinimal is exponential; refusing alliance of size %d", n))
+	}
+	for mask := 0; mask < (1 << uint(n)); mask++ {
+		if mask == (1<<uint(n))-1 {
+			continue // the full set is not a proper subset
+		}
+		var subset []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				subset = append(subset, members[i])
+			}
+		}
+		if IsAlliance(g, spec, subset) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllNodes returns the trivial alliance containing every node. Under the
+// solvability assumption δ_u ≥ max(f(u), g(u)) it is always an
+// (f,g)-alliance; it is the starting point FGA reduces from.
+func AllNodes(g *graph.Graph) []int {
+	members := make([]int, g.N())
+	for u := range members {
+		members[u] = u
+	}
+	return members
+}
+
+// GreedyMinimize reduces members to a 1-minimal alliance by repeatedly
+// removing, in increasing node order, any member whose removal keeps the
+// alliance property. It is a simple sequential comparator used in tests to
+// cross-check that 1-minimal alliances exist and to compare sizes against
+// FGA's distributed output.
+func GreedyMinimize(g *graph.Graph, spec Spec, members []int) []int {
+	current := append([]int(nil), members...)
+	for {
+		removed := false
+		for i := 0; i < len(current); i++ {
+			candidate := make([]int, 0, len(current)-1)
+			candidate = append(candidate, current[:i]...)
+			candidate = append(candidate, current[i+1:]...)
+			if IsAlliance(g, spec, candidate) {
+				current = candidate
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return current
+		}
+	}
+}

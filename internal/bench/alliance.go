@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"math/rand"
+
+	"sdr/internal/alliance"
+	"sdr/internal/core"
+	"sdr/internal/sim"
+	"sdr/internal/unison"
+)
+
+// Experiments E7-E10 exercise the (f,g)-alliance instantiation FGA and
+// FGA ∘ SDR (Section 6) and the end-to-end correctness claims of both
+// instantiations.
+
+// allianceSpecs returns the specs swept by E7-E9: one degree-independent and
+// one degree-dependent instance.
+func allianceSpecs() []alliance.Spec {
+	return []alliance.Spec{
+		alliance.DominatingSet(),
+		alliance.GlobalPowerfulAlliance(),
+	}
+}
+
+// runStandaloneFGA runs FGA alone from γ_init to termination.
+func runStandaloneFGA(spec alliance.Spec, top Topology, n int, seed int64, maxSteps int) (sim.Result, *sim.Network) {
+	rng := rand.New(rand.NewSource(seed))
+	g := top.Build(n, rng)
+	net := sim.NewNetwork(g)
+	alg := core.NewStandalone(alliance.NewFGA(spec))
+	daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+	eng := sim.NewEngine(net, alg, daemon)
+	res := eng.Run(sim.InitialConfiguration(alg, net), sim.WithMaxSteps(maxSteps))
+	return res, net
+}
+
+// RunE7FGAMoves measures the total moves of FGA alone against the
+// 16·Δ·m + 36·m + 24·n bound of Corollary 11.
+func RunE7FGAMoves(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E7",
+		Title:   "FGA termination moves vs the O(Δ·m) bound (Corollary 11)",
+		Columns: []string{"spec", "topology", "n", "m", "Δ", "moves(max)", "bound", "within"},
+	}
+	for _, spec := range allianceSpecs() {
+		for _, top := range DenseTopologies() {
+			for _, n := range cfg.Sizes {
+				maxMoves, bound, m, delta := 0, 0, 0, 0
+				for trial := 0; trial < cfg.Trials; trial++ {
+					seed := cfg.Seed + int64(trial)*7001
+					res, net := runStandaloneFGA(spec, top, n, seed, cfg.MaxSteps)
+					g := net.Graph()
+					m, delta = g.M(), g.MaxDegree()
+					bound = alliance.MaxStandaloneMoves(g.N(), m, delta)
+					if res.Moves > maxMoves {
+						maxMoves = res.Moves
+					}
+					if !res.Terminated {
+						t.Violations++
+					}
+				}
+				within := maxMoves <= bound
+				if !within {
+					t.Violations++
+				}
+				t.AddRow(spec.Name, top.Name, itoa(n), itoa(m), itoa(delta), itoa(maxMoves), itoa(bound), boolCell(within))
+			}
+		}
+	}
+	return t
+}
+
+// RunE8FGARounds measures the rounds FGA alone needs to terminate from its
+// pre-defined initial configuration against the 5n+4 bound of Theorem 10.
+func RunE8FGARounds(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E8",
+		Title:   "FGA termination rounds from γ_init vs the 5n+4 bound (Theorem 10)",
+		Columns: []string{"spec", "topology", "n", "rounds(max)", "bound 5n+4", "within"},
+	}
+	for _, spec := range allianceSpecs() {
+		for _, top := range DenseTopologies() {
+			for _, n := range cfg.Sizes {
+				maxRounds, bound := 0, 0
+				for trial := 0; trial < cfg.Trials; trial++ {
+					seed := cfg.Seed + int64(trial)*8009
+					res, net := runStandaloneFGA(spec, top, n, seed, cfg.MaxSteps)
+					bound = alliance.MaxStandaloneRounds(net.N())
+					if res.Rounds > maxRounds {
+						maxRounds = res.Rounds
+					}
+				}
+				within := maxRounds <= bound
+				if !within {
+					t.Violations++
+				}
+				t.AddRow(spec.Name, top.Name, itoa(n), itoa(maxRounds), itoa(bound), boolCell(within))
+			}
+		}
+	}
+	return t
+}
+
+// RunE9AllianceStabilization measures the stabilization cost of FGA ∘ SDR
+// from corrupted configurations against the O(Δ·n·m) move bound (Theorem 12)
+// and the 8n+4 round bound (Theorem 14), and checks that the terminal
+// configuration is a 1-minimal alliance (Theorem 11).
+func RunE9AllianceStabilization(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E9",
+		Title:   "FGA∘SDR stabilization from corrupted states (Theorems 11-14)",
+		Columns: []string{"spec", "topology", "n", "scenario", "moves(max)", "move-bound", "rounds(max)", "round-bound", "1-minimal", "within"},
+	}
+	for _, spec := range allianceSpecs() {
+		for _, top := range DenseTopologies() {
+			for _, n := range cfg.Sizes {
+				for _, scenarioName := range []string{"random-all", "fake-wave"} {
+					scenario := scenarioByName(scenarioName)
+					maxMoves, maxRounds, moveBound, roundBound := 0, 0, 0, 0
+					allMinimal := true
+					for trial := 0; trial < cfg.Trials; trial++ {
+						seed := cfg.Seed + int64(trial)*9001
+						rng := rand.New(rand.NewSource(seed))
+						g := top.Build(n, rng)
+						net := sim.NewNetwork(g)
+						comp := alliance.NewSelfStabilizing(spec)
+						moveBound = alliance.MaxStabilizationMoves(g.N(), g.M(), g.MaxDegree())
+						roundBound = alliance.MaxStabilizationRounds(g.N())
+						start := corruptedStart(scenario, comp, net, rng)
+						daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+						eng := sim.NewEngine(net, comp, daemon)
+						res := eng.Run(start, sim.WithMaxSteps(cfg.MaxSteps))
+						if res.Moves > maxMoves {
+							maxMoves = res.Moves
+						}
+						if res.Rounds > maxRounds {
+							maxRounds = res.Rounds
+						}
+						if !res.Terminated || !alliance.Is1Minimal(g, spec, alliance.Members(res.Final)) {
+							allMinimal = false
+						}
+					}
+					within := maxMoves <= moveBound && maxRounds <= roundBound && allMinimal
+					if !within {
+						t.Violations++
+					}
+					t.AddRow(spec.Name, top.Name, itoa(n), scenarioName,
+						itoa(maxMoves), itoa(moveBound), itoa(maxRounds), itoa(roundBound),
+						boolCell(allMinimal), boolCell(within))
+				}
+			}
+		}
+	}
+	return t
+}
+
+// RunE10Correctness checks the end-to-end correctness claims: every special
+// case of Section 6.1 yields a 1-minimal (f,g)-alliance through FGA ∘ SDR
+// (Theorem 11), and U ∘ SDR satisfies unison safety and liveness after
+// stabilization (Corollary 7, Lemma 19).
+func RunE10Correctness(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E10",
+		Title:   "output correctness: 1-minimal alliances for all §6.1 instances; unison safety and liveness",
+		Columns: []string{"instance", "topology", "n", "check", "ok"},
+	}
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+
+	// Alliance instances.
+	for _, spec := range alliance.StandardSpecs() {
+		for _, top := range []Topology{DenseTopologies()[0], DenseTopologies()[1]} {
+			seed := cfg.Seed * 11
+			rng := rand.New(rand.NewSource(seed))
+			g := top.Build(n, rng)
+			if spec.Validate(g) != nil {
+				t.AddRow(spec.Name, top.Name, itoa(g.N()), "skipped (δ_u < max(f,g) on this topology)", boolCell(true))
+				continue
+			}
+			net := sim.NewNetwork(g)
+			comp := alliance.NewSelfStabilizing(spec)
+			start := corruptedStart(scenarioByName("random-all"), comp, net, rng)
+			daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+			eng := sim.NewEngine(net, comp, daemon)
+			res := eng.Run(start, sim.WithMaxSteps(cfg.MaxSteps))
+			ok := res.Terminated && alliance.Is1Minimal(g, spec, alliance.Members(res.Final))
+			if !ok {
+				t.Violations++
+			}
+			t.AddRow(spec.Name, top.Name, itoa(g.N()), "terminal configuration is a 1-minimal (f,g)-alliance", boolCell(ok))
+		}
+	}
+
+	// Unison safety and liveness after stabilization.
+	for _, top := range StandardTopologies() {
+		seed := cfg.Seed * 13
+		rng := rand.New(rand.NewSource(seed))
+		w := buildUnisonWorkload(top, n, rng)
+		start := corruptedStart(scenarioByName("random-all"), w.comp, w.net, rng)
+		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+
+		// Run to a normal configuration first.
+		m := runComposed(w.comp, w.net, daemon, start, cfg.MaxSteps, true)
+		reached := m.result.LegitimateReached
+
+		// From the normal configuration, run a bounded suffix and check that
+		// safety always holds and every process ticks at least once.
+		ticker := unison.NewTickCounter(w.net.N())
+		safety := unison.SafetyPredicate(w.algo, w.net)
+		safe := true
+		hook := func(info sim.StepInfo) {
+			if !safety(info.After) {
+				safe = false
+			}
+		}
+		eng := sim.NewEngine(w.net, w.comp, daemon)
+		eng.Run(m.result.Final,
+			sim.WithMaxSteps(20*w.net.N()*w.net.N()),
+			sim.WithStepHook(ticker.Hook()),
+			sim.WithStepHook(hook),
+		)
+		live := ticker.Min() >= 1
+		ok := reached && safe && live
+		if !ok {
+			t.Violations++
+		}
+		t.AddRow("unison", top.Name, itoa(w.net.N()), "safety holds and every clock ticks after stabilization", boolCell(ok))
+	}
+	return t
+}

@@ -1,0 +1,6 @@
+package bench
+
+import "math/rand"
+
+// newTestRand returns a deterministic RNG for tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"math/rand"
+
+	"sdr/internal/core"
+	"sdr/internal/stats"
+)
+
+// Experiments E1-E3 exercise the reset layer itself (with Algorithm U as the
+// inner algorithm): the round bound of Corollary 5, the per-process SDR move
+// bound of Corollary 4, and the segment / alive-root structure of Theorem 3
+// and Remark 5.
+
+// RunE1ResetRounds measures, over the standard topology/daemon/fault sweep,
+// the number of rounds until the composition reaches a normal configuration,
+// and compares it to the 3n bound of Corollary 5.
+func RunE1ResetRounds(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E1",
+		Title:   "rounds to reach a normal configuration vs the 3n bound (Corollary 5)",
+		Columns: []string{"topology", "n", "daemon", "scenario", "rounds(max)", "rounds(mean)", "bound 3n", "within"},
+	}
+	scenario := scenarioByName("random-all")
+	for _, top := range StandardTopologies() {
+		for _, n := range cfg.Sizes {
+			for _, df := range defaultDaemons() {
+				var rounds []int
+				bound := 0
+				for trial := 0; trial < cfg.Trials; trial++ {
+					seed := cfg.Seed + int64(trial)*1001
+					rng := rand.New(rand.NewSource(seed))
+					w := buildUnisonWorkload(top, n, rng)
+					bound = core.MaxResetRounds(w.net.N())
+					start := corruptedStart(scenario, w.comp, w.net, rng)
+					m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
+					rounds = append(rounds, m.result.StabilizationRounds)
+				}
+				summary := stats.SummarizeInts(rounds)
+				within := summary.Max <= float64(bound) && summary.Min >= 0
+				if !within {
+					t.Violations++
+				}
+				t.AddRow(top.Name, itoa(n), df.Name, scenario.Name,
+					itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
+			}
+		}
+	}
+	return t
+}
+
+// RunE2ResetMovesPerProcess measures the maximum number of SDR-rule moves any
+// single process executes during a whole run, and compares it to the 3n+3
+// bound of Corollary 4.
+func RunE2ResetMovesPerProcess(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E2",
+		Title:   "maximum SDR moves per process vs the 3n+3 bound (Corollary 4)",
+		Columns: []string{"topology", "n", "daemon", "scenario", "sdr-moves/proc(max)", "bound 3n+3", "within"},
+	}
+	for _, top := range StandardTopologies() {
+		for _, n := range cfg.Sizes {
+			for _, df := range defaultDaemons() {
+				for _, scenarioName := range []string{"random-all", "fake-wave"} {
+					scenario := scenarioByName(scenarioName)
+					maxMoves := 0
+					bound := 0
+					for trial := 0; trial < cfg.Trials; trial++ {
+						seed := cfg.Seed + int64(trial)*2003
+						rng := rand.New(rand.NewSource(seed))
+						w := buildUnisonWorkload(top, n, rng)
+						bound = core.MaxSDRMovesPerProcess(w.net.N())
+						start := corruptedStart(scenario, w.comp, w.net, rng)
+						// Stopping at the first normal configuration loses no
+						// SDR activity: the normal set is closed, and SDR
+						// rules are disabled in it.
+						m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
+						if mm := m.observer.MaxSDRMoves(); mm > maxMoves {
+							maxMoves = mm
+						}
+					}
+					within := maxMoves <= bound
+					if !within {
+						t.Violations++
+					}
+					t.AddRow(top.Name, itoa(n), df.Name, scenarioName, itoa(maxMoves), itoa(bound), boolCell(within))
+				}
+			}
+		}
+	}
+	return t
+}
+
+// RunE3Segments measures the number of segments of each execution and checks
+// that no alive root is ever created and that the per-segment SDR rule
+// sequence of every process matches the language of Theorem 4.
+func RunE3Segments(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E3",
+		Title:   "segments, alive-root creations and the Theorem 4 rule language",
+		Columns: []string{"topology", "n", "daemon", "segments(max)", "bound n+1", "root-creations", "language-ok", "within"},
+	}
+	scenario := scenarioByName("random-all")
+	for _, top := range StandardTopologies() {
+		for _, n := range cfg.Sizes {
+			for _, df := range defaultDaemons() {
+				maxSegments, rootCreations := 0, 0
+				languageOK := true
+				bound := 0
+				for trial := 0; trial < cfg.Trials; trial++ {
+					seed := cfg.Seed + int64(trial)*3001
+					rng := rand.New(rand.NewSource(seed))
+					w := buildUnisonWorkload(top, n, rng)
+					bound = core.MaxSegments(w.net.N())
+					start := corruptedStart(scenario, w.comp, w.net, rng)
+					// As in E2, the SDR-level quantities are fully determined
+					// before the first normal configuration.
+					m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
+					if s := m.observer.Segments(); s > maxSegments {
+						maxSegments = s
+					}
+					rootCreations += m.observer.AliveRootViolations()
+					if m.observer.LanguageViolation() != "" {
+						languageOK = false
+					}
+				}
+				within := maxSegments <= bound && rootCreations == 0 && languageOK
+				if !within {
+					t.Violations++
+				}
+				t.AddRow(top.Name, itoa(n), df.Name,
+					itoa(maxSegments), itoa(bound), itoa(rootCreations), boolCell(languageOK), boolCell(within))
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"math/rand"
+
+	"sdr/internal/core"
+	"sdr/internal/faults"
+	"sdr/internal/sim"
+	"sdr/internal/spantree"
+	"sdr/internal/stats"
+)
+
+// RunX1SpanningTree is the extension experiment X1: the paper's generality
+// claim exercised on a third instantiation, a silent self-stabilizing BFS
+// spanning tree (B ∘ SDR). It measures stabilization moves and rounds from
+// corrupted configurations, checks silence (termination) and the exactness of
+// the resulting tree, and verifies that the SDR-level bounds (3n rounds to a
+// normal configuration, 3n+3 SDR moves per process) continue to hold.
+func RunX1SpanningTree(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "X1",
+		Title:   "extension: silent self-stabilizing BFS spanning tree via B∘SDR",
+		Columns: []string{"topology", "n", "scenario", "moves(mean)", "rounds(max)", "sdr-rounds-bound", "sdr-moves/proc(max)", "bound 3n+3", "root-creations", "tree-exact", "within"},
+	}
+	for _, top := range StandardTopologies() {
+		for _, n := range cfg.Sizes {
+			for _, scenarioName := range []string{"random-all", "fake-wave"} {
+				scenario := scenarioByName(scenarioName)
+				var moves []int
+				maxRounds, maxSDRMoves, sdrBound, rootCreations := 0, 0, 0, 0
+				normalRoundsOK, treesExact := true, true
+				for trial := 0; trial < cfg.Trials; trial++ {
+					seed := cfg.Seed + int64(trial)*13007
+					rng := rand.New(rand.NewSource(seed))
+					g := top.Build(n, rng)
+					root := 0
+					bfs := spantree.NewFor(g, root)
+					comp := core.Compose(bfs)
+					net := sim.NewNetwork(g)
+					sdrBound = core.MaxSDRMovesPerProcess(g.N())
+
+					var start *sim.Configuration
+					if scenarioName == "random-all" {
+						start = faults.RandomConfiguration(comp, net, rng)
+					} else {
+						start = scenario.Build(comp, bfs, net, rng)
+					}
+
+					observer := core.NewObserver(bfs, net)
+					observer.Prime(start)
+					daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+					eng := sim.NewEngine(net, comp, daemon)
+					res := eng.Run(start,
+						sim.WithMaxSteps(cfg.MaxSteps),
+						sim.WithLegitimate(core.NormalPredicate(bfs, net)),
+						sim.WithStepHook(observer.Hook()),
+					)
+					moves = append(moves, res.Moves)
+					if res.Rounds > maxRounds {
+						maxRounds = res.Rounds
+					}
+					if m := observer.MaxSDRMoves(); m > maxSDRMoves {
+						maxSDRMoves = m
+					}
+					rootCreations += observer.AliveRootViolations()
+					if res.StabilizationRounds < 0 || res.StabilizationRounds > core.MaxResetRounds(g.N()) {
+						normalRoundsOK = false
+					}
+					if !res.Terminated || spantree.VerifyTree(g, root, res.Final) != nil {
+						treesExact = false
+					}
+				}
+				within := normalRoundsOK && treesExact && maxSDRMoves <= sdrBound && rootCreations == 0
+				if !within {
+					t.Violations++
+				}
+				t.AddRow(top.Name, itoa(n), scenarioName,
+					ftoa(stats.SummarizeInts(moves).Mean), itoa(maxRounds), boolCell(normalRoundsOK),
+					itoa(maxSDRMoves), itoa(sdrBound), itoa(rootCreations), boolCell(treesExact), boolCell(within))
+			}
+		}
+	}
+	return t
+}

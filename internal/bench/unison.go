@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"math/rand"
+
+	"sdr/internal/faults"
+	"sdr/internal/sim"
+	"sdr/internal/stats"
+	"sdr/internal/unison"
+)
+
+// Experiments E4-E6 exercise the unison instantiation U ∘ SDR (Section 5):
+// the 3n round bound of Theorem 7, the O(D·n²) move bound of Theorem 6, and
+// the comparison against the Boulinier-Petit-Villain baseline of Section 5.3.
+
+// RunE4UnisonRounds measures the stabilization time in rounds of U ∘ SDR from
+// corrupted clock configurations, against the 3n bound of Theorem 7.
+func RunE4UnisonRounds(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E4",
+		Title:   "U∘SDR stabilization rounds vs the 3n bound (Theorem 7)",
+		Columns: []string{"topology", "n", "daemon", "rounds(max)", "rounds(mean)", "bound 3n", "within"},
+	}
+	scenario := scenarioByName("inner-only")
+	for _, top := range StandardTopologies() {
+		for _, n := range cfg.Sizes {
+			for _, df := range defaultDaemons() {
+				var rounds []int
+				bound := 0
+				for trial := 0; trial < cfg.Trials; trial++ {
+					seed := cfg.Seed + int64(trial)*4001
+					rng := rand.New(rand.NewSource(seed))
+					w := buildUnisonWorkload(top, n, rng)
+					bound = unison.MaxStabilizationRounds(w.net.N())
+					start := corruptedStart(scenario, w.comp, w.net, rng)
+					m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
+					rounds = append(rounds, m.result.StabilizationRounds)
+				}
+				summary := stats.SummarizeInts(rounds)
+				within := summary.Max <= float64(bound) && summary.Min >= 0
+				if !within {
+					t.Violations++
+				}
+				t.AddRow(top.Name, itoa(n), df.Name,
+					itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
+			}
+		}
+	}
+	return t
+}
+
+// RunE5UnisonMoves measures the stabilization time in moves of U ∘ SDR and
+// compares it to the explicit (3D+3)·n² + (3D+1)·(n-1) + 1 bound behind
+// Theorem 6, reporting the growth exponent of moves versus n per topology.
+func RunE5UnisonMoves(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E5",
+		Title:   "U∘SDR stabilization moves vs the O(D·n²) bound (Theorem 6)",
+		Columns: []string{"topology", "n", "D", "daemon", "moves(max)", "moves(mean)", "bound", "within"},
+	}
+	scenario := scenarioByName("random-all")
+	for _, top := range StandardTopologies() {
+		var ns, moveMeans []float64
+		for _, n := range cfg.Sizes {
+			for _, df := range defaultDaemons() {
+				var moves []int
+				bound, diameter := 0, 0
+				for trial := 0; trial < cfg.Trials; trial++ {
+					seed := cfg.Seed + int64(trial)*5003
+					rng := rand.New(rand.NewSource(seed))
+					w := buildUnisonWorkload(top, n, rng)
+					diameter = w.graph.Diameter()
+					bound = unison.MaxStabilizationMoves(w.net.N(), diameter)
+					start := corruptedStart(scenario, w.comp, w.net, rng)
+					m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
+					moves = append(moves, m.result.StabilizationMoves)
+				}
+				summary := stats.SummarizeInts(moves)
+				within := summary.Max <= float64(bound) && summary.Min >= 0
+				if !within {
+					t.Violations++
+				}
+				if df.Name == "distributed-random" {
+					ns = append(ns, float64(n))
+					moveMeans = append(moveMeans, summary.Mean)
+				}
+				t.AddRow(top.Name, itoa(n), itoa(diameter), df.Name,
+					itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
+			}
+		}
+		if len(ns) >= 2 {
+			t.AddNote("%s: measured moves grow like n^%.2f under the distributed-random daemon (paper bound: O(D·n²))",
+				top.Name, stats.GrowthExponent(ns, moveMeans))
+		}
+	}
+	return t
+}
+
+// RunE6UnisonVsBPV compares the stabilization moves of U ∘ SDR against the
+// Boulinier-Petit-Villain baseline on the same topologies and the same
+// uniformly random initial configurations. The paper's claim (Section 5.3) is
+// that U ∘ SDR has the better move complexity: O(D·n²) versus O(D·n³ + α·n²).
+func RunE6UnisonVsBPV(cfg Config) Table {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "E6",
+		Title:   "U∘SDR vs BPV baseline: stabilization moves on the same workloads",
+		Columns: []string{"topology", "n", "sdr-moves(mean)", "bpv-moves(mean)", "ratio bpv/sdr", "sdr wins"},
+	}
+	var ratioAccum []float64
+	for _, top := range StandardTopologies() {
+		for _, n := range cfg.Sizes {
+			var sdrMoves, bpvMoves []int
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := cfg.Seed + int64(trial)*6007
+				rng := rand.New(rand.NewSource(seed))
+				w := buildUnisonWorkload(top, n, rng)
+
+				// U ∘ SDR from a uniformly random composed configuration.
+				start := faults.RandomConfiguration(w.comp, w.net, rng)
+				daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+				m := runComposed(w.comp, w.net, daemon, start, cfg.MaxSteps, true)
+				if m.result.StabilizationMoves >= 0 {
+					sdrMoves = append(sdrMoves, m.result.StabilizationMoves)
+				}
+
+				// BPV on the same topology from a uniformly random configuration.
+				bpv := unison.NewBPVFor(w.graph)
+				bpvStart := faults.RandomConfiguration(bpv, w.net, rng)
+				bpvDaemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed+1)), 0.5)
+				eng := sim.NewEngine(w.net, bpv, bpvDaemon)
+				res := eng.Run(bpvStart,
+					sim.WithMaxSteps(cfg.MaxSteps),
+					sim.WithLegitimate(bpv.LegitimatePredicate(w.graph)),
+					sim.WithStopWhenLegitimate(),
+				)
+				if res.StabilizationMoves >= 0 {
+					bpvMoves = append(bpvMoves, res.StabilizationMoves)
+				}
+			}
+			sdrMean := stats.SummarizeInts(sdrMoves).Mean
+			bpvMean := stats.SummarizeInts(bpvMoves).Mean
+			ratio := stats.Ratio(bpvMean, sdrMean)
+			ratioAccum = append(ratioAccum, ratio)
+			t.AddRow(top.Name, itoa(n), ftoa(sdrMean), ftoa(bpvMean), ftoa(ratio), boolCell(sdrMean <= bpvMean || ratio >= 1))
+		}
+	}
+	t.AddNote("mean bpv/sdr move ratio across the sweep: %.2f (>1 means U∘SDR needs fewer moves, matching the paper's comparison)",
+		stats.Summarize(ratioAccum).Mean)
+	return t
+}

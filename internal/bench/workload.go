@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sdr/internal/core"
+	"sdr/internal/faults"
+	"sdr/internal/graph"
+	"sdr/internal/sim"
+	"sdr/internal/unison"
+)
+
+// Topology names a parameterised topology family used by the sweeps.
+type Topology struct {
+	// Name labels the family in result tables.
+	Name string
+	// Build returns a connected graph with (approximately) n nodes; families
+	// with structural constraints (grids, hypercubes) may round n.
+	Build func(n int, rng *rand.Rand) *graph.Graph
+}
+
+// StandardTopologies returns the topology families used across the
+// experiment suite.
+func StandardTopologies() []Topology {
+	return []Topology{
+		{Name: "ring", Build: func(n int, _ *rand.Rand) *graph.Graph { return graph.Ring(n) }},
+		{Name: "tree", Build: func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomTree(n, rng) }},
+		{Name: "grid", Build: func(n int, _ *rand.Rand) *graph.Graph { return squareGrid(n) }},
+		{Name: "random", Build: func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomConnected(n, 0.25, rng) }},
+	}
+}
+
+// DenseTopologies returns families whose degree grows with n, used by the
+// alliance experiments (where Δ and m drive the bounds).
+func DenseTopologies() []Topology {
+	return []Topology{
+		{Name: "complete", Build: func(n int, _ *rand.Rand) *graph.Graph { return graph.Complete(n) }},
+		{Name: "random-dense", Build: func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomConnected(n, 0.5, rng) }},
+		{Name: "random-sparse", Build: func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomConnected(n, 0.2, rng) }},
+	}
+}
+
+// squareGrid builds the largest r×c grid with r·c ≤ n and r, c ≥ 2 as close
+// to square as possible (falls back to a path for n < 4).
+func squareGrid(n int) *graph.Graph {
+	if n < 4 {
+		return graph.Path(n)
+	}
+	rows := 2
+	for r := 2; r*r <= n; r++ {
+		rows = r
+	}
+	cols := n / rows
+	return graph.Grid(rows, cols)
+}
+
+// measurement is one measured execution of a composition I ∘ SDR.
+type measurement struct {
+	result   sim.Result
+	observer *core.Observer
+	netSize  int
+}
+
+// runComposed runs the composed algorithm from the given start until it
+// reaches a normal configuration (and keeps running to termination or the
+// step bound when stopAtNormal is false), under the given daemon, recording
+// the SDR observer quantities.
+func runComposed(
+	composed *core.Composed,
+	net *sim.Network,
+	daemon sim.Daemon,
+	start *sim.Configuration,
+	maxSteps int,
+	stopAtNormal bool,
+) measurement {
+	observer := core.NewObserver(composed.Inner(), net)
+	observer.Prime(start)
+	opts := []sim.Option{
+		sim.WithMaxSteps(maxSteps),
+		sim.WithLegitimate(core.NormalPredicate(composed.Inner(), net)),
+		sim.WithStepHook(observer.Hook()),
+	}
+	if stopAtNormal {
+		opts = append(opts, sim.WithStopWhenLegitimate())
+	}
+	eng := sim.NewEngine(net, composed, daemon)
+	res := eng.Run(start, opts...)
+	return measurement{result: res, observer: observer, netSize: net.N()}
+}
+
+// unisonWorkload bundles the pieces of one U ∘ SDR measurement point.
+type unisonWorkload struct {
+	algo  *unison.Unison
+	comp  *core.Composed
+	net   *sim.Network
+	graph *graph.Graph
+}
+
+// buildUnisonWorkload builds U ∘ SDR with the default period K = n+1 on the
+// given topology.
+func buildUnisonWorkload(top Topology, n int, rng *rand.Rand) unisonWorkload {
+	g := top.Build(n, rng)
+	u := unison.New(unison.DefaultPeriod(g.N()))
+	return unisonWorkload{
+		algo:  u,
+		comp:  core.Compose(u),
+		net:   sim.NewNetwork(g),
+		graph: g,
+	}
+}
+
+// corruptedStart builds a corrupted starting configuration for a composition
+// using the named fault scenario.
+func corruptedStart(scenario faults.Scenario, comp *core.Composed, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+	return scenario.Build(comp, comp.Inner(), net, rng)
+}
+
+// scenarioByName returns the standard fault scenario with the given name.
+func scenarioByName(name string) faults.Scenario {
+	for _, s := range faults.StandardScenarios() {
+		if s.Name == name {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("bench: unknown fault scenario %q", name))
+}
+
+// defaultDaemons returns the daemon factories used by the sweep experiments:
+// the synchronous daemon (fast, deterministic) and a distributed random
+// daemon (samples the unfair daemon).
+func defaultDaemons() []sim.DaemonFactory {
+	return []sim.DaemonFactory{
+		{Name: "synchronous", New: func(int64) sim.Daemon { return sim.SynchronousDaemon{} }},
+		{Name: "distributed-random", New: func(seed int64) sim.Daemon {
+			return sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+		}},
+	}
+}
+
+// itoa formats an integer cell.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// ftoa formats a float cell with one decimal.
+func ftoa(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// boolCell formats a yes/no cell.
+func boolCell(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "no"
+}

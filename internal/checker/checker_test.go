@@ -1,0 +1,297 @@
+package checker
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdr/internal/graph"
+	"sdr/internal/sim"
+)
+
+// counterState and counterAlg form a tiny test algorithm: every process holds
+// a counter; a process may increment while it is below the minimum of its
+// neighbours plus one, up to a cap. From any configuration the algorithm
+// converges to the all-cap configuration when the cap is reachable.
+type counterState struct{ V int }
+
+func (s counterState) Clone() sim.State { return s }
+func (s counterState) Equal(o sim.State) bool {
+	os, ok := o.(counterState)
+	return ok && os == s
+}
+func (s counterState) String() string {
+	digits := "0123456789"
+	if s.V < 10 {
+		return "v=" + string(digits[s.V])
+	}
+	return "v=" + string(digits[s.V/10]) + string(digits[s.V%10])
+}
+
+type counterAlg struct{ cap int }
+
+func (a counterAlg) Name() string { return "counter" }
+func (a counterAlg) InitialState(int, *sim.Network) sim.State {
+	return counterState{V: 0}
+}
+func (a counterAlg) EnumerateStates(int, *sim.Network) []sim.State {
+	out := make([]sim.State, 0, a.cap+1)
+	for v := 0; v <= a.cap; v++ {
+		out = append(out, counterState{V: v})
+	}
+	return out
+}
+func (a counterAlg) Rules() []sim.Rule {
+	return []sim.Rule{{
+		Name: "inc",
+		Guard: func(v sim.View) bool {
+			self := v.Self().(counterState).V
+			if self >= a.cap {
+				return false
+			}
+			return v.AllNeighbors(func(s sim.State) bool { return s.(counterState).V >= self })
+		},
+		Action: func(v sim.View) sim.State {
+			return counterState{V: v.Self().(counterState).V + 1}
+		},
+	}}
+}
+
+var (
+	_ sim.Algorithm  = counterAlg{}
+	_ sim.Enumerable = counterAlg{}
+)
+
+// flipFlopAlg never converges: a single process toggles between two states.
+type flipFlopAlg struct{}
+
+func (flipFlopAlg) Name() string                             { return "flipflop" }
+func (flipFlopAlg) InitialState(int, *sim.Network) sim.State { return counterState{V: 0} }
+func (flipFlopAlg) EnumerateStates(int, *sim.Network) []sim.State {
+	return []sim.State{counterState{V: 0}, counterState{V: 1}}
+}
+func (flipFlopAlg) Rules() []sim.Rule {
+	return []sim.Rule{{
+		Name:  "flip",
+		Guard: func(sim.View) bool { return true },
+		Action: func(v sim.View) sim.State {
+			return counterState{V: 1 - v.Self().(counterState).V}
+		},
+	}}
+}
+
+var _ sim.Algorithm = flipFlopAlg{}
+
+func allAtCap(capValue, n int) sim.Predicate {
+	return func(c *sim.Configuration) bool {
+		for u := 0; u < n; u++ {
+			if c.State(u).(counterState).V != capValue {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestCheckClosure(t *testing.T) {
+	g := graph.Ring(4)
+	net := sim.NewNetwork(g)
+	alg := counterAlg{cap: 3}
+
+	// "All counters ≥ 0" is trivially closed.
+	nonNegative := func(c *sim.Configuration) bool {
+		for u := 0; u < c.N(); u++ {
+			if c.State(u).(counterState).V < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	start := sim.InitialConfiguration(alg, net)
+	if err := CheckClosure(net, alg, sim.SynchronousDaemon{}, start, nonNegative, 1000); err != nil {
+		t.Errorf("a trivially closed predicate was reported as violated: %v", err)
+	}
+
+	// "All counters = 0" is violated by the first step.
+	allZero := allAtCap(0, g.N())
+	if err := CheckClosure(net, alg, sim.SynchronousDaemon{}, start, allZero, 1000); err == nil {
+		t.Error("a non-closed predicate must be reported")
+	}
+
+	// Starting outside the predicate is itself an error.
+	if err := CheckClosure(net, alg, sim.SynchronousDaemon{}, start, allAtCap(3, g.N()), 1000); err == nil {
+		t.Error("a start outside the predicate must be rejected")
+	}
+}
+
+func TestCheckInvariant(t *testing.T) {
+	g := graph.Path(3)
+	net := sim.NewNetwork(g)
+	alg := counterAlg{cap: 2}
+	start := sim.InitialConfiguration(alg, net)
+
+	within := func(c *sim.Configuration) bool {
+		for u := 0; u < c.N(); u++ {
+			if v := c.State(u).(counterState).V; v < 0 || v > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := CheckInvariant(net, alg, sim.SynchronousDaemon{}, start, within, 1000); err != nil {
+		t.Errorf("the cap invariant holds: %v", err)
+	}
+	below2 := func(c *sim.Configuration) bool {
+		for u := 0; u < c.N(); u++ {
+			if c.State(u).(counterState).V >= 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := CheckInvariant(net, alg, sim.SynchronousDaemon{}, start, below2, 1000); err == nil {
+		t.Error("an invariant that eventually breaks must be reported")
+	}
+	if err := CheckInvariant(net, alg, sim.SynchronousDaemon{}, start, allAtCap(2, g.N()), 1000); err == nil {
+		t.Error("an invariant violated at the start must be reported")
+	}
+}
+
+func TestConvergenceSample(t *testing.T) {
+	g := graph.Ring(4)
+	net := sim.NewNetwork(g)
+	alg := counterAlg{cap: 3}
+	factory := sim.DaemonFactory{
+		Name: "distributed-random",
+		New: func(seed int64) sim.Daemon {
+			return sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+		},
+	}
+	buildStart := func(rng *rand.Rand) *sim.Configuration {
+		states := make([]sim.State, g.N())
+		for u := range states {
+			states[u] = counterState{V: rng.Intn(3)}
+		}
+		return sim.NewConfiguration(states)
+	}
+	if err := ConvergenceSample(net, alg, factory, buildStart, allAtCap(3, g.N()), 5, 10_000, 1); err != nil {
+		t.Errorf("the counter algorithm converges to the all-cap configuration: %v", err)
+	}
+	// An unreachable target must be reported.
+	if err := ConvergenceSample(net, alg, factory, buildStart, allAtCap(9, g.N()), 2, 1_000, 1); err == nil {
+		t.Error("an unreachable legitimate set must be reported")
+	}
+}
+
+func TestExploreConvergence(t *testing.T) {
+	g := graph.Path(2)
+	net := sim.NewNetwork(g)
+	alg := counterAlg{cap: 2}
+
+	var starts []*sim.Configuration
+	for a := 0; a <= 2; a++ {
+		for b := 0; b <= 2; b++ {
+			starts = append(starts, sim.NewConfiguration([]sim.State{counterState{V: a}, counterState{V: b}}))
+		}
+	}
+	report, err := Explore(net, alg, starts, ExploreOptions{
+		Legitimate: allAtCap(2, g.N()),
+		Invariant: func(c *sim.Configuration) bool {
+			return c.State(0).(counterState).V <= 2 && c.State(1).(counterState).V <= 2
+		},
+		TerminalOK: allAtCap(2, g.N()),
+	})
+	if err != nil {
+		t.Fatalf("exploration failed: %v", err)
+	}
+	if !report.Complete {
+		t.Error("the tiny state space must be explored completely")
+	}
+	if report.Configurations != 9 {
+		t.Errorf("explored %d configurations, want 9", report.Configurations)
+	}
+	if report.TerminalConfigurations != 1 {
+		t.Errorf("found %d terminal configurations, want exactly the all-cap one", report.TerminalConfigurations)
+	}
+	if report.LegitimateConfigurations != 1 {
+		t.Errorf("found %d legitimate configurations, want 1", report.LegitimateConfigurations)
+	}
+}
+
+func TestExploreDetectsIllegitimateCycle(t *testing.T) {
+	g := graph.Path(2)
+	net := sim.NewNetwork(g)
+	alg := flipFlopAlg{}
+	starts := []*sim.Configuration{sim.NewConfiguration([]sim.State{counterState{V: 0}, counterState{V: 0}})}
+	_, err := Explore(net, alg, starts, ExploreOptions{
+		Legitimate: func(*sim.Configuration) bool { return false },
+	})
+	if err == nil {
+		t.Error("a diverging algorithm must be reported as an illegitimate cycle")
+	}
+}
+
+func TestExploreDetectsIllegitimateTerminal(t *testing.T) {
+	g := graph.Path(2)
+	net := sim.NewNetwork(g)
+	alg := counterAlg{cap: 1}
+	starts := []*sim.Configuration{sim.InitialConfiguration(alg, net)}
+	_, err := Explore(net, alg, starts, ExploreOptions{
+		// The only terminal configuration (all at cap) is declared
+		// illegitimate, which Explore must flag.
+		Legitimate: func(*sim.Configuration) bool { return false },
+	})
+	if err == nil {
+		t.Error("an illegitimate terminal configuration must be reported")
+	}
+}
+
+func TestExploreInvariantViolation(t *testing.T) {
+	g := graph.Path(2)
+	net := sim.NewNetwork(g)
+	alg := counterAlg{cap: 2}
+	starts := []*sim.Configuration{sim.InitialConfiguration(alg, net)}
+	_, err := Explore(net, alg, starts, ExploreOptions{
+		Invariant: func(c *sim.Configuration) bool {
+			return c.State(0).(counterState).V == 0
+		},
+	})
+	if err == nil {
+		t.Error("a reachable invariant violation must be reported")
+	}
+}
+
+func TestExploreSelectionCapAndConfigCap(t *testing.T) {
+	g := graph.Ring(4)
+	net := sim.NewNetwork(g)
+	alg := counterAlg{cap: 4}
+	starts := []*sim.Configuration{sim.InitialConfiguration(alg, net)}
+
+	// A selection-size cap still explores (it restricts daemon choices).
+	report, err := Explore(net, alg, starts, ExploreOptions{MaxSelectionSize: 1})
+	if err != nil {
+		t.Fatalf("capped exploration failed: %v", err)
+	}
+	if report.Configurations == 0 || report.Transitions == 0 {
+		t.Error("capped exploration should still visit configurations")
+	}
+
+	// A tiny configuration cap marks the exploration incomplete.
+	report2, err := Explore(net, alg, starts, ExploreOptions{MaxConfigurations: 2})
+	if err != nil {
+		t.Fatalf("bounded exploration failed: %v", err)
+	}
+	if report2.Complete {
+		t.Error("hitting the configuration cap must mark the exploration incomplete")
+	}
+}
+
+func TestEnumerateSelections(t *testing.T) {
+	sels := enumerateSelections([]int{1, 2, 3}, 0)
+	if len(sels) != 7 {
+		t.Errorf("3 enabled processes have 7 non-empty subsets, got %d", len(sels))
+	}
+	capped := enumerateSelections([]int{1, 2, 3}, 1)
+	if len(capped) != 3 {
+		t.Errorf("size-1 selections of 3 processes: want 3, got %d", len(capped))
+	}
+}

@@ -1,0 +1,241 @@
+package checker
+
+import (
+	"fmt"
+
+	"sdr/internal/sim"
+)
+
+// ExploreOptions bounds an exhaustive exploration.
+type ExploreOptions struct {
+	// MaxConfigurations caps the number of distinct configurations explored;
+	// 0 means DefaultMaxConfigurations.
+	MaxConfigurations int
+	// MaxSelectionSize caps the size of the daemon selections that are
+	// branched on; 0 means no cap (every non-empty subset of the enabled set
+	// is explored, which is exact but exponential in the enabled-set size).
+	MaxSelectionSize int
+	// Legitimate is the legitimacy predicate. Legitimate configurations are
+	// not required to be terminal; convergence means every cycle of the
+	// reachable transition graph goes through a legitimate configuration.
+	Legitimate sim.Predicate
+	// Invariant, when non-nil, must hold in every reachable configuration.
+	Invariant sim.Predicate
+	// TerminalOK, when non-nil, must hold in every reachable terminal
+	// configuration.
+	TerminalOK sim.Predicate
+}
+
+// DefaultMaxConfigurations bounds explorations when the caller does not.
+const DefaultMaxConfigurations = 200_000
+
+// ExploreReport summarises an exhaustive exploration.
+type ExploreReport struct {
+	// Configurations is the number of distinct configurations reached.
+	Configurations int
+	// Transitions is the number of explored steps (edges).
+	Transitions int
+	// Complete reports whether the whole reachable space was explored
+	// (false when MaxConfigurations was hit).
+	Complete bool
+	// TerminalConfigurations counts reachable terminal configurations.
+	TerminalConfigurations int
+	// LegitimateConfigurations counts reachable legitimate configurations.
+	LegitimateConfigurations int
+}
+
+// Explore exhaustively explores the configurations reachable from the given
+// starting configurations under every daemon choice (every non-empty subset
+// of the enabled set, capped by MaxSelectionSize) and verifies:
+//
+//   - Invariant holds everywhere (when provided);
+//   - TerminalOK holds at every terminal configuration (when provided);
+//   - when Legitimate is provided, there is no cycle consisting solely of
+//     illegitimate configurations, and no illegitimate terminal
+//     configuration — together these imply that every execution reaches the
+//     legitimate set, i.e. convergence under the distributed unfair daemon
+//     restricted to the explored space.
+//
+// The exploration requires the algorithm's rules to be pairwise mutually
+// exclusive per process (at most one enabled rule per process), which is the
+// case for SDR compositions (Lemma 5, Remark 2); it returns an error
+// otherwise so that results are never silently unsound.
+func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, opts ExploreOptions) (ExploreReport, error) {
+	report := ExploreReport{Complete: true}
+	maxConfigs := opts.MaxConfigurations
+	if maxConfigs <= 0 {
+		maxConfigs = DefaultMaxConfigurations
+	}
+
+	// visited maps configuration keys to node indices.
+	visited := make(map[string]int)
+	var configs []*sim.Configuration
+	var succs [][]int
+	legit := []bool{}
+
+	addConfig := func(c *sim.Configuration) (int, bool) {
+		key := c.Key()
+		if idx, ok := visited[key]; ok {
+			return idx, false
+		}
+		idx := len(configs)
+		visited[key] = idx
+		configs = append(configs, c)
+		succs = append(succs, nil)
+		legit = append(legit, opts.Legitimate != nil && opts.Legitimate(c))
+		return idx, true
+	}
+
+	var queue []int
+	for _, s := range starts {
+		idx, fresh := addConfig(s.Clone())
+		if fresh {
+			queue = append(queue, idx)
+		}
+	}
+
+	for len(queue) > 0 {
+		if len(configs) > maxConfigs {
+			report.Complete = false
+			break
+		}
+		idx := queue[0]
+		queue = queue[1:]
+		c := configs[idx]
+
+		if opts.Invariant != nil && !opts.Invariant(c) {
+			return report, fmt.Errorf("checker: invariant violated in reachable configuration %s", c)
+		}
+
+		enabled := sim.EnabledSet(alg, net, c)
+		if len(enabled) == 0 {
+			report.TerminalConfigurations++
+			if opts.TerminalOK != nil && !opts.TerminalOK(c) {
+				return report, fmt.Errorf("checker: terminal configuration violates the terminal predicate: %s", c)
+			}
+			continue
+		}
+
+		// Mutual-exclusion sanity check: at most one rule enabled per process.
+		for _, u := range enabled {
+			if rules := sim.EnabledRules(alg, net, c, u); len(rules) > 1 {
+				return report, fmt.Errorf("checker: process %d has %d enabled rules in %s; exploration requires mutually exclusive rules", u, len(rules), c)
+			}
+		}
+
+		selections := enumerateSelections(enabled, opts.MaxSelectionSize)
+		for _, sel := range selections {
+			next := applyStep(alg, net, c, sel)
+			nIdx, fresh := addConfig(next)
+			succs[idx] = append(succs[idx], nIdx)
+			report.Transitions++
+			if fresh {
+				queue = append(queue, nIdx)
+			}
+		}
+	}
+
+	report.Configurations = len(configs)
+	for _, l := range legit {
+		if l {
+			report.LegitimateConfigurations++
+		}
+	}
+
+	if opts.Legitimate != nil && report.Complete {
+		if cycleNode := findIllegitimateCycle(succs, legit); cycleNode >= 0 {
+			return report, fmt.Errorf("checker: cycle of illegitimate configurations through %s — the algorithm can avoid the legitimate set forever", configs[cycleNode])
+		}
+		// Illegitimate terminal configurations.
+		for idx, c := range configs {
+			if len(succs[idx]) == 0 && !legit[idx] && len(sim.EnabledSet(alg, net, c)) == 0 {
+				return report, fmt.Errorf("checker: illegitimate terminal configuration %s", c)
+			}
+		}
+	}
+	return report, nil
+}
+
+// enumerateSelections returns every non-empty subset of enabled whose size is
+// at most maxSize (0 = no cap).
+func enumerateSelections(enabled []int, maxSize int) [][]int {
+	n := len(enabled)
+	var out [][]int
+	for mask := 1; mask < (1 << uint(n)); mask++ {
+		var sel []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sel = append(sel, enabled[i])
+			}
+		}
+		if maxSize > 0 && len(sel) > maxSize {
+			continue
+		}
+		out = append(out, sel)
+	}
+	return out
+}
+
+// applyStep applies a composite-atomicity step in which exactly the selected
+// processes execute their (single) enabled rule.
+func applyStep(alg sim.Algorithm, net *sim.Network, c *sim.Configuration, selected []int) *sim.Configuration {
+	states := make([]sim.State, c.N())
+	for u := 0; u < c.N(); u++ {
+		states[u] = c.State(u)
+	}
+	next := sim.NewConfiguration(states)
+	for _, u := range selected {
+		v := net.View(c, u)
+		for _, r := range alg.Rules() {
+			if r.Guard(v) {
+				next.SetState(u, r.Action(v))
+				break
+			}
+		}
+	}
+	return next
+}
+
+// findIllegitimateCycle looks for a cycle in the transition graph restricted
+// to illegitimate nodes; it returns the index of a node on such a cycle, or
+// -1 when none exists. Iterative three-colour DFS.
+func findIllegitimateCycle(succs [][]int, legit []bool) int {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make([]int, len(succs))
+	type frame struct {
+		node int
+		next int
+	}
+	for start := range succs {
+		if legit[start] || colour[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		colour[start] = grey
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.next < len(succs[top.node]) {
+				child := succs[top.node][top.next]
+				top.next++
+				if legit[child] {
+					continue
+				}
+				switch colour[child] {
+				case white:
+					colour[child] = grey
+					stack = append(stack, frame{node: child})
+				case grey:
+					return child
+				}
+				continue
+			}
+			colour[top.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return -1
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"sdr/internal/sim"
+)
+
+// This file provides the analysis machinery the paper's proofs are built on
+// (alive roots, segments, reset branches) as runtime observers, so that the
+// theorems can be checked on executions: Theorem 3 (no alive-root creation),
+// Remark 5 (at most n+1 segments), Theorem 4 (per-segment rule language) and
+// Corollary 4 (at most 3n+3 SDR moves per process).
+
+// ResetParents returns the reset parents of u in configuration c
+// (Definition 4): neighbours v with RParent(v, u), i.e. st_u ≠ C, P_reset(u),
+// d_u > d_v and (st_u = st_v ∨ st_v = RB).
+func ResetParents(inner Resettable, net *sim.Network, c *sim.Configuration, u int) []int {
+	view := net.View(c, u)
+	self := SDRPart(view.Self())
+	if self.St == StatusC || !PReset(inner, view) {
+		return nil
+	}
+	var parents []int
+	for i, v := range net.Neighbors(u) {
+		nb := SDRPart(view.Neighbor(i))
+		if nb.D < self.D && (nb.St == self.St || nb.St == StatusRB) {
+			parents = append(parents, v)
+		}
+	}
+	return parents
+}
+
+// MaxBranchDepth returns, for every process, the maximum depth at which it
+// appears in a reset branch of configuration c (0 for roots and for processes
+// that belong to no branch). Depths are computed by longest-path relaxation
+// over the reset-parent DAG; the DAG property follows from d_parent < d_child.
+func MaxBranchDepth(inner Resettable, net *sim.Network, c *sim.Configuration) []int {
+	n := net.N()
+	parents := make([][]int, n)
+	for u := 0; u < n; u++ {
+		parents[u] = ResetParents(inner, net, c, u)
+	}
+	depth := make([]int, n)
+	// Relax repeatedly; distances strictly increase along parent links, so at
+	// most n iterations are needed.
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			for _, p := range parents[u] {
+				if depth[p]+1 > depth[u] {
+					depth[u] = depth[p] + 1
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return depth
+}
+
+// Observer is a sim.StepHook factory that tracks the quantities the paper's
+// analysis is phrased in, over one execution of a composition I ∘ SDR.
+type Observer struct {
+	inner Resettable
+	net   *sim.Network
+
+	aliveRootViolations int
+	segments            int
+	prevAliveRoots      map[int]bool
+	initialized         bool
+
+	sdrMovesPerProcess []int
+	// perSegmentRules tracks, per process, the SDR rules executed in the
+	// current segment, for the Theorem 4 language check.
+	perSegmentRules   [][]string
+	languageViolation string
+}
+
+// NewObserver creates an observer for executions of Compose(inner) on net.
+func NewObserver(inner Resettable, net *sim.Network) *Observer {
+	return &Observer{
+		inner:              inner,
+		net:                net,
+		sdrMovesPerProcess: make([]int, net.N()),
+		perSegmentRules:    make([][]string, net.N()),
+	}
+}
+
+// Hook returns the sim.StepHook to register with sim.WithStepHook.
+func (o *Observer) Hook() sim.StepHook {
+	return func(info sim.StepInfo) {
+		o.observe(info)
+	}
+}
+
+// Prime records the alive roots of the starting configuration. Calling it is
+// optional: the first observed step primes the observer from its Before
+// configuration otherwise.
+func (o *Observer) Prime(c *sim.Configuration) {
+	o.prevAliveRoots = o.aliveRootSet(c)
+	o.segments = 1
+	o.initialized = true
+}
+
+func (o *Observer) aliveRootSet(c *sim.Configuration) map[int]bool {
+	set := make(map[int]bool)
+	for _, u := range AliveRoots(o.inner, o.net, c) {
+		set[u] = true
+	}
+	return set
+}
+
+func (o *Observer) observe(info sim.StepInfo) {
+	if !o.initialized {
+		o.Prime(info.Before)
+	}
+	for i, u := range info.Activated {
+		rule := info.Rules[i]
+		if IsSDRRule(rule) {
+			o.sdrMovesPerProcess[u]++
+			o.perSegmentRules[u] = append(o.perSegmentRules[u], rule)
+		}
+	}
+
+	after := o.aliveRootSet(info.After)
+	for u := range after {
+		if !o.prevAliveRoots[u] {
+			o.aliveRootViolations++
+		}
+	}
+	if len(after) < len(o.prevAliveRoots) {
+		// A segment ended with this step (Definition 3).
+		o.checkSegmentLanguage()
+		o.segments++
+		for u := range o.perSegmentRules {
+			o.perSegmentRules[u] = nil
+		}
+	}
+	o.prevAliveRoots = after
+}
+
+// checkSegmentLanguage verifies Theorem 4: within a segment, the SDR rules of
+// each process form a word of (C + ε)(RB + R + ε)(RF + ε).
+func (o *Observer) checkSegmentLanguage() {
+	for u, rules := range o.perSegmentRules {
+		if !matchesSegmentLanguage(rules) {
+			o.languageViolation = fmt.Sprintf("process %d executed %v within one segment", u, rules)
+			return
+		}
+	}
+}
+
+func matchesSegmentLanguage(rules []string) bool {
+	i := 0
+	if i < len(rules) && rules[i] == RuleC {
+		i++
+	}
+	if i < len(rules) && (rules[i] == RuleRB || rules[i] == RuleR) {
+		i++
+	}
+	if i < len(rules) && rules[i] == RuleRF {
+		i++
+	}
+	return i == len(rules)
+}
+
+// AliveRootViolations returns how many times a new alive root appeared
+// (must be 0 by Theorem 3).
+func (o *Observer) AliveRootViolations() int { return o.aliveRootViolations }
+
+// Segments returns the number of segments observed so far (Definition 3).
+// It is 0 before any step or priming.
+func (o *Observer) Segments() int {
+	o.checkSegmentLanguage()
+	return o.segments
+}
+
+// SDRMovesPerProcess returns the number of SDR-rule moves of each process.
+func (o *Observer) SDRMovesPerProcess() []int {
+	out := make([]int, len(o.sdrMovesPerProcess))
+	copy(out, o.sdrMovesPerProcess)
+	return out
+}
+
+// MaxSDRMoves returns the maximum number of SDR-rule moves executed by any
+// single process (to compare against the 3n+3 bound of Corollary 4).
+func (o *Observer) MaxSDRMoves() int {
+	best := 0
+	for _, m := range o.sdrMovesPerProcess {
+		if m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// LanguageViolation returns a description of the first Theorem 4 violation
+// observed, or the empty string when none occurred.
+func (o *Observer) LanguageViolation() string {
+	o.checkSegmentLanguage()
+	return o.languageViolation
+}

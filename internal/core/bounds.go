@@ -1,0 +1,16 @@
+package core
+
+// Theoretical bounds proven in the paper, exported so that tests and
+// benchmarks can assert measured costs against them.
+
+// MaxResetRounds is the round bound of Corollary 5: I ∘ SDR reaches a normal
+// configuration within at most 3n rounds from any configuration.
+func MaxResetRounds(n int) int { return 3 * n }
+
+// MaxSDRMovesPerProcess is the move bound of Corollary 4: any process
+// executes at most 3n+3 SDR rules in any execution of I ∘ SDR.
+func MaxSDRMovesPerProcess(n int) int { return 3*n + 3 }
+
+// MaxSegments is the segment bound of Remark 5: every execution of I ∘ SDR
+// contains at most n+1 segments.
+func MaxSegments(n int) int { return n + 1 }

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"sdr/internal/sim"
+)
+
+// Names of the four SDR rules, as they appear in traces and move statistics.
+const (
+	RuleRB = "SDR:RB"
+	RuleRF = "SDR:RF"
+	RuleC  = "SDR:C"
+	RuleR  = "SDR:R"
+)
+
+// innerRulePrefix prefixes the names of the inner algorithm's rules.
+const innerRulePrefix = "I:"
+
+// IsSDRRule reports whether the rule name refers to one of the four SDR
+// rules (as opposed to a rule of the inner algorithm).
+func IsSDRRule(name string) bool {
+	return name == RuleRB || name == RuleRF || name == RuleC || name == RuleR
+}
+
+// InnerRuleName returns the composed trace name of an inner rule.
+func InnerRuleName(name string) string { return innerRulePrefix + name }
+
+// composeOptions carries the optional knobs of Compose.
+type composeOptions struct {
+	uncooperative bool
+}
+
+// ComposeOption customises the composition.
+type ComposeOption func(*composeOptions)
+
+// WithUncooperativeResets is the ablation A1 of DESIGN.md: the rule_RB action
+// makes the joining process a root of its own reset (distance 0) instead of
+// hooking under the neighbouring reset's DAG (compute macro). The resulting
+// algorithm loses the coordination that the paper's move-complexity analysis
+// relies on; benchmarks use it to quantify the value of cooperation.
+func WithUncooperativeResets() ComposeOption {
+	return func(o *composeOptions) { o.uncooperative = true }
+}
+
+// Composed is the composition I ∘ SDR (Section 2.5): the distributed
+// algorithm whose local program is the union of the rules of SDR and of the
+// input algorithm I, over the product state. It implements sim.Algorithm.
+type Composed struct {
+	inner Resettable
+	opts  composeOptions
+	rules []sim.Rule
+}
+
+var _ sim.Algorithm = (*Composed)(nil)
+
+// Compose builds I ∘ SDR for the given input algorithm.
+func Compose(inner Resettable, opts ...ComposeOption) *Composed {
+	if inner == nil {
+		panic("core: Compose requires a non-nil inner algorithm")
+	}
+	var o composeOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Composed{inner: inner, opts: o}
+	c.rules = c.buildRules()
+	return c
+}
+
+// Inner returns the composed input algorithm.
+func (c *Composed) Inner() Resettable { return c.inner }
+
+// Name implements sim.Algorithm.
+func (c *Composed) Name() string {
+	suffix := ""
+	if c.opts.uncooperative {
+		suffix = "-uncoop"
+	}
+	return fmt.Sprintf("%s∘SDR%s", c.inner.Name(), suffix)
+}
+
+// Rules implements sim.Algorithm. SDR's four rules come first, followed by
+// the wrapped rules of the inner algorithm; by Remark 2 and Lemma 5 of the
+// paper all rules are pairwise mutually exclusive, so the order is
+// irrelevant to the semantics.
+func (c *Composed) Rules() []sim.Rule { return c.rules }
+
+// InitialState implements sim.Algorithm: status C, distance 0, and the inner
+// algorithm's pre-defined initial state.
+func (c *Composed) InitialState(u int, net *sim.Network) sim.State {
+	return ComposedState{SDR: CleanSDRState(), Inner: c.inner.InitialInner(u, net)}
+}
+
+// EnumerateStates implements sim.Enumerable when the inner algorithm
+// implements InnerEnumerable. Distance values are enumerated in [0, n]
+// (larger values behave identically for reachability purposes on the small
+// networks used in exhaustive checks).
+func (c *Composed) EnumerateStates(u int, net *sim.Network) []sim.State {
+	enum, ok := c.inner.(InnerEnumerable)
+	if !ok {
+		return nil
+	}
+	inners := enum.EnumerateInner(u, net)
+	statuses := []Status{StatusC, StatusRB, StatusRF}
+	var out []sim.State
+	for _, st := range statuses {
+		maxD := net.N()
+		if st == StatusC {
+			// The distance is meaningless at status C; enumerate a single
+			// value to keep the space small.
+			maxD = 0
+		}
+		for d := 0; d <= maxD; d++ {
+			for _, in := range inners {
+				out = append(out, ComposedState{SDR: SDRState{St: st, D: d}, Inner: in.Clone()})
+			}
+		}
+	}
+	return out
+}
+
+// buildRules assembles the composed rule set.
+func (c *Composed) buildRules() []sim.Rule {
+	inner := c.inner
+	uncoop := c.opts.uncooperative
+
+	sdrRules := []sim.Rule{
+		{
+			// rule_RB(u): P_RB(u) → compute(u); reset(u);
+			Name:  RuleRB,
+			Guard: func(v sim.View) bool { return PRB(v) },
+			Action: func(v sim.View) sim.State {
+				sdr := SDRState{St: StatusRB, D: 0}
+				if !uncoop {
+					sdr.D = minBroadcastNeighborDistance(v) + 1
+				}
+				return ComposedState{SDR: sdr, Inner: inner.ResetState(v.Process(), networkOf(v))}
+			},
+		},
+		{
+			// rule_RF(u): P_RF(u) → st_u := RF;
+			Name:  RuleRF,
+			Guard: func(v sim.View) bool { return PRF(inner, v) },
+			Action: func(v sim.View) sim.State {
+				cs := mustComposed(v.Self())
+				return ComposedState{SDR: SDRState{St: StatusRF, D: cs.SDR.D}, Inner: cs.Inner.Clone()}
+			},
+		},
+		{
+			// rule_C(u): P_C(u) → st_u := C;
+			Name:  RuleC,
+			Guard: func(v sim.View) bool { return PC(inner, v) },
+			Action: func(v sim.View) sim.State {
+				cs := mustComposed(v.Self())
+				return ComposedState{SDR: SDRState{St: StatusC, D: cs.SDR.D}, Inner: cs.Inner.Clone()}
+			},
+		},
+		{
+			// rule_R(u): P_Up(u) → beRoot(u); reset(u);
+			Name:  RuleR,
+			Guard: func(v sim.View) bool { return PUp(inner, v) },
+			Action: func(v sim.View) sim.State {
+				return ComposedState{
+					SDR:   SDRState{St: StatusRB, D: 0},
+					Inner: inner.ResetState(v.Process(), networkOf(v)),
+				}
+			},
+		},
+	}
+
+	rules := sdrRules
+	for _, ir := range inner.InnerRules() {
+		ir := ir // capture
+		rules = append(rules, sim.Rule{
+			Name: InnerRuleName(ir.Name),
+			Guard: func(v sim.View) bool {
+				// Requirement 2c: I is disabled whenever ¬P_Clean(u) or
+				// ¬P_ICorrect(u) holds.
+				if !PClean(v) || !PICorrect(inner, v) {
+					return false
+				}
+				return ir.Guard(NewInnerView(v))
+			},
+			Action: func(v sim.View) sim.State {
+				cs := mustComposed(v.Self())
+				return ComposedState{SDR: cs.SDR, Inner: ir.Action(NewInnerView(v))}
+			},
+		})
+	}
+	return rules
+}
+
+// minBroadcastNeighborDistance returns the minimum d_v over neighbours v with
+// st_v = RB. It panics when no such neighbour exists, which cannot happen
+// when P_RB(u) holds (the guard of rule_RB).
+func minBroadcastNeighborDistance(v sim.View) int {
+	best := -1
+	for i := 0; i < v.Degree(); i++ {
+		nb := SDRPart(v.Neighbor(i))
+		if nb.St == StatusRB && (best < 0 || nb.D < best) {
+			best = nb.D
+		}
+	}
+	if best < 0 {
+		panic("core: compute(u) evaluated with no broadcasting neighbour")
+	}
+	return best
+}
+
+// networkOf recovers the network a view belongs to. The sim package does not
+// expose it directly on View to keep algorithm code honest, so the composed
+// rules carry it through a package-level accessor set by the engine wrapper.
+func networkOf(v sim.View) *sim.Network { return v.Network() }
+
+// Standalone wraps a Resettable input algorithm I as a plain sim.Algorithm,
+// i.e. the non-self-stabilizing algorithm the paper analyses from its
+// pre-defined initial configuration (Sections 5.4 and 6.4). Inner guards are
+// strengthened with P_ICorrect as in the paper's formal codes; P_Clean is
+// vacuously true without SDR.
+type Standalone struct {
+	inner Resettable
+	rules []sim.Rule
+}
+
+var _ sim.Algorithm = (*Standalone)(nil)
+
+// NewStandalone wraps inner as a standalone algorithm.
+func NewStandalone(inner Resettable) *Standalone {
+	if inner == nil {
+		panic("core: NewStandalone requires a non-nil inner algorithm")
+	}
+	s := &Standalone{inner: inner}
+	for _, ir := range inner.InnerRules() {
+		ir := ir
+		s.rules = append(s.rules, sim.Rule{
+			Name: ir.Name,
+			Guard: func(v sim.View) bool {
+				iv := NewStandaloneView(v)
+				return inner.ICorrect(iv) && ir.Guard(iv)
+			},
+			Action: func(v sim.View) sim.State {
+				return ir.Action(NewStandaloneView(v))
+			},
+		})
+	}
+	return s
+}
+
+// Inner returns the wrapped input algorithm.
+func (s *Standalone) Inner() Resettable { return s.inner }
+
+// Name implements sim.Algorithm.
+func (s *Standalone) Name() string { return s.inner.Name() }
+
+// Rules implements sim.Algorithm.
+func (s *Standalone) Rules() []sim.Rule { return s.rules }
+
+// InitialState implements sim.Algorithm.
+func (s *Standalone) InitialState(u int, net *sim.Network) sim.State {
+	return s.inner.InitialInner(u, net)
+}
+
+// EnumerateStates implements sim.Enumerable when the inner algorithm does.
+func (s *Standalone) EnumerateStates(u int, net *sim.Network) []sim.State {
+	if enum, ok := s.inner.(InnerEnumerable); ok {
+		return enum.EnumerateInner(u, net)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"sdr/internal/sim"
+)
+
+// CheckRequirements verifies, on a concrete network, the requirements of
+// Section 3.5 that are properties of the inner algorithm's inputs rather
+// than of its dynamics:
+//
+//   - Requirement 2e: the state produced by the reset(u) macro satisfies
+//     P_reset(u);
+//   - Requirement 2d: if every member of a closed neighbourhood is in its
+//     reset state, then P_ICorrect(u) holds;
+//   - P_reset(u) reads only u's own state and constants (Requirement 2b) —
+//     checked indirectly: IsReset receives a single state by its signature.
+//
+// The remaining requirements (1, 2a, 2c) are enforced structurally by the
+// composition (inner rules cannot write SDR variables and are guarded by
+// P_Clean ∧ P_ICorrect) and by closure tests in the checker package.
+func CheckRequirements(inner Resettable, net *sim.Network) error {
+	n := net.N()
+
+	// Requirement 2e.
+	for u := 0; u < n; u++ {
+		rs := inner.ResetState(u, net)
+		if rs == nil {
+			return fmt.Errorf("core: ResetState(%d) returned nil", u)
+		}
+		if !inner.IsReset(u, net, rs) {
+			return fmt.Errorf("core: requirement 2e violated: ResetState(%d) = %v does not satisfy P_reset", u, rs)
+		}
+	}
+
+	// Requirement 2d: build the all-reset configuration (wrapped in clean SDR
+	// states) and check P_ICorrect everywhere.
+	states := make([]sim.State, n)
+	for u := 0; u < n; u++ {
+		states[u] = ComposedState{SDR: CleanSDRState(), Inner: inner.ResetState(u, net)}
+	}
+	c := sim.NewConfiguration(states)
+	for u := 0; u < n; u++ {
+		if !PICorrect(inner, net.View(c, u)) {
+			return fmt.Errorf("core: requirement 2d violated: all-reset neighbourhood of process %d is not P_ICorrect", u)
+		}
+	}
+
+	// The pre-defined initial configuration of I must be well-formed too: the
+	// paper's typical execution starts from γ_init with every status C.
+	for u := 0; u < n; u++ {
+		if inner.InitialInner(u, net) == nil {
+			return fmt.Errorf("core: InitialInner(%d) returned nil", u)
+		}
+	}
+	return nil
+}

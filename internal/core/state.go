@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"sdr/internal/sim"
+)
+
+// ComposedState is the state of a process in the composition I ∘ SDR: the two
+// SDR variables plus the full local state of the inner algorithm I.
+type ComposedState struct {
+	// SDR holds st_u and d_u.
+	SDR SDRState
+	// Inner is the local state of the inner algorithm.
+	Inner sim.State
+}
+
+var _ sim.State = ComposedState{}
+
+// Clone implements sim.State.
+func (s ComposedState) Clone() sim.State {
+	return ComposedState{SDR: s.SDR, Inner: s.Inner.Clone()}
+}
+
+// Equal implements sim.State.
+func (s ComposedState) Equal(other sim.State) bool {
+	o, ok := other.(ComposedState)
+	return ok && s.SDR.Equal(o.SDR) && s.Inner.Equal(o.Inner)
+}
+
+// String implements sim.State.
+func (s ComposedState) String() string {
+	return fmt.Sprintf("{%s %s}", s.SDR, s.Inner)
+}
+
+// mustComposed extracts the composed state or panics with a clear message;
+// it guards against accidentally running composed rules on plain inner
+// states.
+func mustComposed(s sim.State) ComposedState {
+	cs, ok := s.(ComposedState)
+	if !ok {
+		panic(fmt.Sprintf("core: expected ComposedState, got %T", s))
+	}
+	return cs
+}
+
+// SDRPart returns the SDR variables of the composed state held by s. It
+// panics if s is not a ComposedState.
+func SDRPart(s sim.State) SDRState { return mustComposed(s).SDR }
+
+// InnerPart returns the inner-algorithm state of the composed state held by
+// s. It panics if s is not a ComposedState.
+func InnerPart(s sim.State) sim.State { return mustComposed(s).Inner }
+
+// WithSDR returns a copy of composed state s with the SDR part replaced.
+func WithSDR(s sim.State, sdr SDRState) sim.State {
+	cs := mustComposed(s)
+	return ComposedState{SDR: sdr, Inner: cs.Inner.Clone()}
+}
+
+// WithInner returns a copy of composed state s with the inner part replaced.
+func WithInner(s sim.State, inner sim.State) sim.State {
+	cs := mustComposed(s)
+	return ComposedState{SDR: cs.SDR, Inner: inner}
+}

@@ -1,0 +1,80 @@
+// Package core implements the paper's primary contribution: SDR, the
+// self-stabilizing distributed cooperative reset algorithm (Algorithm 1 of
+// Devismes & Johnen, 2019), and the composition operator I ∘ SDR that makes
+// an input algorithm I self-stabilizing.
+//
+// Every predicate, macro and rule of Algorithm 1 is implemented verbatim:
+//
+//	P_Correct(u) ≡ st_u = C ⇒ P_ICorrect(u)
+//	P_Clean(u)   ≡ ∀v ∈ N[u], st_v = C
+//	P_R1(u)      ≡ st_u = C ∧ ¬P_reset(u) ∧ (∃v ∈ N(u), st_v = RF)
+//	P_RB(u)      ≡ st_u = C ∧ (∃v ∈ N(u), st_v = RB)
+//	P_RF(u)      ≡ st_u = RB ∧ P_reset(u) ∧
+//	               (∀v ∈ N(u), (st_v = RB ∧ d_v ≤ d_u) ∨ (st_v = RF ∧ P_reset(v)))
+//	P_C(u)       ≡ st_u = RF ∧
+//	               (∀v ∈ N[u], P_reset(v) ∧ ((st_v = RF ∧ d_v ≥ d_u) ∨ st_v = C))
+//	P_R2(u)      ≡ st_u ≠ C ∧ ¬P_reset(u)
+//	P_Up(u)      ≡ ¬P_RB(u) ∧ (P_R1(u) ∨ P_R2(u) ∨ ¬P_Correct(u))
+//
+// with rules rule_RB, rule_RF, rule_C and rule_R as in the paper.
+package core
+
+import "fmt"
+
+// Status is the reset status st_u of a process: C (correct, not involved in a
+// reset), RB (reset broadcast phase) or RF (reset feedback phase).
+type Status int
+
+// Reset statuses, following the paper's naming.
+const (
+	// StatusC means the process is not currently involved in a reset.
+	StatusC Status = iota + 1
+	// StatusRB means the process is in the broadcast phase of a reset.
+	StatusRB
+	// StatusRF means the process is in the feedback phase of a reset.
+	StatusRF
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusC:
+		return "C"
+	case StatusRB:
+		return "RB"
+	case StatusRF:
+		return "RF"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is one of the three statuses.
+func (s Status) Valid() bool {
+	return s == StatusC || s == StatusRB || s == StatusRF
+}
+
+// SDRState holds the two variables Algorithm SDR maintains at each process:
+// the status st_u and the distance d_u (meaningful only when st_u ≠ C).
+type SDRState struct {
+	// St is the reset status st_u.
+	St Status
+	// D is the distance value d_u in the reset DAG.
+	D int
+}
+
+// String renders the SDR part of a state as "C", "RB@2", "RF@0", ...
+func (s SDRState) String() string {
+	if s.St == StatusC {
+		return s.St.String()
+	}
+	return fmt.Sprintf("%s@%d", s.St, s.D)
+}
+
+// Equal reports value equality.
+func (s SDRState) Equal(o SDRState) bool { return s.St == o.St && s.D == o.D }
+
+// CleanSDRState returns the SDR state of a process outside any reset
+// (status C, distance 0). This is the SDR part of the pre-defined initial
+// configuration used by the non-stabilizing inner algorithms.
+func CleanSDRState() SDRState { return SDRState{St: StatusC, D: 0} }

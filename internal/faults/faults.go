@@ -1,0 +1,166 @@
+// Package faults builds the corrupted configurations from which
+// self-stabilization is exercised: uniformly random configurations over the
+// whole state space, partial corruptions of a correct configuration, and
+// targeted corruptions aimed at the reset machinery (fake broadcast/feedback
+// waves, inconsistent distance values).
+//
+// Self-stabilization quantifies over every possible initial configuration;
+// these generators sample that space for the experiments and tests.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sdr/internal/core"
+	"sdr/internal/sim"
+)
+
+// RandomConfiguration returns a configuration in which every process state
+// is drawn uniformly from the algorithm's enumerated state space. The
+// algorithm must implement sim.Enumerable.
+func RandomConfiguration(alg sim.Algorithm, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+	enum, ok := alg.(sim.Enumerable)
+	if !ok {
+		panic(fmt.Sprintf("faults: algorithm %s does not enumerate its states", alg.Name()))
+	}
+	states := make([]sim.State, net.N())
+	for u := range states {
+		options := enum.EnumerateStates(u, net)
+		if len(options) == 0 {
+			panic(fmt.Sprintf("faults: algorithm %s enumerated no states for process %d", alg.Name(), u))
+		}
+		states[u] = options[rng.Intn(len(options))].Clone()
+	}
+	return sim.NewConfiguration(states)
+}
+
+// CorruptFraction returns a copy of base in which each process state is
+// replaced, with probability fraction, by a uniformly random state from the
+// algorithm's state space. fraction is clamped to [0, 1].
+func CorruptFraction(alg sim.Algorithm, net *sim.Network, base *sim.Configuration, fraction float64, rng *rand.Rand) *sim.Configuration {
+	enum, ok := alg.(sim.Enumerable)
+	if !ok {
+		panic(fmt.Sprintf("faults: algorithm %s does not enumerate its states", alg.Name()))
+	}
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	c := base.Clone()
+	for u := 0; u < net.N(); u++ {
+		if rng.Float64() >= fraction {
+			continue
+		}
+		options := enum.EnumerateStates(u, net)
+		c.SetState(u, options[rng.Intn(len(options))].Clone())
+	}
+	return c
+}
+
+// CorruptProcesses returns a copy of base in which exactly the listed
+// processes get uniformly random states.
+func CorruptProcesses(alg sim.Algorithm, net *sim.Network, base *sim.Configuration, processes []int, rng *rand.Rand) *sim.Configuration {
+	enum, ok := alg.(sim.Enumerable)
+	if !ok {
+		panic(fmt.Sprintf("faults: algorithm %s does not enumerate its states", alg.Name()))
+	}
+	c := base.Clone()
+	for _, u := range processes {
+		options := enum.EnumerateStates(u, net)
+		c.SetState(u, options[rng.Intn(len(options))].Clone())
+	}
+	return c
+}
+
+// CorruptedInner returns a copy of base (a configuration of a composition
+// I ∘ SDR) in which the inner states of a random subset of processes are
+// corrupted while the SDR variables are left clean. This models the typical
+// post-fault situation of the paper's "typical execution": the application
+// state is inconsistent but no reset is running yet.
+func CorruptedInner(inner core.Resettable, net *sim.Network, base *sim.Configuration, fraction float64, rng *rand.Rand) *sim.Configuration {
+	enum, ok := inner.(core.InnerEnumerable)
+	if !ok {
+		panic(fmt.Sprintf("faults: inner algorithm %s does not enumerate its states", inner.Name()))
+	}
+	c := base.Clone()
+	for u := 0; u < net.N(); u++ {
+		if rng.Float64() >= fraction {
+			continue
+		}
+		options := enum.EnumerateInner(u, net)
+		c.SetState(u, core.WithInner(c.State(u), options[rng.Intn(len(options))].Clone()))
+	}
+	return c
+}
+
+// FakeResetWave returns a copy of base (a configuration of I ∘ SDR) in which
+// a random subset of processes is put into an arbitrary phase of a
+// non-existent reset: random status in {RB, RF} and random distance in
+// [0, maxDistance]. Inner states are left untouched, so the resulting
+// configuration typically violates P_R2 and exercises the SDR-level error
+// handling (Section 3.4).
+func FakeResetWave(net *sim.Network, base *sim.Configuration, fraction float64, maxDistance int, rng *rand.Rand) *sim.Configuration {
+	if maxDistance < 0 {
+		maxDistance = 0
+	}
+	c := base.Clone()
+	statuses := []core.Status{core.StatusRB, core.StatusRF}
+	for u := 0; u < net.N(); u++ {
+		if rng.Float64() >= fraction {
+			continue
+		}
+		sdr := core.SDRState{
+			St: statuses[rng.Intn(len(statuses))],
+			D:  rng.Intn(maxDistance + 1),
+		}
+		c.SetState(u, core.WithSDR(c.State(u), sdr))
+	}
+	return c
+}
+
+// Scenario names a canned corruption recipe used by the benchmark harness so
+// that tables can label their workloads.
+type Scenario struct {
+	// Name labels the scenario in result tables.
+	Name string
+	// Build produces the corrupted starting configuration for the composed
+	// algorithm on the network.
+	Build func(alg sim.Algorithm, inner core.Resettable, net *sim.Network, rng *rand.Rand) *sim.Configuration
+}
+
+// StandardScenarios returns the corruption scenarios used across the
+// experiment suite for compositions I ∘ SDR.
+func StandardScenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "random-all",
+			Build: func(alg sim.Algorithm, _ core.Resettable, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+				return RandomConfiguration(alg, net, rng)
+			},
+		},
+		{
+			Name: "inner-only",
+			Build: func(alg sim.Algorithm, inner core.Resettable, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+				base := sim.InitialConfiguration(alg, net)
+				return CorruptedInner(inner, net, base, 0.5, rng)
+			},
+		},
+		{
+			Name: "fake-wave",
+			Build: func(alg sim.Algorithm, _ core.Resettable, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+				base := sim.InitialConfiguration(alg, net)
+				return FakeResetWave(net, base, 0.4, net.N(), rng)
+			},
+		},
+		{
+			Name: "half-corrupt",
+			Build: func(alg sim.Algorithm, _ core.Resettable, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+				base := sim.InitialConfiguration(alg, net)
+				return CorruptFraction(alg, net, base, 0.5, rng)
+			},
+		},
+	}
+}

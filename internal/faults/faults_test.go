@@ -1,0 +1,178 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdr/internal/core"
+	"sdr/internal/graph"
+	"sdr/internal/sim"
+	"sdr/internal/unison"
+)
+
+func testSetup(t *testing.T) (*sim.Network, *unison.Unison, *core.Composed) {
+	t.Helper()
+	g := graph.Ring(8)
+	u := unison.New(unison.DefaultPeriod(g.N()))
+	return sim.NewNetwork(g), u, core.Compose(u)
+}
+
+func TestRandomConfigurationCoversStateSpace(t *testing.T) {
+	net, _, comp := testSetup(t)
+	rng := rand.New(rand.NewSource(1))
+	seenNonClean, seenNonZeroClock := false, false
+	for trial := 0; trial < 50; trial++ {
+		cfg := RandomConfiguration(comp, net, rng)
+		if cfg.N() != net.N() {
+			t.Fatalf("configuration has %d states, want %d", cfg.N(), net.N())
+		}
+		for u := 0; u < cfg.N(); u++ {
+			cs := cfg.State(u).(core.ComposedState)
+			if cs.SDR.St != core.StatusC {
+				seenNonClean = true
+			}
+			if cs.Inner.(unison.ClockState).C != 0 {
+				seenNonZeroClock = true
+			}
+		}
+	}
+	if !seenNonClean || !seenNonZeroClock {
+		t.Error("random configurations should cover both SDR and inner variables")
+	}
+}
+
+func TestRandomConfigurationRequiresEnumerable(t *testing.T) {
+	net, _, _ := testSetup(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("RandomConfiguration must panic for non-enumerable algorithms")
+		}
+	}()
+	RandomConfiguration(nonEnumerable{}, net, rand.New(rand.NewSource(1)))
+}
+
+// nonEnumerable is an algorithm without EnumerateStates.
+type nonEnumerable struct{}
+
+func (nonEnumerable) Name() string                             { return "opaque" }
+func (nonEnumerable) Rules() []sim.Rule                        { return nil }
+func (nonEnumerable) InitialState(int, *sim.Network) sim.State { return unison.ClockState{} }
+
+func TestCorruptFraction(t *testing.T) {
+	net, _, comp := testSetup(t)
+	base := sim.InitialConfiguration(comp, net)
+	rng := rand.New(rand.NewSource(2))
+
+	// Fraction 0: nothing changes.
+	same := CorruptFraction(comp, net, base, 0, rng)
+	if !same.Equal(base) {
+		t.Error("fraction 0 must leave the configuration unchanged")
+	}
+	// The base configuration itself must never be mutated.
+	CorruptFraction(comp, net, base, 1, rng)
+	if !base.Equal(sim.InitialConfiguration(comp, net)) {
+		t.Error("CorruptFraction must not modify the base configuration")
+	}
+	// Out-of-range fractions are clamped rather than rejected.
+	clamped := CorruptFraction(comp, net, base, 7.5, rng)
+	if clamped.N() != base.N() {
+		t.Error("clamped corruption must keep the configuration size")
+	}
+}
+
+func TestCorruptProcesses(t *testing.T) {
+	net, _, comp := testSetup(t)
+	base := sim.InitialConfiguration(comp, net)
+	rng := rand.New(rand.NewSource(3))
+	corrupted := CorruptProcesses(comp, net, base, []int{2, 5}, rng)
+	for u := 0; u < net.N(); u++ {
+		changed := !corrupted.State(u).Equal(base.State(u))
+		if changed && u != 2 && u != 5 {
+			t.Errorf("process %d changed although it was not targeted", u)
+		}
+	}
+}
+
+func TestCorruptedInnerKeepsSDRClean(t *testing.T) {
+	net, u, comp := testSetup(t)
+	base := sim.InitialConfiguration(comp, net)
+	rng := rand.New(rand.NewSource(4))
+	cfg := CorruptedInner(u, net, base, 1.0, rng)
+	for p := 0; p < net.N(); p++ {
+		cs := cfg.State(p).(core.ComposedState)
+		if cs.SDR.St != core.StatusC {
+			t.Errorf("process %d: SDR state %v should stay clean under inner-only corruption", p, cs.SDR)
+		}
+	}
+}
+
+func TestFakeResetWaveKeepsInnerStates(t *testing.T) {
+	net, _, comp := testSetup(t)
+	base := sim.InitialConfiguration(comp, net)
+	rng := rand.New(rand.NewSource(5))
+	cfg := FakeResetWave(net, base, 1.0, net.N(), rng)
+	changedStatus := 0
+	for p := 0; p < net.N(); p++ {
+		cs := cfg.State(p).(core.ComposedState)
+		if !cs.Inner.Equal(base.State(p).(core.ComposedState).Inner) {
+			t.Errorf("process %d: the inner state must be untouched by a fake wave", p)
+		}
+		if cs.SDR.St != core.StatusC {
+			changedStatus++
+			if cs.SDR.St != core.StatusRB && cs.SDR.St != core.StatusRF {
+				t.Errorf("process %d: unexpected status %v", p, cs.SDR.St)
+			}
+			if cs.SDR.D < 0 || cs.SDR.D > net.N() {
+				t.Errorf("process %d: distance %d out of the requested range", p, cs.SDR.D)
+			}
+		}
+	}
+	if changedStatus == 0 {
+		t.Error("a full-fraction fake wave should corrupt at least one status")
+	}
+	// Negative maximum distances are clamped to 0.
+	clamped := FakeResetWave(net, base, 1.0, -3, rng)
+	for p := 0; p < net.N(); p++ {
+		if d := clamped.State(p).(core.ComposedState).SDR.D; d != 0 {
+			t.Errorf("process %d: distance %d, want 0 with a clamped maximum", p, d)
+		}
+	}
+}
+
+func TestStandardScenariosProduceRecoverableStarts(t *testing.T) {
+	// Every standard scenario must produce a configuration from which the
+	// composition stabilizes — this is the integration contract the benchmark
+	// harness relies on.
+	net, u, comp := testSetup(t)
+	for _, scenario := range StandardScenarios() {
+		scenario := scenario
+		t.Run(scenario.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(9))
+			start := scenario.Build(comp, u, net, rng)
+			if start.N() != net.N() {
+				t.Fatalf("scenario produced %d states for %d processes", start.N(), net.N())
+			}
+			res := sim.NewEngine(net, comp, sim.NewDistributedRandomDaemon(rng, 0.5)).Run(start,
+				sim.WithMaxSteps(200_000),
+				sim.WithLegitimate(core.NormalPredicate(u, net)),
+				sim.WithStopWhenLegitimate(),
+			)
+			if !res.LegitimateReached {
+				t.Errorf("scenario %s produced a start from which the system did not stabilize", scenario.Name)
+			}
+		})
+	}
+}
+
+func TestScenarioNamesAreUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range StandardScenarios() {
+		if s.Name == "" || s.Build == nil {
+			t.Errorf("scenario %+v is incomplete", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}

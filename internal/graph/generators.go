@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The generators in this file build the topology families used by the
+// experiments: rings and paths (worst cases for wave algorithms), trees,
+// grids and tori (bounded-degree topologies), stars (low diameter / high
+// degree), hypercubes, random connected graphs, and a few pathological
+// shapes (caterpillar, lollipop) used to stress the daemon.
+
+// Ring returns a cycle C_n. It panics for n < 3.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: ring requires n >= 3, got %d", n))
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		g.MustAddEdge(u, (u+1)%n)
+	}
+	return g
+}
+
+// Path returns a path P_n. It panics for n < 1.
+func Path(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: path requires n >= 1, got %d", n))
+	}
+	g := New(n)
+	for u := 0; u+1 < n; u++ {
+		g.MustAddEdge(u, u+1)
+	}
+	return g
+}
+
+// Star returns a star K_{1,n-1} with node 0 at the centre. It panics for n < 2.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: star requires n >= 2, got %d", n))
+	}
+	g := New(n)
+	for u := 1; u < n; u++ {
+		g.MustAddEdge(0, u)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n. It panics for n < 1.
+func Complete(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: complete graph requires n >= 1, got %d", n))
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// BinaryTree returns a complete-ish binary tree with n nodes rooted at 0.
+// It panics for n < 1.
+func BinaryTree(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: binary tree requires n >= 1, got %d", n))
+	}
+	g := New(n)
+	for u := 1; u < n; u++ {
+		g.MustAddEdge(u, (u-1)/2)
+	}
+	return g
+}
+
+// Grid returns an rows x cols grid graph. It panics when rows or cols < 1.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("graph: grid requires positive dimensions, got %dx%d", rows, cols))
+	}
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns an rows x cols torus (grid with wrap-around edges).
+// It panics when rows or cols < 3 (smaller sizes create multi-edges).
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: torus requires dimensions >= 3, got %dx%d", rows, cols))
+	}
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.MustAddEdge(id(r, c), id(r, (c+1)%cols))
+			g.MustAddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d with 2^d nodes.
+// It panics for d < 1 or d > 20.
+func Hypercube(d int) *Graph {
+	if d < 1 || d > 20 {
+		panic(fmt.Sprintf("graph: hypercube dimension must be in [1,20], got %d", d))
+	}
+	n := 1 << uint(d)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length spine with
+// legs pendant nodes attached to every spine node. Total nodes: spine*(legs+1).
+// It panics when spine < 1 or legs < 0.
+func Caterpillar(spine, legs int) *Graph {
+	if spine < 1 || legs < 0 {
+		panic(fmt.Sprintf("graph: caterpillar requires spine >= 1 and legs >= 0, got %d, %d", spine, legs))
+	}
+	n := spine * (legs + 1)
+	g := New(n)
+	for s := 0; s+1 < spine; s++ {
+		g.MustAddEdge(s, s+1)
+	}
+	next := spine
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			g.MustAddEdge(s, next)
+			next++
+		}
+	}
+	return g
+}
+
+// Lollipop returns a lollipop graph: a clique of size cliqueSize joined to a
+// path of length pathLen by a single edge. It panics when cliqueSize < 3 or
+// pathLen < 1.
+func Lollipop(cliqueSize, pathLen int) *Graph {
+	if cliqueSize < 3 || pathLen < 1 {
+		panic(fmt.Sprintf("graph: lollipop requires clique >= 3 and path >= 1, got %d, %d", cliqueSize, pathLen))
+	}
+	g := New(cliqueSize + pathLen)
+	for u := 0; u < cliqueSize; u++ {
+		for v := u + 1; v < cliqueSize; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	g.MustAddEdge(cliqueSize-1, cliqueSize)
+	for u := cliqueSize; u+1 < cliqueSize+pathLen; u++ {
+		g.MustAddEdge(u, u+1)
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes built from a
+// random Prüfer-like attachment: node i attaches to a uniformly random node
+// in [0, i). It panics for n < 1.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: random tree requires n >= 1, got %d", n))
+	}
+	g := New(n)
+	for u := 1; u < n; u++ {
+		g.MustAddEdge(u, rng.Intn(u))
+	}
+	return g
+}
+
+// RandomConnected returns a random connected graph on n nodes: a random tree
+// plus each remaining pair added independently with probability p.
+// It panics when n < 1 or p is outside [0, 1].
+func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: random connected graph requires n >= 1, got %d", n))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: edge probability must be in [0,1], got %v", p))
+	}
+	g := RandomTree(n, rng)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegularish returns a random connected graph where every node has
+// degree at least minDegree (when feasible). It starts from a random tree and
+// adds random edges until the minimum degree constraint is met or the graph
+// becomes complete. It panics when n < 1 or minDegree < 1.
+func RandomRegularish(n, minDegree int, rng *rand.Rand) *Graph {
+	if n < 1 || minDegree < 1 {
+		panic(fmt.Sprintf("graph: invalid parameters n=%d minDegree=%d", n, minDegree))
+	}
+	g := RandomTree(n, rng)
+	if minDegree >= n {
+		minDegree = n - 1
+	}
+	maxEdges := n * (n - 1) / 2
+	for g.MinDegree() < minDegree && g.M() < maxEdges {
+		u := rng.Intn(n)
+		if g.Degree(u) >= minDegree {
+			continue
+		}
+		v := rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+	}
+	return g
+}

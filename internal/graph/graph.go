@@ -1,0 +1,212 @@
+// Package graph provides the undirected network model used throughout the
+// reproduction of "Self-Stabilizing Distributed Cooperative Reset"
+// (Devismes & Johnen, 2019).
+//
+// The communication network of the paper is a simple undirected connected
+// graph G = (V, E) where V is the set of processes and E the set of edges.
+// A Graph value is immutable after construction: algorithms never change the
+// topology, they only read it.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph over nodes 0..N-1.
+//
+// The zero value is an empty graph; use New or a generator to build one.
+// Neighbour lists are kept sorted so that iteration order is deterministic,
+// which keeps simulations reproducible.
+type Graph struct {
+	n   int
+	adj [][]int
+	m   int
+}
+
+// New returns an empty graph with n isolated nodes.
+// It panics if n is negative.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{
+		n:   n,
+		adj: make([][]int, n),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge adds the undirected edge {u, v}.
+// Self-loops and duplicate edges are rejected with an error, as the paper
+// considers simple graphs only.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d is not allowed", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	g.m++
+	return nil
+}
+
+// MustAddEdge adds the edge {u, v} and panics on error.
+// It is intended for generators and tests where the edge is known to be valid.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge of the graph.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	ns := g.adj[u]
+	i := sort.SearchInts(ns, v)
+	return i < len(ns) && ns[i] == v
+}
+
+// Neighbors returns the sorted neighbour list of u.
+// The returned slice must not be modified by the caller.
+func (g *Graph) Neighbors(u int) []int {
+	return g.adj[u]
+}
+
+// NeighborsCopy returns a copy of the neighbour list of u.
+func (g *Graph) NeighborsCopy(u int) []int {
+	ns := g.adj[u]
+	out := make([]int, len(ns))
+	copy(out, ns)
+	return out
+}
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns Δ, the maximum degree of the graph (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) > d {
+			d = len(g.adj[u])
+		}
+	}
+	return d
+}
+
+// MinDegree returns the minimum degree of the graph (0 for an empty graph).
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	d := len(g.adj[0])
+	for u := 1; u < g.n; u++ {
+		if len(g.adj[u]) < d {
+			d = len(g.adj[u])
+		}
+	}
+	return d
+}
+
+// Edges returns all edges {u, v} with u < v, in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	edges := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.m = g.m
+	for u := 0; u < g.n; u++ {
+		c.adj[u] = append([]int(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// Equal reports whether g and h have the same node count and edge set.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || g.m != h.m {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if len(g.adj[u]) != len(h.adj[u]) {
+			return false
+		}
+		for i, v := range g.adj[u] {
+			if h.adj[u][i] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Connected reports whether the graph is connected.
+// The empty graph and the single-node graph are considered connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Validate returns an error when the graph is not a valid network for the
+// paper's model: it must be non-empty and connected.
+func (g *Graph) Validate() error {
+	if g.n == 0 {
+		return fmt.Errorf("graph: network must contain at least one process")
+	}
+	if !g.Connected() {
+		return fmt.Errorf("graph: network must be connected (%d nodes, %d edges)", g.n, g.m)
+	}
+	return nil
+}
+
+// String returns a short human-readable description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d, Δ=%d)", g.n, g.m, g.MaxDegree())
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

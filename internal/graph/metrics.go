@@ -1,0 +1,261 @@
+package graph
+
+import "fmt"
+
+// This file contains structural metrics used by the complexity experiments:
+// BFS distances, diameter D, number of edges m, maximum degree Δ, the
+// cyclomatic number (used to parameterise the Boulinier-Petit-Villain unison
+// baseline), and an estimate of the longest chordless cycle length T_G.
+
+// BFS returns the vector of hop distances from src to every node.
+// Unreachable nodes get distance -1. It panics when src is out of range.
+func (g *Graph) BFS(src int) []int {
+	if src < 0 || src >= g.n {
+		panic(fmt.Sprintf("graph: BFS source %d out of range [0,%d)", src, g.n))
+	}
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the hop distance between u and v, or -1 when disconnected.
+func (g *Graph) Distance(u, v int) int {
+	return g.BFS(u)[v]
+}
+
+// Eccentricity returns the eccentricity of u: the maximum distance from u to
+// any other node. It returns -1 when the graph is disconnected.
+func (g *Graph) Eccentricity(u int) int {
+	ecc := 0
+	for _, d := range g.BFS(u) {
+		if d < 0 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns D, the maximum distance between any pair of nodes.
+// It returns -1 when the graph is disconnected and 0 for a single node.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return 0
+	}
+	diam := 0
+	for u := 0; u < g.n; u++ {
+		ecc := g.Eccentricity(u)
+		if ecc < 0 {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// Radius returns the minimum eccentricity over all nodes, or -1 when the
+// graph is disconnected.
+func (g *Graph) Radius() int {
+	if g.n == 0 {
+		return 0
+	}
+	radius := -1
+	for u := 0; u < g.n; u++ {
+		ecc := g.Eccentricity(u)
+		if ecc < 0 {
+			return -1
+		}
+		if radius < 0 || ecc < radius {
+			radius = ecc
+		}
+	}
+	return radius
+}
+
+// CyclomaticNumber returns m - n + c where c is the number of connected
+// components. For a connected graph this is the dimension of the cycle space,
+// i.e. the number of independent cycles; it is 0 exactly for trees/forests.
+func (g *Graph) CyclomaticNumber() int {
+	return g.m - g.n + g.componentCount()
+}
+
+func (g *Graph) componentCount() int {
+	seen := make([]bool, g.n)
+	count := 0
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		count++
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return count
+}
+
+// IsTree reports whether the graph is a tree (connected and acyclic).
+func (g *Graph) IsTree() bool {
+	return g.Connected() && g.m == g.n-1
+}
+
+// Girth returns the length of the shortest cycle, or 0 when the graph is
+// acyclic. It runs a BFS from every node, which is sufficient for the modest
+// network sizes used in simulation.
+func (g *Graph) Girth() int {
+	best := 0
+	for s := 0; s < g.n; s++ {
+		dist := make([]int, g.n)
+		parent := make([]int, g.n)
+		for i := range dist {
+			dist[i] = -1
+			parent[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					parent[v] = u
+					queue = append(queue, v)
+				} else if parent[u] != v {
+					cycle := dist[u] + dist[v] + 1
+					if best == 0 || cycle < best {
+						best = cycle
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// LongestChordlessCycle returns T_G, the length of the longest chordless
+// (induced) cycle, or 0 when the graph is acyclic. The Boulinier-Petit-Villain
+// unison baseline requires a parameter α ≥ T_G - 2, so T_G is needed to run
+// the baseline with its smallest legal parameters.
+//
+// The computation enumerates induced cycles by depth-first search from each
+// start node; it is exponential in the worst case but the simulated networks
+// are small (tens of nodes). maxLen caps the search; pass 0 for no cap.
+func (g *Graph) LongestChordlessCycle(maxLen int) int {
+	if maxLen <= 0 || maxLen > g.n {
+		maxLen = g.n
+	}
+	best := 0
+	inPath := make([]bool, g.n)
+	path := make([]int, 0, maxLen)
+
+	var dfs func(start, cur int)
+	dfs = func(start, cur int) {
+		if len(path) > maxLen {
+			return
+		}
+		for _, next := range g.adj[cur] {
+			if next == start && len(path) >= 3 {
+				// Candidate cycle: verify chordlessness (the path is induced
+				// by construction except possibly for chords to the start).
+				if isChordlessCycle(g, path) && len(path) > best {
+					best = len(path)
+				}
+				continue
+			}
+			// Only extend to larger-indexed nodes than start to avoid
+			// enumerating every rotation of the same cycle.
+			if next <= start || inPath[next] {
+				continue
+			}
+			// Induced-path check: next may only be adjacent to cur among the
+			// current path nodes (and possibly to start, forming the cycle
+			// closure which is checked above).
+			ok := true
+			for _, p := range path {
+				if p != cur && p != start && g.HasEdge(next, p) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			inPath[next] = true
+			path = append(path, next)
+			dfs(start, next)
+			path = path[:len(path)-1]
+			inPath[next] = false
+		}
+	}
+
+	for s := 0; s < g.n; s++ {
+		inPath[s] = true
+		path = append(path[:0], s)
+		dfs(s, s)
+		inPath[s] = false
+	}
+	return best
+}
+
+func isChordlessCycle(g *Graph, cycle []int) bool {
+	k := len(cycle)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			adjacentOnCycle := j == i+1 || (i == 0 && j == k-1)
+			if !adjacentOnCycle && g.HasEdge(cycle[i], cycle[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Stats bundles the structural quantities the complexity bounds depend on.
+type Stats struct {
+	N          int // number of processes n
+	M          int // number of edges m
+	MaxDegree  int // Δ
+	Diameter   int // D
+	Cyclomatic int // m - n + 1 for connected graphs
+	IsTree     bool
+}
+
+// ComputeStats returns the structural statistics of the graph.
+func (g *Graph) ComputeStats() Stats {
+	return Stats{
+		N:          g.n,
+		M:          g.m,
+		MaxDegree:  g.MaxDegree(),
+		Diameter:   g.Diameter(),
+		Cyclomatic: g.CyclomaticNumber(),
+		IsTree:     g.IsTree(),
+	}
+}

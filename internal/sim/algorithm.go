@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+
+	"sdr/internal/graph"
+)
+
+// Network couples a topology with an identifier assignment. The paper's
+// reset and unison algorithms run on anonymous networks (identifiers exist in
+// the simulator but must not be read by the algorithm); the (f,g)-alliance
+// algorithm requires an identified network, so identifiers are exposed
+// through the View for algorithms that declare they need them.
+type Network struct {
+	g   *graph.Graph
+	ids []int
+}
+
+// NewNetwork builds a network over g with the default identifier assignment
+// id(u) = u. It panics when the graph is invalid (empty or disconnected),
+// since the paper only considers connected networks.
+func NewNetwork(g *graph.Graph) *Network {
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	ids := make([]int, g.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	return &Network{g: g, ids: ids}
+}
+
+// NewNetworkWithIDs builds a network with an explicit identifier assignment.
+// Identifiers must be pairwise distinct. Permuting identifiers is used in
+// tests to check that anonymous algorithms do not depend on them.
+func NewNetworkWithIDs(g *graph.Graph, ids []int) (*Network, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if len(ids) != g.N() {
+		return nil, fmt.Errorf("sim: %d identifiers for %d processes", len(ids), g.N())
+	}
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("sim: duplicate identifier %d", id)
+		}
+		seen[id] = true
+	}
+	return &Network{g: g, ids: append([]int(nil), ids...)}, nil
+}
+
+// N returns the number of processes.
+func (n *Network) N() int { return n.g.N() }
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// ID returns the identifier of process u.
+func (n *Network) ID(u int) int { return n.ids[u] }
+
+// Degree returns the degree of process u.
+func (n *Network) Degree(u int) int { return n.g.Degree(u) }
+
+// Neighbors returns the neighbour process indices of u (sorted, not to be
+// modified by the caller).
+func (n *Network) Neighbors(u int) []int { return n.g.Neighbors(u) }
+
+// View returns the view of process u on configuration c.
+func (n *Network) View(c *Configuration, u int) View {
+	checkProcessIndex(u, n.N())
+	return View{net: n, cfg: c, u: u}
+}
+
+// View is the read access a rule has when evaluated at a process: its own
+// state and the states of its neighbours, reached through local labels
+// (neighbour indices 0..Degree()-1). Anonymous algorithms must only use
+// Self, Degree and Neighbor; identified algorithms may additionally use ID
+// and NeighborID.
+type View struct {
+	net *Network
+	cfg *Configuration
+	u   int
+}
+
+// Self returns the state of the process itself.
+func (v View) Self() State { return v.cfg.State(v.u) }
+
+// Degree returns the number of neighbours.
+func (v View) Degree() int { return v.net.Degree(v.u) }
+
+// Neighbor returns the state of the i-th neighbour (local label i).
+func (v View) Neighbor(i int) State {
+	return v.cfg.State(v.net.Neighbors(v.u)[i])
+}
+
+// ID returns the identifier of the process. Only identified algorithms may
+// use it.
+func (v View) ID() int { return v.net.ID(v.u) }
+
+// NeighborID returns the identifier of the i-th neighbour. Only identified
+// algorithms may use it.
+func (v View) NeighborID(i int) int {
+	return v.net.ID(v.net.Neighbors(v.u)[i])
+}
+
+// Process returns the simulator-level index of the process. It exists for
+// instrumentation (traces, metrics) and must not be used in algorithm logic
+// of anonymous algorithms.
+func (v View) Process() int { return v.u }
+
+// Network returns the network the view belongs to. It exists for framework
+// code (composition, checkers); algorithm rules must not use it to look past
+// their closed neighbourhood.
+func (v View) Network() *Network { return v.net }
+
+// AnyNeighbor reports whether some neighbour state satisfies pred.
+func (v View) AnyNeighbor(pred func(State) bool) bool {
+	for i := 0; i < v.Degree(); i++ {
+		if pred(v.Neighbor(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllNeighbors reports whether every neighbour state satisfies pred.
+func (v View) AllNeighbors(pred func(State) bool) bool {
+	for i := 0; i < v.Degree(); i++ {
+		if !pred(v.Neighbor(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountNeighbors returns the number of neighbour states satisfying pred.
+func (v View) CountNeighbors(pred func(State) bool) int {
+	count := 0
+	for i := 0; i < v.Degree(); i++ {
+		if pred(v.Neighbor(i)) {
+			count++
+		}
+	}
+	return count
+}
+
+// Rule is a guarded action <label>: <guard> -> <action>. The guard reads the
+// view; the action returns the new local state of the process. Actions must
+// not mutate neighbour states (the model only allows writing one's own
+// variables); the Engine enforces this by only installing the returned state.
+type Rule struct {
+	// Name identifies the rule in traces and move statistics.
+	Name string
+	// Guard reports whether the rule is enabled at the viewed process.
+	Guard func(View) bool
+	// Action computes the new state of the viewed process.
+	Action func(View) State
+}
+
+// Algorithm is a distributed algorithm: one local program (set of rules) per
+// process, plus the pre-defined initial state used by non-stabilizing runs.
+type Algorithm interface {
+	// Name returns a short name used in traces and benchmark tables.
+	Name() string
+	// Rules returns the rules of the local program. The slice is shared by
+	// all processes (the program is uniform); it must not be modified.
+	Rules() []Rule
+	// InitialState returns the pre-defined initial state of process u
+	// (the configuration γ_init of the paper's non-stabilizing algorithms).
+	InitialState(u int, net *Network) State
+}
+
+// Enumerable is implemented by algorithms whose per-process state space can
+// be enumerated, enabling exhaustive verification on small networks.
+type Enumerable interface {
+	// EnumerateStates returns every possible local state of process u,
+	// bounded as documented by the implementation (e.g. distances capped at
+	// n so that the space is finite).
+	EnumerateStates(u int, net *Network) []State
+}
+
+// InitialConfiguration builds γ_init for the algorithm on the network.
+func InitialConfiguration(a Algorithm, net *Network) *Configuration {
+	states := make([]State, net.N())
+	for u := range states {
+		states[u] = a.InitialState(u, net)
+	}
+	return NewConfiguration(states)
+}
+
+// EnabledRules returns the indices of the rules of a enabled at process u in
+// configuration c.
+func EnabledRules(a Algorithm, net *Network, c *Configuration, u int) []int {
+	v := net.View(c, u)
+	var enabled []int
+	for i, r := range a.Rules() {
+		if r.Guard(v) {
+			enabled = append(enabled, i)
+		}
+	}
+	return enabled
+}
+
+// Enabled reports whether process u has at least one enabled rule.
+func Enabled(a Algorithm, net *Network, c *Configuration, u int) bool {
+	v := net.View(c, u)
+	for _, r := range a.Rules() {
+		if r.Guard(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// EnabledSet returns the sorted set of enabled processes in c.
+func EnabledSet(a Algorithm, net *Network, c *Configuration) []int {
+	var out []int
+	for u := 0; u < net.N(); u++ {
+		if Enabled(a, net, c, u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Terminal reports whether c is a terminal configuration (no process enabled).
+func Terminal(a Algorithm, net *Network, c *Configuration) bool {
+	for u := 0; u < net.N(); u++ {
+		if Enabled(a, net, c, u) {
+			return false
+		}
+	}
+	return true
+}

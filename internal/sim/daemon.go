@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Daemon is the scheduling adversary of the model. Given the set of enabled
+// processes of the current configuration, it selects the non-empty subset
+// that is activated in the next step. The distributed unfair daemon of the
+// paper is the set of all such selections; concrete daemons here are
+// particular strategies (samples) of that adversary.
+type Daemon interface {
+	// Name identifies the daemon in benchmark tables.
+	Name() string
+	// Select returns a non-empty subset of sel.Enabled.
+	Select(sel Selection) []int
+}
+
+// Selection is the information offered to a daemon when it picks a step.
+type Selection struct {
+	// Net is the network the algorithm runs on.
+	Net *Network
+	// Alg is the algorithm being scheduled.
+	Alg Algorithm
+	// Config is the current configuration.
+	Config *Configuration
+	// Enabled is the sorted non-empty set of enabled processes.
+	Enabled []int
+	// Step is the index of the step about to be taken (0-based).
+	Step int
+}
+
+// SynchronousDaemon activates every enabled process in every step.
+type SynchronousDaemon struct{}
+
+var _ Daemon = SynchronousDaemon{}
+
+// Name implements Daemon.
+func (SynchronousDaemon) Name() string { return "synchronous" }
+
+// Select implements Daemon.
+func (SynchronousDaemon) Select(sel Selection) []int { return sel.Enabled }
+
+// CentralRandomDaemon activates exactly one enabled process chosen uniformly
+// at random. It models the central (sequential) daemon.
+type CentralRandomDaemon struct {
+	rng *rand.Rand
+}
+
+var _ Daemon = (*CentralRandomDaemon)(nil)
+
+// NewCentralRandomDaemon returns a central daemon seeded by rng.
+func NewCentralRandomDaemon(rng *rand.Rand) *CentralRandomDaemon {
+	return &CentralRandomDaemon{rng: rng}
+}
+
+// Name implements Daemon.
+func (*CentralRandomDaemon) Name() string { return "central-random" }
+
+// Select implements Daemon.
+func (d *CentralRandomDaemon) Select(sel Selection) []int {
+	return []int{sel.Enabled[d.rng.Intn(len(sel.Enabled))]}
+}
+
+// DistributedRandomDaemon activates each enabled process independently with
+// probability P, re-drawing until the selection is non-empty. It samples the
+// distributed unfair daemon uniformly-ish.
+type DistributedRandomDaemon struct {
+	rng *rand.Rand
+	p   float64
+}
+
+var _ Daemon = (*DistributedRandomDaemon)(nil)
+
+// NewDistributedRandomDaemon returns a distributed random daemon that
+// activates each enabled process with probability p (clamped to (0,1]).
+func NewDistributedRandomDaemon(rng *rand.Rand, p float64) *DistributedRandomDaemon {
+	if p <= 0 || p > 1 {
+		p = 0.5
+	}
+	return &DistributedRandomDaemon{rng: rng, p: p}
+}
+
+// Name implements Daemon.
+func (*DistributedRandomDaemon) Name() string { return "distributed-random" }
+
+// Select implements Daemon.
+func (d *DistributedRandomDaemon) Select(sel Selection) []int {
+	for {
+		var out []int
+		for _, u := range sel.Enabled {
+			if d.rng.Float64() < d.p {
+				out = append(out, u)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+}
+
+// LocallyCentralDaemon activates a random maximal independent subset of the
+// enabled processes: no two activated processes are neighbours. Some prior
+// alliance algorithms require this daemon; the paper's algorithms do not,
+// but it is useful for ablation A2.
+type LocallyCentralDaemon struct {
+	rng *rand.Rand
+}
+
+var _ Daemon = (*LocallyCentralDaemon)(nil)
+
+// NewLocallyCentralDaemon returns a locally central daemon seeded by rng.
+func NewLocallyCentralDaemon(rng *rand.Rand) *LocallyCentralDaemon {
+	return &LocallyCentralDaemon{rng: rng}
+}
+
+// Name implements Daemon.
+func (*LocallyCentralDaemon) Name() string { return "locally-central" }
+
+// Select implements Daemon.
+func (d *LocallyCentralDaemon) Select(sel Selection) []int {
+	perm := d.rng.Perm(len(sel.Enabled))
+	taken := make(map[int]bool)
+	var out []int
+	for _, i := range perm {
+		u := sel.Enabled[i]
+		conflict := false
+		for _, v := range sel.Net.Neighbors(u) {
+			if taken[v] {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			taken[u] = true
+			out = append(out, u)
+		}
+	}
+	if len(out) == 0 {
+		// Cannot happen (the first process never conflicts), but keep the
+		// contract explicit.
+		out = []int{sel.Enabled[0]}
+	}
+	return out
+}
+
+// RoundRobinDaemon activates one process per step, cycling through process
+// indices. It is weakly fair: an continuously enabled process is eventually
+// activated.
+type RoundRobinDaemon struct {
+	next int
+}
+
+var _ Daemon = (*RoundRobinDaemon)(nil)
+
+// NewRoundRobinDaemon returns a weakly fair round-robin daemon.
+func NewRoundRobinDaemon() *RoundRobinDaemon { return &RoundRobinDaemon{} }
+
+// Name implements Daemon.
+func (*RoundRobinDaemon) Name() string { return "round-robin" }
+
+// Select implements Daemon.
+func (d *RoundRobinDaemon) Select(sel Selection) []int {
+	n := sel.Net.N()
+	for i := 0; i < n; i++ {
+		candidate := (d.next + i) % n
+		for _, u := range sel.Enabled {
+			if u == candidate {
+				d.next = (candidate + 1) % n
+				return []int{u}
+			}
+		}
+	}
+	// Unreachable: Enabled is non-empty and a subset of [0,n).
+	return []int{sel.Enabled[0]}
+}
+
+// GreedyAdversarialDaemon activates the single enabled process whose
+// activation leaves the largest number of processes enabled afterwards
+// (one-step lookahead). Since it activates exactly one process per step it
+// is a legal unfair-daemon schedule that tends to maximise the number of
+// moves; it is used to probe worst-case move complexity.
+type GreedyAdversarialDaemon struct {
+	rng *rand.Rand
+}
+
+var _ Daemon = (*GreedyAdversarialDaemon)(nil)
+
+// NewGreedyAdversarialDaemon returns the adversarial daemon; rng breaks ties.
+func NewGreedyAdversarialDaemon(rng *rand.Rand) *GreedyAdversarialDaemon {
+	return &GreedyAdversarialDaemon{rng: rng}
+}
+
+// Name implements Daemon.
+func (*GreedyAdversarialDaemon) Name() string { return "greedy-adversarial" }
+
+// Select implements Daemon.
+func (d *GreedyAdversarialDaemon) Select(sel Selection) []int {
+	bestScore := -1
+	var best []int
+	for _, u := range sel.Enabled {
+		next := applySingleMove(sel.Alg, sel.Net, sel.Config, u)
+		score := len(EnabledSet(sel.Alg, sel.Net, next))
+		if score > bestScore {
+			bestScore = score
+			best = best[:0]
+			best = append(best, u)
+		} else if score == bestScore {
+			best = append(best, u)
+		}
+	}
+	return []int{best[d.rng.Intn(len(best))]}
+}
+
+// applySingleMove returns the configuration obtained by letting only u move
+// (executing its first enabled rule) from c. Used for daemon lookahead.
+func applySingleMove(a Algorithm, net *Network, c *Configuration, u int) *Configuration {
+	v := net.View(c, u)
+	next := NewConfiguration(copyStates(c))
+	for _, r := range a.Rules() {
+		if r.Guard(v) {
+			next.SetState(u, r.Action(v))
+			return next
+		}
+	}
+	return next
+}
+
+func copyStates(c *Configuration) []State {
+	states := make([]State, c.N())
+	for i := 0; i < c.N(); i++ {
+		states[i] = c.State(i)
+	}
+	return states
+}
+
+// StarvingDaemon activates one enabled process per step, always preferring
+// processes other than the designated victim; the victim is only activated
+// when it is the sole enabled process. It exercises the unfairness the
+// distributed unfair daemon permits.
+type StarvingDaemon struct {
+	victim int
+	rng    *rand.Rand
+}
+
+var _ Daemon = (*StarvingDaemon)(nil)
+
+// NewStarvingDaemon returns a daemon that starves process victim.
+func NewStarvingDaemon(victim int, rng *rand.Rand) *StarvingDaemon {
+	return &StarvingDaemon{victim: victim, rng: rng}
+}
+
+// Name implements Daemon.
+func (d *StarvingDaemon) Name() string { return fmt.Sprintf("starving(%d)", d.victim) }
+
+// Select implements Daemon.
+func (d *StarvingDaemon) Select(sel Selection) []int {
+	var candidates []int
+	for _, u := range sel.Enabled {
+		if u != d.victim {
+			candidates = append(candidates, u)
+		}
+	}
+	if len(candidates) == 0 {
+		return []int{d.victim}
+	}
+	return []int{candidates[d.rng.Intn(len(candidates))]}
+}
+
+// DaemonFactory builds a fresh daemon from a seed; benchmark sweeps use it to
+// get independent daemons per trial while remaining reproducible.
+type DaemonFactory struct {
+	// Name of the daemons produced by this factory.
+	Name string
+	// New builds a daemon from the given seed.
+	New func(seed int64) Daemon
+}
+
+// StandardDaemonFactories returns the factories of the daemons used across
+// the experiment suite.
+func StandardDaemonFactories() []DaemonFactory {
+	return []DaemonFactory{
+		{Name: "synchronous", New: func(int64) Daemon { return SynchronousDaemon{} }},
+		{Name: "central-random", New: func(seed int64) Daemon {
+			return NewCentralRandomDaemon(rand.New(rand.NewSource(seed)))
+		}},
+		{Name: "distributed-random", New: func(seed int64) Daemon {
+			return NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+		}},
+		{Name: "locally-central", New: func(seed int64) Daemon {
+			return NewLocallyCentralDaemon(rand.New(rand.NewSource(seed)))
+		}},
+		{Name: "round-robin", New: func(int64) Daemon { return NewRoundRobinDaemon() }},
+		{Name: "greedy-adversarial", New: func(seed int64) Daemon {
+			return NewGreedyAdversarialDaemon(rand.New(rand.NewSource(seed)))
+		}},
+	}
+}

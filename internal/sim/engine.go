@@ -1,0 +1,376 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DefaultMaxSteps bounds a run when the caller does not override it; it
+// protects against non-terminating executions of non-silent algorithms.
+const DefaultMaxSteps = 2_000_000
+
+// RuleChoicePolicy decides which enabled rule an activated process executes
+// when several of its rules are enabled (the model leaves this
+// nondeterministic).
+type RuleChoicePolicy int
+
+// Rule choice policies.
+const (
+	// FirstEnabledRule executes the first enabled rule in declaration order.
+	FirstEnabledRule RuleChoicePolicy = iota + 1
+	// RandomEnabledRule executes a uniformly random enabled rule.
+	RandomEnabledRule
+)
+
+// StepInfo describes one executed step, for hooks and traces.
+type StepInfo struct {
+	// Step is the 0-based index of the step.
+	Step int
+	// Activated lists the processes that moved, in ascending order.
+	Activated []int
+	// Rules gives, for each activated process (same order), the name of the
+	// rule it executed.
+	Rules []string
+	// Before and After are the configurations around the step. They are the
+	// engine's working copies: hooks must not retain or modify them beyond
+	// the callback (clone if needed).
+	Before, After *Configuration
+	// Round is the index (0-based) of the round this step belongs to.
+	Round int
+}
+
+// StepHook observes executed steps.
+type StepHook func(StepInfo)
+
+// Options configures a run. Use the With* functions to set them.
+type Options struct {
+	maxSteps           int
+	legitimate         Predicate
+	hooks              []StepHook
+	ruleChoice         RuleChoicePolicy
+	rng                *rand.Rand
+	stopWhenLegitimate bool
+}
+
+// Option customises a run.
+type Option func(*Options)
+
+// WithMaxSteps bounds the number of steps of the run.
+func WithMaxSteps(maxSteps int) Option {
+	return func(o *Options) { o.maxSteps = maxSteps }
+}
+
+// WithLegitimate sets the legitimacy predicate used to measure stabilization
+// time: the run records when the predicate first holds (and keeps running
+// until termination or the step bound, since legitimate configurations need
+// not be terminal).
+func WithLegitimate(p Predicate) Option {
+	return func(o *Options) { o.legitimate = p }
+}
+
+// WithStepHook registers a hook invoked after every step.
+func WithStepHook(h StepHook) Option {
+	return func(o *Options) { o.hooks = append(o.hooks, h) }
+}
+
+// WithRuleChoice sets the rule-choice policy (default FirstEnabledRule).
+func WithRuleChoice(p RuleChoicePolicy, rng *rand.Rand) Option {
+	return func(o *Options) {
+		o.ruleChoice = p
+		o.rng = rng
+	}
+}
+
+// WithStopWhenLegitimate makes the run stop as soon as the legitimacy
+// predicate holds (useful for non-silent algorithms such as unison, whose
+// executions never terminate).
+func WithStopWhenLegitimate() Option {
+	return func(o *Options) { o.stopWhenLegitimate = true }
+}
+
+func defaultOptions() Options {
+	return Options{
+		maxSteps:   DefaultMaxSteps,
+		ruleChoice: FirstEnabledRule,
+	}
+}
+
+// Result summarises an execution.
+type Result struct {
+	// Steps is the number of executed steps.
+	Steps int
+	// Moves is the total number of rule executions.
+	Moves int
+	// MovesPerProcess gives the number of moves of each process.
+	MovesPerProcess []int
+	// MovesPerRule gives the number of executions of each rule, by name.
+	MovesPerRule map[string]int
+	// Rounds is the number of rounds elapsed (rounded up if the execution
+	// stopped mid-round with progress made in that round).
+	Rounds int
+	// Terminated reports whether the run reached a terminal configuration.
+	Terminated bool
+	// HitStepLimit reports whether the run stopped because of the step bound.
+	HitStepLimit bool
+	// Final is the last configuration of the run.
+	Final *Configuration
+	// LegitimateReached reports whether the legitimacy predicate ever held
+	// (always false when no predicate was supplied).
+	LegitimateReached bool
+	// StabilizationMoves, StabilizationRounds and StabilizationSteps are the
+	// costs incurred strictly before the first legitimate configuration
+	// (0 if the initial configuration is already legitimate, -1 when the
+	// predicate never held or was not supplied).
+	StabilizationMoves  int
+	StabilizationRounds int
+	StabilizationSteps  int
+	// MaxMovesPerProcess is the maximum entry of MovesPerProcess.
+	MaxMovesPerProcess int
+	// StabilizationMovesPerProcessMax is the maximum number of moves any
+	// single process executed before the first legitimate configuration
+	// (-1 when the predicate never held).
+	StabilizationMovesPerProcessMax int
+}
+
+// Engine executes an algorithm on a network under a daemon.
+type Engine struct {
+	net    *Network
+	alg    Algorithm
+	daemon Daemon
+}
+
+// NewEngine builds an engine. It panics when any argument is nil.
+func NewEngine(net *Network, alg Algorithm, daemon Daemon) *Engine {
+	if net == nil || alg == nil || daemon == nil {
+		panic("sim: NewEngine requires a network, an algorithm and a daemon")
+	}
+	return &Engine{net: net, alg: alg, daemon: daemon}
+}
+
+// Network returns the engine's network.
+func (e *Engine) Network() *Network { return e.net }
+
+// Algorithm returns the engine's algorithm.
+func (e *Engine) Algorithm() Algorithm { return e.alg }
+
+// Daemon returns the engine's daemon.
+func (e *Engine) Daemon() Daemon { return e.daemon }
+
+// Run executes the algorithm from the given starting configuration until a
+// terminal configuration is reached or the step bound is hit. The starting
+// configuration is not modified.
+func (e *Engine) Run(start *Configuration, opts ...Option) Result {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if start.N() != e.net.N() {
+		panic(fmt.Sprintf("sim: configuration has %d states for %d processes", start.N(), e.net.N()))
+	}
+
+	n := e.net.N()
+	cur := start.Clone()
+	res := Result{
+		MovesPerProcess:                 make([]int, n),
+		MovesPerRule:                    make(map[string]int),
+		StabilizationMoves:              -1,
+		StabilizationRounds:             -1,
+		StabilizationSteps:              -1,
+		StabilizationMovesPerProcessMax: -1,
+	}
+
+	recordLegit := func() {
+		if res.LegitimateReached || o.legitimate == nil {
+			return
+		}
+		if o.legitimate(cur) {
+			res.LegitimateReached = true
+			res.StabilizationMoves = res.Moves
+			res.StabilizationSteps = res.Steps
+			res.StabilizationRounds = res.Rounds
+			maxMoves := 0
+			for _, m := range res.MovesPerProcess {
+				if m > maxMoves {
+					maxMoves = m
+				}
+			}
+			res.StabilizationMovesPerProcessMax = maxMoves
+		}
+	}
+
+	// Round accounting (neutralization-based): pending holds the processes
+	// enabled at the start of the current round that have neither moved nor
+	// been neutralized yet. roundProgress records whether the current round
+	// saw any step, so that a final partial round is counted.
+	enabled := EnabledSet(e.alg, e.net, cur)
+	pending := make(map[int]bool, len(enabled))
+	for _, u := range enabled {
+		pending[u] = true
+	}
+	roundProgress := false
+
+	recordLegit()
+
+	rules := e.alg.Rules()
+	for len(enabled) > 0 {
+		if res.Steps >= o.maxSteps {
+			res.HitStepLimit = true
+			break
+		}
+		if o.stopWhenLegitimate && res.LegitimateReached {
+			break
+		}
+
+		selected := e.daemon.Select(Selection{
+			Net:     e.net,
+			Alg:     e.alg,
+			Config:  cur,
+			Enabled: enabled,
+			Step:    res.Steps,
+		})
+		selected = sanitizeSelection(selected, enabled)
+
+		// Composite atomicity: all selected processes read cur and their
+		// writes are installed together in next.
+		next := NewConfiguration(copyStates(cur))
+		ruleNames := make([]string, 0, len(selected))
+		for _, u := range selected {
+			v := e.net.View(cur, u)
+			ri := chooseRule(rules, v, o)
+			if ri < 0 {
+				// Defensive: the daemon selected a non-enabled process; skip.
+				ruleNames = append(ruleNames, "")
+				continue
+			}
+			next.SetState(u, rules[ri].Action(v))
+			ruleNames = append(ruleNames, rules[ri].Name)
+			res.Moves++
+			res.MovesPerProcess[u]++
+			res.MovesPerRule[rules[ri].Name]++
+		}
+
+		enabledBefore := enabled
+		prev := cur
+		cur = next
+		enabled = EnabledSet(e.alg, e.net, cur)
+		roundProgress = true
+
+		// Update the pending set of the current round.
+		activatedSet := make(map[int]bool, len(selected))
+		for _, u := range selected {
+			activatedSet[u] = true
+		}
+		enabledAfter := make(map[int]bool, len(enabled))
+		for _, u := range enabled {
+			enabledAfter[u] = true
+		}
+		wasEnabled := make(map[int]bool, len(enabledBefore))
+		for _, u := range enabledBefore {
+			wasEnabled[u] = true
+		}
+		for u := range pending {
+			if activatedSet[u] {
+				delete(pending, u)
+				continue
+			}
+			if wasEnabled[u] && !enabledAfter[u] {
+				// Neutralized: enabled before the step, not activated, and
+				// no longer enabled after it.
+				delete(pending, u)
+			}
+		}
+
+		for _, h := range o.hooks {
+			h(StepInfo{
+				Step:      res.Steps,
+				Activated: selected,
+				Rules:     ruleNames,
+				Before:    prev,
+				After:     cur,
+				Round:     res.Rounds,
+			})
+		}
+		res.Steps++
+
+		if len(pending) == 0 {
+			// The round is complete; the next one starts at cur.
+			res.Rounds++
+			roundProgress = false
+			pending = make(map[int]bool, len(enabled))
+			for _, u := range enabled {
+				pending[u] = true
+			}
+		}
+
+		recordLegit()
+	}
+
+	if roundProgress {
+		// A partial round was in progress when the run stopped; count it so
+		// that round counts are conservative upper estimates.
+		res.Rounds++
+	}
+	res.Terminated = len(enabled) == 0
+	res.Final = cur
+	for _, m := range res.MovesPerProcess {
+		if m > res.MaxMovesPerProcess {
+			res.MaxMovesPerProcess = m
+		}
+	}
+	if res.LegitimateReached && res.StabilizationRounds > res.Rounds {
+		res.StabilizationRounds = res.Rounds
+	}
+	return res
+}
+
+// sanitizeSelection keeps only selected processes that are actually enabled
+// and returns them sorted and de-duplicated; when the daemon misbehaves and
+// returns an empty or fully invalid selection, the first enabled process is
+// used so that the run always makes progress (matching the "distributed"
+// requirement that at least one enabled process moves).
+func sanitizeSelection(selected, enabled []int) []int {
+	enabledSet := make(map[int]bool, len(enabled))
+	for _, u := range enabled {
+		enabledSet[u] = true
+	}
+	seen := make(map[int]bool, len(selected))
+	var out []int
+	for _, u := range selected {
+		if enabledSet[u] && !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	if len(out) == 0 {
+		return []int{enabled[0]}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+func chooseRule(rules []Rule, v View, o Options) int {
+	var enabled []int
+	for i, r := range rules {
+		if r.Guard(v) {
+			if o.ruleChoice == FirstEnabledRule {
+				return i
+			}
+			enabled = append(enabled, i)
+		}
+	}
+	if len(enabled) == 0 {
+		return -1
+	}
+	if o.rng == nil {
+		return enabled[0]
+	}
+	return enabled[o.rng.Intn(len(enabled))]
+}

@@ -1,0 +1,577 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdr/internal/graph"
+)
+
+// intState is a trivial one-variable state used by the test algorithms.
+type intState struct{ v int }
+
+func (s intState) Clone() State { return intState{v: s.v} }
+func (s intState) Equal(other State) bool {
+	o, ok := other.(intState)
+	return ok && o.v == s.v
+}
+func (s intState) String() string { return fmt.Sprintf("%d", s.v) }
+
+// maxPropagation is a silent algorithm: every process adopts the maximum
+// value seen in its closed neighbourhood. It terminates when all values are
+// equal to the global maximum; from the initial configuration value(u) = u,
+// that takes at most diameter rounds.
+type maxPropagation struct{}
+
+func (maxPropagation) Name() string { return "max-propagation" }
+
+func (maxPropagation) Rules() []Rule {
+	return []Rule{{
+		Name: "adopt-max",
+		Guard: func(v View) bool {
+			return maxNeighbor(v) > v.Self().(intState).v
+		},
+		Action: func(v View) State {
+			return intState{v: maxNeighbor(v)}
+		},
+	}}
+}
+
+func maxNeighbor(v View) int {
+	best := v.Self().(intState).v
+	for i := 0; i < v.Degree(); i++ {
+		if nv := v.Neighbor(i).(intState).v; nv > best {
+			best = nv
+		}
+	}
+	return best
+}
+
+func (maxPropagation) InitialState(u int, _ *Network) State { return intState{v: u} }
+
+// ticker is a non-terminating algorithm: every process is always enabled and
+// increments its value modulo 4. Used to exercise step bounds.
+type ticker struct{}
+
+func (ticker) Name() string { return "ticker" }
+func (ticker) Rules() []Rule {
+	return []Rule{{
+		Name:   "tick",
+		Guard:  func(View) bool { return true },
+		Action: func(v View) State { return intState{v: (v.Self().(intState).v + 1) % 4} },
+	}}
+}
+func (ticker) InitialState(int, *Network) State { return intState{v: 0} }
+
+// twoRules has two simultaneously enabled rules so rule-choice policies can
+// be tested: "up" adds 2, "down" adds 1, both only when the value is 0.
+type twoRules struct{}
+
+func (twoRules) Name() string { return "two-rules" }
+func (twoRules) Rules() []Rule {
+	return []Rule{
+		{
+			Name:   "up",
+			Guard:  func(v View) bool { return v.Self().(intState).v == 0 },
+			Action: func(v View) State { return intState{v: 2} },
+		},
+		{
+			Name:   "down",
+			Guard:  func(v View) bool { return v.Self().(intState).v == 0 },
+			Action: func(v View) State { return intState{v: 1} },
+		},
+	}
+}
+func (twoRules) InitialState(int, *Network) State { return intState{v: 0} }
+
+func TestConfigurationBasics(t *testing.T) {
+	c := NewConfiguration([]State{intState{1}, intState{2}})
+	if c.N() != 2 {
+		t.Fatalf("N = %d, want 2", c.N())
+	}
+	clone := c.Clone()
+	if !c.Equal(clone) {
+		t.Error("clone not equal")
+	}
+	clone.SetState(0, intState{9})
+	if c.Equal(clone) {
+		t.Error("modified clone still equal")
+	}
+	if c.State(0).(intState).v != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+	if c.Equal(nil) {
+		t.Error("Equal(nil) = true")
+	}
+	if c.String() == "" || c.Key() == "" {
+		t.Error("empty String/Key")
+	}
+	if c.Key() == clone.Key() {
+		t.Error("distinct configurations share a key")
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewNetwork accepted a disconnected graph")
+		}
+	}()
+	NewNetwork(graph.New(3))
+}
+
+func TestNewNetworkWithIDs(t *testing.T) {
+	g := graph.Ring(4)
+	if _, err := NewNetworkWithIDs(g, []int{1, 2, 3}); err == nil {
+		t.Error("accepted wrong identifier count")
+	}
+	if _, err := NewNetworkWithIDs(g, []int{1, 2, 2, 3}); err == nil {
+		t.Error("accepted duplicate identifiers")
+	}
+	net, err := NewNetworkWithIDs(g, []int{40, 30, 20, 10})
+	if err != nil {
+		t.Fatalf("NewNetworkWithIDs: %v", err)
+	}
+	if net.ID(0) != 40 || net.ID(3) != 10 {
+		t.Error("identifier assignment not respected")
+	}
+	if _, err := NewNetworkWithIDs(graph.New(2), []int{0, 1}); err == nil {
+		t.Error("accepted a disconnected graph")
+	}
+}
+
+func TestViewAccessors(t *testing.T) {
+	g := graph.Star(4) // centre 0, leaves 1..3
+	net := NewNetwork(g)
+	c := NewConfiguration([]State{intState{10}, intState{11}, intState{12}, intState{13}})
+	v := net.View(c, 0)
+	if v.Degree() != 3 {
+		t.Fatalf("Degree = %d, want 3", v.Degree())
+	}
+	if v.Self().(intState).v != 10 {
+		t.Error("Self wrong")
+	}
+	if v.Neighbor(1).(intState).v != 12 {
+		t.Error("Neighbor(1) wrong")
+	}
+	if v.ID() != 0 || v.NeighborID(2) != 3 {
+		t.Error("identifier accessors wrong")
+	}
+	if v.Process() != 0 {
+		t.Error("Process() wrong")
+	}
+	if !v.AnyNeighbor(func(s State) bool { return s.(intState).v == 13 }) {
+		t.Error("AnyNeighbor missed a matching neighbour")
+	}
+	if v.AllNeighbors(func(s State) bool { return s.(intState).v > 11 }) {
+		t.Error("AllNeighbors over-matched")
+	}
+	if got := v.CountNeighbors(func(s State) bool { return s.(intState).v >= 12 }); got != 2 {
+		t.Errorf("CountNeighbors = %d, want 2", got)
+	}
+}
+
+func TestEnabledHelpers(t *testing.T) {
+	net := NewNetwork(graph.Path(3))
+	alg := maxPropagation{}
+	c := InitialConfiguration(alg, net)
+	// Initial values 0,1,2: processes 0 and 1 are enabled, 2 is not.
+	if !Enabled(alg, net, c, 0) || !Enabled(alg, net, c, 1) || Enabled(alg, net, c, 2) {
+		t.Error("unexpected enabled statuses")
+	}
+	set := EnabledSet(alg, net, c)
+	if len(set) != 2 || set[0] != 0 || set[1] != 1 {
+		t.Errorf("EnabledSet = %v, want [0 1]", set)
+	}
+	if Terminal(alg, net, c) {
+		t.Error("non-terminal configuration reported terminal")
+	}
+	if rules := EnabledRules(alg, net, c, 2); rules != nil {
+		t.Errorf("EnabledRules at disabled process = %v, want nil", rules)
+	}
+}
+
+func TestRunMaxPropagationTerminates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path8", graph.Path(8)},
+		{"ring9", graph.Ring(9)},
+		{"star6", graph.Star(6)},
+		{"grid4x4", graph.Grid(4, 4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net := NewNetwork(tc.g)
+			for _, df := range StandardDaemonFactories() {
+				eng := NewEngine(net, maxPropagation{}, df.New(1))
+				res := eng.Run(InitialConfiguration(maxPropagation{}, net))
+				if !res.Terminated {
+					t.Fatalf("daemon %s: did not terminate", df.Name)
+				}
+				want := tc.g.N() - 1
+				res.Final.ForEach(func(u int, s State) {
+					if s.(intState).v != want {
+						t.Fatalf("daemon %s: process %d final value %d, want %d", df.Name, u, s.(intState).v, want)
+					}
+				})
+				if res.Moves == 0 || res.Steps == 0 || res.Rounds == 0 {
+					t.Fatalf("daemon %s: empty accounting %+v", df.Name, res)
+				}
+			}
+		})
+	}
+}
+
+func TestRunRoundsBoundedByEccentricity(t *testing.T) {
+	// Under any daemon, max-propagation stabilizes within ecc(v*) rounds
+	// where v* is the node with the maximum value (here node n-1).
+	g := graph.Path(10)
+	net := NewNetwork(g)
+	bound := g.Eccentricity(g.N() - 1)
+	for _, df := range StandardDaemonFactories() {
+		for seed := int64(0); seed < 3; seed++ {
+			eng := NewEngine(net, maxPropagation{}, df.New(seed))
+			res := eng.Run(InitialConfiguration(maxPropagation{}, net))
+			if res.Rounds > bound {
+				t.Errorf("daemon %s seed %d: %d rounds, want <= %d", df.Name, seed, res.Rounds, bound)
+			}
+		}
+	}
+}
+
+func TestRunSynchronousRoundsEqualSteps(t *testing.T) {
+	// Under the synchronous daemon every step is a round.
+	net := NewNetwork(graph.Path(6))
+	eng := NewEngine(net, maxPropagation{}, SynchronousDaemon{})
+	res := eng.Run(InitialConfiguration(maxPropagation{}, net))
+	if res.Rounds != res.Steps {
+		t.Errorf("synchronous: rounds %d != steps %d", res.Rounds, res.Steps)
+	}
+}
+
+func TestRunStepLimit(t *testing.T) {
+	net := NewNetwork(graph.Ring(4))
+	eng := NewEngine(net, ticker{}, SynchronousDaemon{})
+	res := eng.Run(InitialConfiguration(ticker{}, net), WithMaxSteps(25))
+	if !res.HitStepLimit {
+		t.Error("step limit not reported")
+	}
+	if res.Terminated {
+		t.Error("non-terminating algorithm reported terminated")
+	}
+	if res.Steps != 25 {
+		t.Errorf("Steps = %d, want 25", res.Steps)
+	}
+	if res.Moves != 25*4 {
+		t.Errorf("Moves = %d, want 100", res.Moves)
+	}
+}
+
+func TestRunLegitimateTracking(t *testing.T) {
+	g := graph.Path(5)
+	net := NewNetwork(g)
+	legit := func(c *Configuration) bool {
+		for u := 0; u < c.N(); u++ {
+			if c.State(u).(intState).v != g.N()-1 {
+				return false
+			}
+		}
+		return true
+	}
+	eng := NewEngine(net, maxPropagation{}, SynchronousDaemon{})
+	res := eng.Run(InitialConfiguration(maxPropagation{}, net), WithLegitimate(legit))
+	if !res.LegitimateReached {
+		t.Fatal("legitimate configuration not detected")
+	}
+	if res.StabilizationMoves < 0 || res.StabilizationMoves > res.Moves {
+		t.Errorf("StabilizationMoves = %d out of range", res.StabilizationMoves)
+	}
+	if res.StabilizationRounds < 0 || res.StabilizationRounds > res.Rounds {
+		t.Errorf("StabilizationRounds = %d out of range", res.StabilizationRounds)
+	}
+	if res.StabilizationMovesPerProcessMax > res.MaxMovesPerProcess {
+		t.Error("per-process stabilization moves exceed total per-process moves")
+	}
+
+	// Already-legitimate start: zero stabilization cost.
+	final := res.Final.Clone()
+	res2 := eng.Run(final, WithLegitimate(legit))
+	if !res2.LegitimateReached || res2.StabilizationMoves != 0 || res2.StabilizationRounds != 0 {
+		t.Errorf("legitimate start not recognised: %+v", res2)
+	}
+}
+
+func TestRunStopWhenLegitimate(t *testing.T) {
+	net := NewNetwork(graph.Ring(5))
+	legitAfter := func(c *Configuration) bool {
+		return c.State(0).(intState).v >= 2
+	}
+	eng := NewEngine(net, ticker{}, SynchronousDaemon{})
+	res := eng.Run(InitialConfiguration(ticker{}, net),
+		WithLegitimate(legitAfter), WithStopWhenLegitimate(), WithMaxSteps(1000))
+	if !res.LegitimateReached {
+		t.Fatal("legitimate configuration never reached")
+	}
+	if res.HitStepLimit {
+		t.Error("run did not stop at the legitimate configuration")
+	}
+	if res.Steps != 2 {
+		t.Errorf("Steps = %d, want 2", res.Steps)
+	}
+}
+
+func TestRunStartConfigurationNotModified(t *testing.T) {
+	net := NewNetwork(graph.Path(4))
+	start := InitialConfiguration(maxPropagation{}, net)
+	want := start.Clone()
+	NewEngine(net, maxPropagation{}, SynchronousDaemon{}).Run(start)
+	if !start.Equal(want) {
+		t.Error("Run modified the starting configuration")
+	}
+}
+
+func TestRunPanicsOnMismatchedConfiguration(t *testing.T) {
+	net := NewNetwork(graph.Path(4))
+	eng := NewEngine(net, maxPropagation{}, SynchronousDaemon{})
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched configuration accepted")
+		}
+	}()
+	eng.Run(NewConfiguration([]State{intState{0}}))
+}
+
+func TestNewEnginePanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEngine(nil, nil, nil) did not panic")
+		}
+	}()
+	NewEngine(nil, nil, nil)
+}
+
+func TestStepHookObservesMoves(t *testing.T) {
+	net := NewNetwork(graph.Path(4))
+	var hookMoves int
+	hook := func(info StepInfo) {
+		if len(info.Activated) != len(info.Rules) {
+			t.Errorf("step %d: %d activated vs %d rules", info.Step, len(info.Activated), len(info.Rules))
+		}
+		hookMoves += len(info.Activated)
+		if info.Before == nil || info.After == nil {
+			t.Error("hook saw nil configurations")
+		}
+	}
+	eng := NewEngine(net, maxPropagation{}, SynchronousDaemon{})
+	res := eng.Run(InitialConfiguration(maxPropagation{}, net), WithStepHook(hook))
+	if hookMoves != res.Moves {
+		t.Errorf("hook saw %d moves, result says %d", hookMoves, res.Moves)
+	}
+}
+
+func TestRuleChoicePolicies(t *testing.T) {
+	net := NewNetwork(graph.Path(2))
+	alg := twoRules{}
+
+	eng := NewEngine(net, alg, SynchronousDaemon{})
+	res := eng.Run(InitialConfiguration(alg, net))
+	if res.MovesPerRule["up"] != 2 || res.MovesPerRule["down"] != 0 {
+		t.Errorf("first-enabled policy: %v", res.MovesPerRule)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	sawDown := false
+	for i := 0; i < 20 && !sawDown; i++ {
+		res := eng.Run(InitialConfiguration(alg, net), WithRuleChoice(RandomEnabledRule, rng))
+		if res.MovesPerRule["down"] > 0 {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Error("random rule choice never picked the second rule in 20 runs")
+	}
+}
+
+func TestDaemonsSelectOnlyEnabledProcesses(t *testing.T) {
+	g := graph.RandomConnected(12, 0.25, rand.New(rand.NewSource(11)))
+	net := NewNetwork(g)
+	for _, df := range StandardDaemonFactories() {
+		daemon := df.New(3)
+		alg := maxPropagation{}
+		c := InitialConfiguration(alg, net)
+		for step := 0; step < 20; step++ {
+			enabled := EnabledSet(alg, net, c)
+			if len(enabled) == 0 {
+				break
+			}
+			sel := daemon.Select(Selection{Net: net, Alg: alg, Config: c, Enabled: enabled, Step: step})
+			if len(sel) == 0 {
+				t.Fatalf("daemon %s returned an empty selection", df.Name)
+			}
+			enabledSet := map[int]bool{}
+			for _, u := range enabled {
+				enabledSet[u] = true
+			}
+			for _, u := range sel {
+				if !enabledSet[u] {
+					t.Fatalf("daemon %s selected disabled process %d", df.Name, u)
+				}
+			}
+			// Apply the step like the engine would.
+			next := NewConfiguration(copyStates(c))
+			for _, u := range sel {
+				v := net.View(c, u)
+				for _, r := range alg.Rules() {
+					if r.Guard(v) {
+						next.SetState(u, r.Action(v))
+						break
+					}
+				}
+			}
+			c = next
+		}
+	}
+}
+
+func TestLocallyCentralDaemonIndependence(t *testing.T) {
+	g := graph.Complete(6)
+	net := NewNetwork(g)
+	d := NewLocallyCentralDaemon(rand.New(rand.NewSource(2)))
+	alg := ticker{}
+	c := InitialConfiguration(alg, net)
+	enabled := EnabledSet(alg, net, c)
+	for trial := 0; trial < 10; trial++ {
+		sel := d.Select(Selection{Net: net, Alg: alg, Config: c, Enabled: enabled, Step: trial})
+		if len(sel) != 1 {
+			t.Fatalf("locally central daemon on a clique selected %d processes, want 1", len(sel))
+		}
+	}
+}
+
+func TestStarvingDaemon(t *testing.T) {
+	net := NewNetwork(graph.Ring(5))
+	d := NewStarvingDaemon(2, rand.New(rand.NewSource(1)))
+	alg := ticker{}
+	c := InitialConfiguration(alg, net)
+	enabled := EnabledSet(alg, net, c)
+	for i := 0; i < 50; i++ {
+		sel := d.Select(Selection{Net: net, Alg: alg, Config: c, Enabled: enabled, Step: i})
+		for _, u := range sel {
+			if u == 2 {
+				t.Fatal("starving daemon activated the victim although others were enabled")
+			}
+		}
+	}
+	// Victim is activated when it is the only enabled process.
+	sel := d.Select(Selection{Net: net, Alg: alg, Config: c, Enabled: []int{2}, Step: 0})
+	if len(sel) != 1 || sel[0] != 2 {
+		t.Errorf("starving daemon with only the victim enabled selected %v", sel)
+	}
+	if d.Name() == "" {
+		t.Error("empty daemon name")
+	}
+}
+
+func TestRoundRobinDaemonIsWeaklyFair(t *testing.T) {
+	net := NewNetwork(graph.Ring(6))
+	d := NewRoundRobinDaemon()
+	alg := ticker{}
+	c := InitialConfiguration(alg, net)
+	enabled := EnabledSet(alg, net, c)
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		sel := d.Select(Selection{Net: net, Alg: alg, Config: c, Enabled: enabled, Step: i})
+		if len(sel) != 1 {
+			t.Fatalf("round robin selected %d processes", len(sel))
+		}
+		seen[sel[0]] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("round robin covered %d processes in 6 steps, want 6", len(seen))
+	}
+}
+
+func TestSanitizeSelection(t *testing.T) {
+	got := sanitizeSelection([]int{5, 3, 3, 9}, []int{1, 3, 5})
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("sanitizeSelection = %v, want [3 5]", got)
+	}
+	got = sanitizeSelection(nil, []int{2, 4})
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("sanitizeSelection fallback = %v, want [2]", got)
+	}
+}
+
+func TestAllProcessesPredicate(t *testing.T) {
+	net := NewNetwork(graph.Path(3))
+	pred := AllProcesses(net, func(v View) bool { return v.Self().(intState).v >= 0 })
+	c := NewConfiguration([]State{intState{0}, intState{1}, intState{2}})
+	if !pred(c) {
+		t.Error("predicate should hold")
+	}
+	c.SetState(1, intState{-1})
+	if pred(c) {
+		t.Error("predicate should fail")
+	}
+}
+
+// Property: total moves equal the sum of per-process moves and the sum of
+// per-rule moves, for random graphs and daemons.
+func TestQuickMoveAccountingConsistent(t *testing.T) {
+	factories := StandardDaemonFactories()
+	f := func(seed int64, size, daemonIdx uint8) bool {
+		n := 2 + int(size)%20
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(n, 0.2, rng)
+		net := NewNetwork(g)
+		df := factories[int(daemonIdx)%len(factories)]
+		eng := NewEngine(net, maxPropagation{}, df.New(seed))
+		res := eng.Run(InitialConfiguration(maxPropagation{}, net))
+		if !res.Terminated {
+			return false
+		}
+		perProcess := 0
+		for _, m := range res.MovesPerProcess {
+			perProcess += m
+		}
+		perRule := 0
+		for _, m := range res.MovesPerRule {
+			perRule += m
+		}
+		return perProcess == res.Moves && perRule == res.Moves
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: max-propagation always converges to the true maximum regardless
+// of daemon and topology (a basic sanity check of composite atomicity).
+func TestQuickMaxPropagationCorrect(t *testing.T) {
+	factories := StandardDaemonFactories()
+	f := func(seed int64, size, daemonIdx uint8) bool {
+		n := 2 + int(size)%15
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(n, 0.3, rng)
+		net := NewNetwork(g)
+		df := factories[int(daemonIdx)%len(factories)]
+		eng := NewEngine(net, maxPropagation{}, df.New(seed+1))
+		res := eng.Run(InitialConfiguration(maxPropagation{}, net))
+		if !res.Terminated {
+			return false
+		}
+		ok := true
+		res.Final.ForEach(func(u int, s State) {
+			if s.(intState).v != n-1 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

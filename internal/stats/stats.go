@@ -1,0 +1,147 @@
+// Package stats provides the small statistical helpers the benchmark harness
+// and the experiment reports rely on: summaries of samples (min / mean / max /
+// standard deviation) and least-squares fits used to check the growth shape
+// of measured costs against the paper's asymptotic bounds.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	// Count is the number of samples.
+	Count int
+	// Min, Max, Mean and Median summarise the sample.
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	// StdDev is the population standard deviation.
+	StdDev float64
+}
+
+// Summarize computes a Summary of the samples. It returns a zero Summary for
+// an empty sample.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(samples), Min: samples[0], Max: samples[0]}
+	sum := 0.0
+	for _, x := range samples {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(samples))
+
+	varSum := 0.0
+	for _, x := range samples {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	s.StdDev = math.Sqrt(varSum / float64(len(samples)))
+
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// SummarizeInts is Summarize over integer samples.
+func SummarizeInts(samples []int) Summary {
+	floats := make([]float64, len(samples))
+	for i, x := range samples {
+		floats[i] = float64(x)
+	}
+	return Summarize(floats)
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.1f mean=%.1f median=%.1f max=%.1f sd=%.1f",
+		s.Count, s.Min, s.Mean, s.Median, s.Max, s.StdDev)
+}
+
+// Fit is a least-squares fit y ≈ Slope·x + Intercept with its coefficient of
+// determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits y ≈ a·x + b by least squares. It returns a zero fit when
+// fewer than two points are supplied or all x values coincide.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Fit{}
+	}
+	n := float64(len(xs))
+	var sumX, sumY, sumXX, sumXY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+		sumXX += xs[i] * xs[i]
+		sumXY += xs[i] * ys[i]
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return Fit{}
+	}
+	slope := (n*sumXY - sumX*sumY) / den
+	intercept := (sumY - slope*sumX) / n
+
+	meanY := sumY / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// GrowthExponent estimates the exponent p of a power-law relationship
+// y ≈ c·x^p by fitting a line in log-log space. It ignores non-positive
+// samples and returns 0 when fewer than two usable points remain. The
+// experiment reports use it to compare measured growth against the paper's
+// asymptotic bounds (e.g. moves growing roughly like n² for U ∘ SDR).
+func GrowthExponent(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return 0
+	}
+	return LinearFit(lx, ly).Slope
+}
+
+// Ratio returns a/b, or 0 when b is 0; it keeps benchmark tables free of
+// division-by-zero special cases.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

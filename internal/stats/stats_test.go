@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Errorf("empty summary should be zero, got %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("count/min/max wrong: %+v", s)
+	}
+	if !almostEqual(s.Mean, 5) {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	if !almostEqual(s.StdDev, 2) {
+		t.Errorf("stddev = %v, want 2", s.StdDev)
+	}
+	if !almostEqual(s.Median, 4.5) {
+		t.Errorf("median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if !almostEqual(s.Median, 5) {
+		t.Errorf("median = %v, want 5", s.Median)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{1, 2, 3})
+	if !almostEqual(s.Mean, 2) || s.Count != 3 {
+		t.Errorf("SummarizeInts = %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	for _, want := range []string{"n=3", "mean=2.0", "min=1.0", "max=3.0"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("summary string %q missing %q", str, want)
+		}
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit := LinearFit(xs, ys)
+	if !almostEqual(fit.Slope, 2) || !almostEqual(fit.Intercept, 1) || !almostEqual(fit.R2, 1) {
+		t.Errorf("fit = %+v, want slope 2, intercept 1, R² 1", fit)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if fit := LinearFit([]float64{1}, []float64{2}); fit.Slope != 0 || fit.R2 != 0 {
+		t.Errorf("a single point cannot be fitted: %+v", fit)
+	}
+	if fit := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); fit.Slope != 0 {
+		t.Errorf("identical x values cannot be fitted: %+v", fit)
+	}
+	if fit := LinearFit([]float64{1, 2}, []float64{1}); fit.Slope != 0 {
+		t.Errorf("mismatched lengths cannot be fitted: %+v", fit)
+	}
+}
+
+func TestGrowthExponent(t *testing.T) {
+	// y = 5·x² gives exponent 2 in log-log space.
+	xs := []float64{2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 * x * x
+	}
+	if got := GrowthExponent(xs, ys); !almostEqual(got, 2) {
+		t.Errorf("exponent = %v, want 2", got)
+	}
+	// Non-positive samples are ignored; too few points give 0.
+	if got := GrowthExponent([]float64{0, -1}, []float64{1, 1}); got != 0 {
+		t.Errorf("exponent of unusable samples = %v, want 0", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(5, 0) != 0 {
+		t.Error("Ratio must divide and guard against zero denominators")
+	}
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	// Mean and median always lie between min and max; stddev is non-negative.
+	f := func(raw []float64) bool {
+		var samples []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				samples = append(samples, x)
+			}
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		s := Summarize(samples)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLinearFitRecoversLines(t *testing.T) {
+	// Fitting exact lines recovers slope and intercept with R² = 1.
+	f := func(slopeRaw, interceptRaw int8) bool {
+		slope := float64(slopeRaw) / 4
+		intercept := float64(interceptRaw) / 4
+		xs := []float64{1, 2, 3, 5, 8}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = slope*x + intercept
+		}
+		fit := LinearFit(xs, ys)
+		return math.Abs(fit.Slope-slope) < 1e-6 && math.Abs(fit.Intercept-intercept) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

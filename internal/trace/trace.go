@@ -1,0 +1,235 @@
+// Package trace records executions of the simulator for inspection, export
+// and the CLI tools: per-step events, per-process and per-rule move
+// histograms, and compact textual / CSV / JSON renderings.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"sdr/internal/sim"
+)
+
+// Event is one recorded step of an execution.
+type Event struct {
+	// Step is the 0-based step index.
+	Step int `json:"step"`
+	// Round is the 0-based round index the step belongs to.
+	Round int `json:"round"`
+	// Activated lists the processes that moved, ascending.
+	Activated []int `json:"activated"`
+	// Rules gives, for each activated process, the executed rule name.
+	Rules []string `json:"rules"`
+	// After is the textual rendering of the configuration after the step
+	// (recorded only when the recorder keeps configurations).
+	After string `json:"after,omitempty"`
+}
+
+// Recorder collects events and move statistics from a run through a step
+// hook. The zero value is not usable; call NewRecorder.
+type Recorder struct {
+	n                  int
+	keepConfigurations bool
+	maxEvents          int
+
+	events        []Event
+	truncated     bool
+	movesByRule   map[string]int
+	movesByProc   []int
+	activatedHist map[int]int // selection size -> count
+}
+
+// RecorderOption customises a Recorder.
+type RecorderOption func(*Recorder)
+
+// WithConfigurations makes the recorder store the textual rendering of the
+// configuration after every step (memory-heavy; off by default).
+func WithConfigurations() RecorderOption {
+	return func(r *Recorder) { r.keepConfigurations = true }
+}
+
+// WithMaxEvents caps the number of stored events; further steps are still
+// counted in the histograms but their events are dropped and Truncated
+// reports true. 0 means no cap.
+func WithMaxEvents(maxEvents int) RecorderOption {
+	return func(r *Recorder) { r.maxEvents = maxEvents }
+}
+
+// NewRecorder returns a recorder for a network of n processes.
+func NewRecorder(n int, opts ...RecorderOption) *Recorder {
+	r := &Recorder{
+		n:             n,
+		movesByRule:   make(map[string]int),
+		movesByProc:   make([]int, n),
+		activatedHist: make(map[int]int),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Hook returns the sim.StepHook to register with sim.WithStepHook.
+func (r *Recorder) Hook() sim.StepHook {
+	return func(info sim.StepInfo) { r.observe(info) }
+}
+
+func (r *Recorder) observe(info sim.StepInfo) {
+	for i, u := range info.Activated {
+		if u >= 0 && u < r.n {
+			r.movesByProc[u]++
+		}
+		r.movesByRule[info.Rules[i]]++
+	}
+	r.activatedHist[len(info.Activated)]++
+
+	if r.maxEvents > 0 && len(r.events) >= r.maxEvents {
+		r.truncated = true
+		return
+	}
+	ev := Event{
+		Step:      info.Step,
+		Round:     info.Round,
+		Activated: append([]int(nil), info.Activated...),
+		Rules:     append([]string(nil), info.Rules...),
+	}
+	if r.keepConfigurations {
+		ev.After = info.After.String()
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded events (shared slice; callers must not modify
+// the entries).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Truncated reports whether events were dropped because of WithMaxEvents.
+func (r *Recorder) Truncated() bool { return r.truncated }
+
+// Moves returns the total number of recorded moves.
+func (r *Recorder) Moves() int {
+	total := 0
+	for _, m := range r.movesByProc {
+		total += m
+	}
+	return total
+}
+
+// MovesByProcess returns a copy of the per-process move counts.
+func (r *Recorder) MovesByProcess() []int {
+	out := make([]int, len(r.movesByProc))
+	copy(out, r.movesByProc)
+	return out
+}
+
+// MovesByRule returns a copy of the per-rule move counts.
+func (r *Recorder) MovesByRule() map[string]int {
+	out := make(map[string]int, len(r.movesByRule))
+	for k, v := range r.movesByRule {
+		out[k] = v
+	}
+	return out
+}
+
+// SelectionSizeHistogram returns a copy of the histogram of daemon selection
+// sizes (how many processes were activated per step).
+func (r *Recorder) SelectionSizeHistogram() map[int]int {
+	out := make(map[int]int, len(r.activatedHist))
+	for k, v := range r.activatedHist {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary renders the move histograms as a human-readable block.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "moves: %d over %d steps (%d processes)\n", r.Moves(), len(r.events), r.n)
+
+	rules := make([]string, 0, len(r.movesByRule))
+	for name := range r.movesByRule {
+		rules = append(rules, name)
+	}
+	sort.Strings(rules)
+	b.WriteString("moves by rule:\n")
+	for _, name := range rules {
+		fmt.Fprintf(&b, "  %-12s %d\n", name, r.movesByRule[name])
+	}
+
+	b.WriteString("moves by process:\n")
+	for u, m := range r.movesByProc {
+		fmt.Fprintf(&b, "  p%-3d %d\n", u, m)
+	}
+	return b.String()
+}
+
+// WriteText writes every recorded event as one line "step round [procs] rules"
+// to w, followed by the summary.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, ev := range r.events {
+		line := fmt.Sprintf("step %4d  round %3d  activated %v  rules %v", ev.Step, ev.Round, ev.Activated, ev.Rules)
+		if ev.After != "" {
+			line += "  -> " + ev.After
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return fmt.Errorf("trace: write text: %w", err)
+		}
+	}
+	if r.truncated {
+		if _, err := fmt.Fprintln(w, "... (event log truncated)"); err != nil {
+			return fmt.Errorf("trace: write text: %w", err)
+		}
+	}
+	_, err := io.WriteString(w, r.Summary())
+	if err != nil {
+		return fmt.Errorf("trace: write text: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV writes the recorded events as CSV rows
+// "step,round,process,rule" (one row per activated process).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "step,round,process,rule\n"); err != nil {
+		return fmt.Errorf("trace: write csv: %w", err)
+	}
+	for _, ev := range r.events {
+		for i, u := range ev.Activated {
+			if _, err := fmt.Fprintf(w, "%d,%d,%d,%s\n", ev.Step, ev.Round, u, ev.Rules[i]); err != nil {
+				return fmt.Errorf("trace: write csv: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// JSONExport is the exported shape of a recorded trace.
+type JSONExport struct {
+	Processes      int            `json:"processes"`
+	Moves          int            `json:"moves"`
+	MovesByRule    map[string]int `json:"movesByRule"`
+	MovesByProcess []int          `json:"movesByProcess"`
+	Truncated      bool           `json:"truncated"`
+	Events         []Event        `json:"events"`
+}
+
+// WriteJSON writes the whole trace as a single JSON document.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	export := JSONExport{
+		Processes:      r.n,
+		Moves:          r.Moves(),
+		MovesByRule:    r.MovesByRule(),
+		MovesByProcess: r.MovesByProcess(),
+		Truncated:      r.truncated,
+		Events:         r.events,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(export); err != nil {
+		return fmt.Errorf("trace: write json: %w", err)
+	}
+	return nil
+}

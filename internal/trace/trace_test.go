@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sdr/internal/core"
+	"sdr/internal/graph"
+	"sdr/internal/sim"
+	"sdr/internal/unison"
+)
+
+// recordedRun runs a short composed execution with a recorder attached and
+// returns both.
+func recordedRun(t *testing.T, opts ...RecorderOption) (*Recorder, sim.Result) {
+	t.Helper()
+	g := graph.Ring(6)
+	u := unison.New(unison.DefaultPeriod(g.N()))
+	comp := core.Compose(u)
+	net := sim.NewNetwork(g)
+	rec := NewRecorder(net.N(), opts...)
+	daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(3)), 0.5)
+	res := sim.NewEngine(net, comp, daemon).Run(sim.InitialConfiguration(comp, net),
+		sim.WithMaxSteps(50),
+		sim.WithStepHook(rec.Hook()),
+	)
+	return rec, res
+}
+
+func TestRecorderCountsMatchEngine(t *testing.T) {
+	rec, res := recordedRun(t)
+	if rec.Moves() != res.Moves {
+		t.Errorf("recorder counted %d moves, engine reports %d", rec.Moves(), res.Moves)
+	}
+	byProc := rec.MovesByProcess()
+	for u, m := range res.MovesPerProcess {
+		if byProc[u] != m {
+			t.Errorf("process %d: recorder %d vs engine %d", u, byProc[u], m)
+		}
+	}
+	byRule := rec.MovesByRule()
+	for name, m := range res.MovesPerRule {
+		if byRule[name] != m {
+			t.Errorf("rule %s: recorder %d vs engine %d", name, byRule[name], m)
+		}
+	}
+	if len(rec.Events()) != res.Steps {
+		t.Errorf("recorded %d events for %d steps", len(rec.Events()), res.Steps)
+	}
+	total := 0
+	for size, count := range rec.SelectionSizeHistogram() {
+		if size <= 0 {
+			t.Errorf("selection size %d should be positive", size)
+		}
+		total += count
+	}
+	if total != res.Steps {
+		t.Errorf("histogram covers %d steps, want %d", total, res.Steps)
+	}
+}
+
+func TestRecorderConfigurationsOption(t *testing.T) {
+	rec, _ := recordedRun(t, WithConfigurations())
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for _, ev := range events {
+		if ev.After == "" {
+			t.Fatal("WithConfigurations must record the post-step configuration")
+		}
+	}
+	recPlain, _ := recordedRun(t)
+	if recPlain.Events()[0].After != "" {
+		t.Error("configurations must not be recorded by default")
+	}
+}
+
+func TestRecorderMaxEvents(t *testing.T) {
+	rec, res := recordedRun(t, WithMaxEvents(5))
+	if len(rec.Events()) != 5 {
+		t.Errorf("recorded %d events, want the cap of 5", len(rec.Events()))
+	}
+	if !rec.Truncated() {
+		t.Error("the recorder must report truncation")
+	}
+	if rec.Moves() != res.Moves {
+		t.Error("truncation must not affect the move histograms")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rec, _ := recordedRun(t)
+	s := rec.Summary()
+	for _, want := range []string{"moves:", "moves by rule:", "moves by process:", "p0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	rec, _ := recordedRun(t, WithMaxEvents(3), WithConfigurations())
+	var buf bytes.Buffer
+	if err := rec.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"step", "activated", "truncated", "moves by rule"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q", want)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rec, res := recordedRun(t)
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "step,round,process,rule" {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+	if len(lines)-1 != res.Moves {
+		t.Errorf("CSV has %d data rows, want one per move (%d)", len(lines)-1, res.Moves)
+	}
+	for _, line := range lines[1:] {
+		if len(strings.Split(line, ",")) != 4 {
+			t.Errorf("CSV row %q does not have 4 fields", line)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	rec, res := recordedRun(t)
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var export JSONExport
+	if err := json.Unmarshal(buf.Bytes(), &export); err != nil {
+		t.Fatalf("the JSON export does not parse: %v", err)
+	}
+	if export.Processes != 6 || export.Moves != res.Moves || len(export.Events) != res.Steps {
+		t.Errorf("export summary mismatch: %+v", export)
+	}
+	if len(export.MovesByProcess) != 6 {
+		t.Errorf("export has %d per-process counters, want 6", len(export.MovesByProcess))
+	}
+}
+
+// failingWriter fails after a fixed number of writes, to exercise the error
+// paths of the writers.
+type failingWriter struct{ remaining int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, errWriteFailed
+	}
+	w.remaining--
+	return len(p), nil
+}
+
+var errWriteFailed = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "synthetic write failure" }
+
+func TestWriterErrorsArePropagated(t *testing.T) {
+	rec, _ := recordedRun(t)
+	if err := rec.WriteText(&failingWriter{remaining: 1}); err == nil {
+		t.Error("WriteText must propagate write failures")
+	}
+	if err := rec.WriteCSV(&failingWriter{remaining: 0}); err == nil {
+		t.Error("WriteCSV must propagate write failures")
+	}
+	if err := rec.WriteJSON(&failingWriter{remaining: 0}); err == nil {
+		t.Error("WriteJSON must propagate write failures")
+	}
+}

@@ -1,0 +1,173 @@
+// Package unison implements the asynchronous unison instantiations of the
+// paper (Section 5): Algorithm U, its self-stabilizing composition U ∘ SDR,
+// and the Boulinier-Petit-Villain baseline the paper compares against.
+//
+// The unison problem: every process holds a periodic clock (period K); each
+// process must increment its clock infinitely often (liveness) while the
+// clocks of neighbours never differ by more than one increment (safety).
+package unison
+
+import (
+	"fmt"
+
+	"sdr/internal/core"
+	"sdr/internal/sim"
+)
+
+// ClockState is the local state of Algorithm U: a single clock value
+// c_u ∈ {0, ..., K-1}.
+type ClockState struct {
+	// C is the clock value.
+	C int
+}
+
+var _ sim.State = ClockState{}
+
+// Clone implements sim.State.
+func (s ClockState) Clone() sim.State { return ClockState{C: s.C} }
+
+// Equal implements sim.State.
+func (s ClockState) Equal(other sim.State) bool {
+	o, ok := other.(ClockState)
+	return ok && o.C == s.C
+}
+
+// String implements sim.State.
+func (s ClockState) String() string { return fmt.Sprintf("c=%d", s.C) }
+
+// Unison is Algorithm U (Algorithm 2 of the paper): anonymous, non
+// self-stabilizing unison with period K > n, designed to be composed with
+// SDR. It implements core.Resettable.
+type Unison struct {
+	k int
+}
+
+var (
+	_ core.Resettable      = (*Unison)(nil)
+	_ core.InnerEnumerable = (*Unison)(nil)
+)
+
+// New returns Algorithm U with period k. It panics when k < 2; the
+// requirement K > n is network-dependent and checked by ValidatePeriod.
+func New(k int) *Unison {
+	if k < 2 {
+		panic(fmt.Sprintf("unison: period K must be at least 2, got %d", k))
+	}
+	return &Unison{k: k}
+}
+
+// K returns the period.
+func (u *Unison) K() int { return u.k }
+
+// ValidatePeriod checks the paper's requirement K > n for the given network.
+func (u *Unison) ValidatePeriod(net *sim.Network) error {
+	if u.k <= net.N() {
+		return fmt.Errorf("unison: period K=%d must exceed the number of processes n=%d", u.k, net.N())
+	}
+	return nil
+}
+
+// Name implements core.Resettable.
+func (u *Unison) Name() string { return fmt.Sprintf("U(K=%d)", u.k) }
+
+// InitialInner implements core.Resettable: in γ_init every clock is 0.
+func (u *Unison) InitialInner(int, *sim.Network) sim.State { return ClockState{C: 0} }
+
+// ResetState implements core.Resettable: the reset(u) macro sets c_u := 0.
+func (u *Unison) ResetState(int, *sim.Network) sim.State { return ClockState{C: 0} }
+
+// IsReset implements core.Resettable: P_reset(u) ≡ c_u = 0. The reset state
+// is the same for every process, so the process index and network are unused.
+func (u *Unison) IsReset(_ int, _ *sim.Network, inner sim.State) bool {
+	s, ok := inner.(ClockState)
+	return ok && s.C == 0
+}
+
+// clockOf extracts a clock value, panicking on foreign state types so that
+// wiring mistakes surface immediately.
+func clockOf(s sim.State) int {
+	cs, ok := s.(ClockState)
+	if !ok {
+		panic(fmt.Sprintf("unison: expected ClockState, got %T", s))
+	}
+	return cs.C
+}
+
+// ok is P_Ok(u, v) ≡ c_v ∈ {(c_u-1)%K, c_u, (c_u+1)%K}.
+func (u *Unison) ok(cu, cv int) bool {
+	return cv == cu || cv == mod(cu+1, u.k) || cv == mod(cu-1, u.k)
+}
+
+// ICorrect implements core.Resettable:
+// P_ICorrect(u) ≡ ∀v ∈ N(u), P_Ok(u, v).
+func (u *Unison) ICorrect(v core.InnerView) bool {
+	cu := clockOf(v.Self())
+	for i := 0; i < v.Degree(); i++ {
+		if !u.ok(cu, clockOf(v.Neighbor(i))) {
+			return false
+		}
+	}
+	return true
+}
+
+// pUp is P_Up(u) ≡ ∀v ∈ N(u), c_v ∈ {c_u, (c_u+1)%K}: u is on time or one
+// increment late with respect to every neighbour, so it may tick.
+func (u *Unison) pUp(v core.InnerView) bool {
+	cu := clockOf(v.Self())
+	for i := 0; i < v.Degree(); i++ {
+		cv := clockOf(v.Neighbor(i))
+		if cv != cu && cv != mod(cu+1, u.k) {
+			return false
+		}
+	}
+	return true
+}
+
+// RuleTick is the name of Algorithm U's single rule.
+const RuleTick = "tick"
+
+// InnerRules implements core.Resettable. The single rule is
+// rule_U(u): P_Clean(u) ∧ P_Up(u) → c_u := (c_u + 1) % K.
+// P_Clean is supplied by the view (vacuously true standalone); the
+// composition additionally enforces P_ICorrect, which P_Up implies.
+func (u *Unison) InnerRules() []core.InnerRule {
+	return []core.InnerRule{{
+		Name: RuleTick,
+		Guard: func(v core.InnerView) bool {
+			return v.Clean() && u.pUp(v)
+		},
+		Action: func(v core.InnerView) sim.State {
+			return ClockState{C: mod(clockOf(v.Self())+1, u.k)}
+		},
+	}}
+}
+
+// EnumerateInner implements core.InnerEnumerable: all K clock values.
+func (u *Unison) EnumerateInner(int, *sim.Network) []sim.State {
+	out := make([]sim.State, u.k)
+	for c := 0; c < u.k; c++ {
+		out[c] = ClockState{C: c}
+	}
+	return out
+}
+
+// mod returns x modulo k in [0, k).
+func mod(x, k int) int {
+	r := x % k
+	if r < 0 {
+		r += k
+	}
+	return r
+}
+
+// CircularDistance returns the circular distance between two clock values
+// modulo k: min((a-b) mod k, (b-a) mod k). It is the drift measure used by
+// the unison safety specification.
+func CircularDistance(a, b, k int) int {
+	d1 := mod(a-b, k)
+	d2 := mod(b-a, k)
+	if d1 < d2 {
+		return d1
+	}
+	return d2
+}
