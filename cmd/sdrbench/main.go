@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sdrbench [-experiment E5] [-quick] [-markdown] [-sizes 8,16,32] [-trials 5] [-seed 1]
+//	sdrbench [-experiment E5] [-quick] [-markdown] [-sizes 8,16,32] [-trials 5] [-seed 1] [-parallel 8]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -35,6 +36,7 @@ func run(args []string, out io.Writer) error {
 		sizes      = fs.String("sizes", "", "comma-separated list of network sizes overriding the configuration")
 		trials     = fs.Int("trials", 0, "number of trials per point (0 keeps the configuration default)")
 		seed       = fs.Int64("seed", 0, "base random seed (0 keeps the configuration default)")
+		parallel   = fs.Int("parallel", 0, "max number of concurrently executed trials (0 = one per CPU, 1 = sequential); tables are identical for every value")
 		list       = fs.Bool("list", false, "list the experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +66,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	cfg.Parallel = *parallel
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.NumCPU()
 	}
 
 	experiments := bench.Experiments()

@@ -44,6 +44,20 @@ func TestRunSingleExperimentMarkdown(t *testing.T) {
 	}
 }
 
+func TestParallelFlagDeterministic(t *testing.T) {
+	var sequential, parallel bytes.Buffer
+	base := []string{"-experiment", "E8", "-sizes", "6,8", "-trials", "2", "-seed", "5"}
+	if err := run(append(base, "-parallel", "1"), &sequential); err != nil {
+		t.Fatalf("run sequential: %v", err)
+	}
+	if err := run(append(base, "-parallel", "4"), &parallel); err != nil {
+		t.Fatalf("run parallel: %v", err)
+	}
+	if sequential.String() != parallel.String() {
+		t.Errorf("-parallel changed the table:\n%s\nvs\n%s", sequential.String(), parallel.String())
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-experiment", "E42"}, &out); err == nil {

@@ -22,6 +22,6 @@
 //
 // The executables cmd/sdrsim and cmd/sdrbench and the runnable examples under
 // examples/ are the entry points; bench_test.go at this root exposes one
-// testing.B benchmark per experiment table. See README.md, DESIGN.md and
-// EXPERIMENTS.md.
+// testing.B benchmark per experiment table. See README.md for the quickstart
+// and benchmark usage.
 package sdr

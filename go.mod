@@ -1,0 +1,3 @@
+module sdr
+
+go 1.24

@@ -29,59 +29,89 @@ func RunA1NoCooperation(cfg Config) Table {
 		},
 	}
 	scenario := scenarioByName("inner-only")
-	var ratios []float64
+	type cell struct {
+		top Topology
+		n   int
+	}
+	var cells []cell
 	for _, top := range StandardTopologies() {
 		for _, n := range cfg.Sizes {
-			var coop, uncoop []int
-			coopSDR, uncoopSDR, coopRoots, uncoopRoots, bound := 0, 0, 0, 0, 0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.Seed + int64(trial)*10007
-				rng := rand.New(rand.NewSource(seed))
-				g := top.Build(n, rng)
-				net := sim.NewNetwork(g)
-				u := unison.New(unison.DefaultPeriod(g.N()))
-				bound = core.MaxSDRMovesPerProcess(g.N())
-
-				cooperative := core.Compose(u)
-				uncooperative := core.Compose(u, core.WithUncooperativeResets())
-
-				start := scenario.Build(cooperative, u, net, rng)
-				daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-				m := runComposed(cooperative, net, daemon, start, cfg.MaxSteps, true)
-				if m.result.StabilizationMoves >= 0 {
-					coop = append(coop, m.result.StabilizationMoves)
-				}
-				coopSDR = maxInt(coopSDR, m.observer.MaxSDRMoves())
-				coopRoots += m.observer.AliveRootViolations()
-
-				// Same corrupted start and a fresh daemon with the same seed for
-				// the uncooperative variant: the two runs differ only in the
-				// compute(u) macro. The observer quantifies what the loss of
-				// coordination costs: joining processes become roots of their
-				// own resets, so alive roots are created mid-execution and the
-				// per-process reset work is no longer tied to the 3n+3 bound's
-				// proof argument.
-				daemon2 := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-				m2 := runComposed(uncooperative, net, daemon2, start, cfg.MaxSteps, true)
-				if m2.result.StabilizationMoves >= 0 {
-					uncoop = append(uncoop, m2.result.StabilizationMoves)
-				}
-				uncoopSDR = maxInt(uncoopSDR, m2.observer.MaxSDRMoves())
-				uncoopRoots += m2.observer.AliveRootViolations()
-			}
-			coopMean := stats.SummarizeInts(coop).Mean
-			uncoopMean := stats.SummarizeInts(uncoop).Mean
-			ratio := stats.Ratio(uncoopMean, coopMean)
-			ratios = append(ratios, ratio)
-			if coopRoots > 0 || coopSDR > bound {
-				// The cooperative variant must respect the paper's structure.
-				t.Violations++
-			}
-			t.AddRow(top.Name, itoa(n),
-				ftoa(coopMean), ftoa(uncoopMean), ftoa(ratio),
-				itoa(coopSDR), itoa(uncoopSDR), itoa(bound),
-				itoa(coopRoots), itoa(uncoopRoots))
+			cells = append(cells, cell{top: top, n: n})
 		}
+	}
+	type trial struct {
+		coopMoves, uncoopMoves           int
+		coopSDR, uncoopSDR               int
+		coopRoots, uncoopRoots           int
+		bound                            int
+		coopStabilized, uncoopStabilized bool
+	}
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		seed := cfg.Seed + int64(tr)*10007
+		rng := rand.New(rand.NewSource(seed))
+		g := c.top.Build(c.n, rng)
+		net := sim.NewNetwork(g)
+		u := unison.New(unison.DefaultPeriod(g.N()))
+
+		cooperative := core.Compose(u)
+		uncooperative := core.Compose(u, core.WithUncooperativeResets())
+
+		start := scenario.Build(cooperative, u, net, rng)
+		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+		m := runComposed(cooperative, net, daemon, start, cfg.MaxSteps, true)
+
+		// Same corrupted start and a fresh daemon with the same seed for
+		// the uncooperative variant: the two runs differ only in the
+		// compute(u) macro. The observer quantifies what the loss of
+		// coordination costs: joining processes become roots of their
+		// own resets, so alive roots are created mid-execution and the
+		// per-process reset work is no longer tied to the 3n+3 bound's
+		// proof argument.
+		daemon2 := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+		m2 := runComposed(uncooperative, net, daemon2, start, cfg.MaxSteps, true)
+
+		return trial{
+			coopMoves:        m.result.StabilizationMoves,
+			uncoopMoves:      m2.result.StabilizationMoves,
+			coopSDR:          m.observer.MaxSDRMoves(),
+			uncoopSDR:        m2.observer.MaxSDRMoves(),
+			coopRoots:        m.observer.AliveRootViolations(),
+			uncoopRoots:      m2.observer.AliveRootViolations(),
+			bound:            core.MaxSDRMovesPerProcess(g.N()),
+			coopStabilized:   m.result.StabilizationMoves >= 0,
+			uncoopStabilized: m2.result.StabilizationMoves >= 0,
+		}
+	})
+	var ratios []float64
+	for ci, c := range cells {
+		var coop, uncoop []int
+		coopSDR, uncoopSDR, coopRoots, uncoopRoots, bound := 0, 0, 0, 0, 0
+		for _, tr := range results[ci] {
+			if tr.coopStabilized {
+				coop = append(coop, tr.coopMoves)
+			}
+			if tr.uncoopStabilized {
+				uncoop = append(uncoop, tr.uncoopMoves)
+			}
+			coopSDR = maxInt(coopSDR, tr.coopSDR)
+			uncoopSDR = maxInt(uncoopSDR, tr.uncoopSDR)
+			coopRoots += tr.coopRoots
+			uncoopRoots += tr.uncoopRoots
+			bound = tr.bound
+		}
+		coopMean := stats.SummarizeInts(coop).Mean
+		uncoopMean := stats.SummarizeInts(uncoop).Mean
+		ratio := stats.Ratio(uncoopMean, coopMean)
+		ratios = append(ratios, ratio)
+		if coopRoots > 0 || coopSDR > bound {
+			// The cooperative variant must respect the paper's structure.
+			t.Violations++
+		}
+		t.AddRow(c.top.Name, itoa(c.n),
+			ftoa(coopMean), ftoa(uncoopMean), ftoa(ratio),
+			itoa(coopSDR), itoa(uncoopSDR), itoa(bound),
+			itoa(coopRoots), itoa(uncoopRoots))
 	}
 	t.AddNote("mean uncooperative/cooperative move ratio: %.2f; cooperation's guarantee is structural: "+
 		"the cooperative runs never create alive roots (Theorem 3) while the uncooperative variant does",
@@ -102,22 +132,28 @@ func RunA2Daemons(cfg Config) Table {
 	}
 	scenario := scenarioByName("random-all")
 	n := cfg.Sizes[len(cfg.Sizes)-1]
-	for _, df := range sim.StandardDaemonFactories() {
+	factories := sim.StandardDaemonFactories()
+	type trial struct{ rounds, moves, roundBound, moveBound int }
+	results := mapGrid(cfg.Parallel, len(factories), cfg.Trials, func(ci, tr int) trial {
+		df := factories[ci]
+		seed := cfg.Seed + int64(tr)*11003
+		rng := rand.New(rand.NewSource(seed))
+		w := buildUnisonWorkload(StandardTopologies()[0], n, rng)
+		start := corruptedStart(scenario, w.comp, w.net, rng)
+		m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
+		return trial{
+			rounds:     m.result.StabilizationRounds,
+			moves:      m.result.StabilizationMoves,
+			roundBound: unison.MaxStabilizationRounds(w.net.N()),
+			moveBound:  unison.MaxStabilizationMoves(w.net.N(), w.graph.Diameter()),
+		}
+	})
+	for ci, df := range factories {
 		maxRounds, maxMoves, roundBound, moveBound := 0, 0, 0, 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.Seed + int64(trial)*11003
-			rng := rand.New(rand.NewSource(seed))
-			w := buildUnisonWorkload(StandardTopologies()[0], n, rng)
-			roundBound = unison.MaxStabilizationRounds(w.net.N())
-			moveBound = unison.MaxStabilizationMoves(w.net.N(), w.graph.Diameter())
-			start := corruptedStart(scenario, w.comp, w.net, rng)
-			m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
-			if m.result.StabilizationRounds > maxRounds {
-				maxRounds = m.result.StabilizationRounds
-			}
-			if m.result.StabilizationMoves > maxMoves {
-				maxMoves = m.result.StabilizationMoves
-			}
+		for _, tr := range results[ci] {
+			maxRounds = maxInt(maxRounds, tr.rounds)
+			maxMoves = maxInt(maxMoves, tr.moves)
+			roundBound, moveBound = tr.roundBound, tr.moveBound
 		}
 		within := maxRounds <= roundBound && maxMoves <= moveBound
 		if !within {
@@ -140,34 +176,48 @@ func RunA3Period(cfg Config) Table {
 	}
 	scenario := scenarioByName("random-all")
 	top := StandardTopologies()[0]
+	type cell struct{ n, factor int }
+	var cells []cell
 	for _, n := range cfg.Sizes {
 		for _, factor := range []int{1, 2, 4} {
-			var moves []int
-			maxRounds, bound := 0, 0
-			k := 0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.Seed + int64(trial)*12007
-				rng := rand.New(rand.NewSource(seed))
-				g := top.Build(n, rng)
-				k = factor*g.N() + 1
-				u := unison.New(k)
-				comp := core.Compose(u)
-				net := sim.NewNetwork(g)
-				bound = unison.MaxStabilizationRounds(g.N())
-				start := scenario.Build(comp, u, net, rng)
-				daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-				m := runComposed(comp, net, daemon, start, cfg.MaxSteps, true)
-				maxRounds = maxInt(maxRounds, m.result.StabilizationRounds)
-				if m.result.StabilizationMoves >= 0 {
-					moves = append(moves, m.result.StabilizationMoves)
-				}
-			}
-			within := maxRounds <= bound
-			if !within {
-				t.Violations++
-			}
-			t.AddRow(top.Name, itoa(n), itoa(k), itoa(maxRounds), ftoa(stats.SummarizeInts(moves).Mean), itoa(bound), boolCell(within))
+			cells = append(cells, cell{n: n, factor: factor})
 		}
+	}
+	type trial struct{ rounds, moves, bound, k int }
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		seed := cfg.Seed + int64(tr)*12007
+		rng := rand.New(rand.NewSource(seed))
+		g := top.Build(c.n, rng)
+		k := c.factor*g.N() + 1
+		u := unison.New(k)
+		comp := core.Compose(u)
+		net := sim.NewNetwork(g)
+		start := scenario.Build(comp, u, net, rng)
+		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+		m := runComposed(comp, net, daemon, start, cfg.MaxSteps, true)
+		return trial{
+			rounds: m.result.StabilizationRounds,
+			moves:  m.result.StabilizationMoves,
+			bound:  unison.MaxStabilizationRounds(g.N()),
+			k:      k,
+		}
+	})
+	for ci, c := range cells {
+		var moves []int
+		maxRounds, bound, k := 0, 0, 0
+		for _, tr := range results[ci] {
+			maxRounds = maxInt(maxRounds, tr.rounds)
+			bound, k = tr.bound, tr.k
+			if tr.moves >= 0 {
+				moves = append(moves, tr.moves)
+			}
+		}
+		within := maxRounds <= bound
+		if !within {
+			t.Violations++
+		}
+		t.AddRow(top.Name, itoa(c.n), itoa(k), itoa(maxRounds), ftoa(stats.SummarizeInts(moves).Mean), itoa(bound), boolCell(within))
 	}
 	return t
 }

@@ -34,6 +34,27 @@ func runStandaloneFGA(spec alliance.Spec, top Topology, n int, seed int64, maxSt
 	return res, net
 }
 
+// allianceCell is one (spec, topology, size) point of the dense sweep.
+type allianceCell struct {
+	spec alliance.Spec
+	top  Topology
+	n    int
+}
+
+// allianceSweepCells enumerates the (spec × dense topology × size) grid in
+// table order.
+func allianceSweepCells(cfg Config) []allianceCell {
+	var cells []allianceCell
+	for _, spec := range allianceSpecs() {
+		for _, top := range DenseTopologies() {
+			for _, n := range cfg.Sizes {
+				cells = append(cells, allianceCell{spec: spec, top: top, n: n})
+			}
+		}
+	}
+	return cells
+}
+
 // RunE7FGAMoves measures the total moves of FGA alone against the
 // 16·Δ·m + 36·m + 24·n bound of Corollary 11.
 func RunE7FGAMoves(cfg Config) Table {
@@ -43,30 +64,38 @@ func RunE7FGAMoves(cfg Config) Table {
 		Title:   "FGA termination moves vs the O(Δ·m) bound (Corollary 11)",
 		Columns: []string{"spec", "topology", "n", "m", "Δ", "moves(max)", "bound", "within"},
 	}
-	for _, spec := range allianceSpecs() {
-		for _, top := range DenseTopologies() {
-			for _, n := range cfg.Sizes {
-				maxMoves, bound, m, delta := 0, 0, 0, 0
-				for trial := 0; trial < cfg.Trials; trial++ {
-					seed := cfg.Seed + int64(trial)*7001
-					res, net := runStandaloneFGA(spec, top, n, seed, cfg.MaxSteps)
-					g := net.Graph()
-					m, delta = g.M(), g.MaxDegree()
-					bound = alliance.MaxStandaloneMoves(g.N(), m, delta)
-					if res.Moves > maxMoves {
-						maxMoves = res.Moves
-					}
-					if !res.Terminated {
-						t.Violations++
-					}
-				}
-				within := maxMoves <= bound
-				if !within {
-					t.Violations++
-				}
-				t.AddRow(spec.Name, top.Name, itoa(n), itoa(m), itoa(delta), itoa(maxMoves), itoa(bound), boolCell(within))
+	cells := allianceSweepCells(cfg)
+	type trial struct {
+		moves, bound, m, delta int
+		terminated             bool
+	}
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		seed := cfg.Seed + int64(tr)*7001
+		res, net := runStandaloneFGA(c.spec, c.top, c.n, seed, cfg.MaxSteps)
+		g := net.Graph()
+		return trial{
+			moves:      res.Moves,
+			bound:      alliance.MaxStandaloneMoves(g.N(), g.M(), g.MaxDegree()),
+			m:          g.M(),
+			delta:      g.MaxDegree(),
+			terminated: res.Terminated,
+		}
+	})
+	for ci, c := range cells {
+		maxMoves, bound, m, delta := 0, 0, 0, 0
+		for _, tr := range results[ci] {
+			maxMoves = maxInt(maxMoves, tr.moves)
+			bound, m, delta = tr.bound, tr.m, tr.delta
+			if !tr.terminated {
+				t.Violations++
 			}
 		}
+		within := maxMoves <= bound
+		if !within {
+			t.Violations++
+		}
+		t.AddRow(c.spec.Name, c.top.Name, itoa(c.n), itoa(m), itoa(delta), itoa(maxMoves), itoa(bound), boolCell(within))
 	}
 	return t
 }
@@ -80,25 +109,25 @@ func RunE8FGARounds(cfg Config) Table {
 		Title:   "FGA termination rounds from γ_init vs the 5n+4 bound (Theorem 10)",
 		Columns: []string{"spec", "topology", "n", "rounds(max)", "bound 5n+4", "within"},
 	}
-	for _, spec := range allianceSpecs() {
-		for _, top := range DenseTopologies() {
-			for _, n := range cfg.Sizes {
-				maxRounds, bound := 0, 0
-				for trial := 0; trial < cfg.Trials; trial++ {
-					seed := cfg.Seed + int64(trial)*8009
-					res, net := runStandaloneFGA(spec, top, n, seed, cfg.MaxSteps)
-					bound = alliance.MaxStandaloneRounds(net.N())
-					if res.Rounds > maxRounds {
-						maxRounds = res.Rounds
-					}
-				}
-				within := maxRounds <= bound
-				if !within {
-					t.Violations++
-				}
-				t.AddRow(spec.Name, top.Name, itoa(n), itoa(maxRounds), itoa(bound), boolCell(within))
-			}
+	cells := allianceSweepCells(cfg)
+	type trial struct{ rounds, bound int }
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		seed := cfg.Seed + int64(tr)*8009
+		res, net := runStandaloneFGA(c.spec, c.top, c.n, seed, cfg.MaxSteps)
+		return trial{rounds: res.Rounds, bound: alliance.MaxStandaloneRounds(net.N())}
+	})
+	for ci, c := range cells {
+		maxRounds, bound := 0, 0
+		for _, tr := range results[ci] {
+			maxRounds = maxInt(maxRounds, tr.rounds)
+			bound = tr.bound
 		}
+		within := maxRounds <= bound
+		if !within {
+			t.Violations++
+		}
+		t.AddRow(c.spec.Name, c.top.Name, itoa(c.n), itoa(maxRounds), itoa(bound), boolCell(within))
 	}
 	return t
 }
@@ -114,45 +143,59 @@ func RunE9AllianceStabilization(cfg Config) Table {
 		Title:   "FGA∘SDR stabilization from corrupted states (Theorems 11-14)",
 		Columns: []string{"spec", "topology", "n", "scenario", "moves(max)", "move-bound", "rounds(max)", "round-bound", "1-minimal", "within"},
 	}
+	type cell struct {
+		allianceCell
+		scenarioName string
+	}
+	var cells []cell
 	for _, spec := range allianceSpecs() {
 		for _, top := range DenseTopologies() {
 			for _, n := range cfg.Sizes {
 				for _, scenarioName := range []string{"random-all", "fake-wave"} {
-					scenario := scenarioByName(scenarioName)
-					maxMoves, maxRounds, moveBound, roundBound := 0, 0, 0, 0
-					allMinimal := true
-					for trial := 0; trial < cfg.Trials; trial++ {
-						seed := cfg.Seed + int64(trial)*9001
-						rng := rand.New(rand.NewSource(seed))
-						g := top.Build(n, rng)
-						net := sim.NewNetwork(g)
-						comp := alliance.NewSelfStabilizing(spec)
-						moveBound = alliance.MaxStabilizationMoves(g.N(), g.M(), g.MaxDegree())
-						roundBound = alliance.MaxStabilizationRounds(g.N())
-						start := corruptedStart(scenario, comp, net, rng)
-						daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-						eng := sim.NewEngine(net, comp, daemon)
-						res := eng.Run(start, sim.WithMaxSteps(cfg.MaxSteps))
-						if res.Moves > maxMoves {
-							maxMoves = res.Moves
-						}
-						if res.Rounds > maxRounds {
-							maxRounds = res.Rounds
-						}
-						if !res.Terminated || !alliance.Is1Minimal(g, spec, alliance.Members(res.Final)) {
-							allMinimal = false
-						}
-					}
-					within := maxMoves <= moveBound && maxRounds <= roundBound && allMinimal
-					if !within {
-						t.Violations++
-					}
-					t.AddRow(spec.Name, top.Name, itoa(n), scenarioName,
-						itoa(maxMoves), itoa(moveBound), itoa(maxRounds), itoa(roundBound),
-						boolCell(allMinimal), boolCell(within))
+					cells = append(cells, cell{allianceCell{spec, top, n}, scenarioName})
 				}
 			}
 		}
+	}
+	type trial struct {
+		moves, rounds, moveBound, roundBound int
+		minimal                              bool
+	}
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		seed := cfg.Seed + int64(tr)*9001
+		rng := rand.New(rand.NewSource(seed))
+		g := c.top.Build(c.n, rng)
+		net := sim.NewNetwork(g)
+		comp := alliance.NewSelfStabilizing(c.spec)
+		start := corruptedStart(scenarioByName(c.scenarioName), comp, net, rng)
+		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+		eng := sim.NewEngine(net, comp, daemon)
+		res := eng.Run(start, sim.WithMaxSteps(cfg.MaxSteps))
+		return trial{
+			moves:      res.Moves,
+			rounds:     res.Rounds,
+			moveBound:  alliance.MaxStabilizationMoves(g.N(), g.M(), g.MaxDegree()),
+			roundBound: alliance.MaxStabilizationRounds(g.N()),
+			minimal:    res.Terminated && alliance.Is1Minimal(g, c.spec, alliance.Members(res.Final)),
+		}
+	})
+	for ci, c := range cells {
+		maxMoves, maxRounds, moveBound, roundBound := 0, 0, 0, 0
+		allMinimal := true
+		for _, tr := range results[ci] {
+			maxMoves = maxInt(maxMoves, tr.moves)
+			maxRounds = maxInt(maxRounds, tr.rounds)
+			moveBound, roundBound = tr.moveBound, tr.roundBound
+			allMinimal = allMinimal && tr.minimal
+		}
+		within := maxMoves <= moveBound && maxRounds <= roundBound && allMinimal
+		if !within {
+			t.Violations++
+		}
+		t.AddRow(c.spec.Name, c.top.Name, itoa(c.n), c.scenarioName,
+			itoa(maxMoves), itoa(moveBound), itoa(maxRounds), itoa(roundBound),
+			boolCell(allMinimal), boolCell(within))
 	}
 	return t
 }

@@ -24,6 +24,10 @@ type Config struct {
 	Seed int64
 	// MaxSteps bounds each simulated execution.
 	MaxSteps int
+	// Parallel is the maximum number of concurrently executed trials;
+	// values ≤ 1 run the grid sequentially. Per-trial seeding makes the
+	// tables identical for every value.
+	Parallel int
 }
 
 // QuickConfig returns the configuration used by unit tests and by the

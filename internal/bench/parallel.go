@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"sync"
+)
+
+// The experiment runners fan the (cell × trial) grid out over a bounded
+// worker pool, where a cell is one table row in the making (a topology ×
+// size × daemon × scenario point) and a trial is one seeded execution.
+// Every trial builds its topology, workload, daemon and fault injection from
+// its own seed, so the tables are bit-identical regardless of Parallel; the
+// workers only change wall-clock time.
+
+// gridJob addresses one (cell, trial) pair.
+type gridJob struct{ cell, trial int }
+
+// mapGrid runs fn(cell, trial) for every pair in [0,cells) × [0,trials) and
+// returns the results indexed [cell][trial]. With workers ≤ 1 the grid runs
+// sequentially in order; otherwise the pairs are fanned out over a bounded
+// worker pool. fn must not touch shared mutable state (trials derive
+// everything from their seeds).
+func mapGrid[T any](workers, cells, trials int, fn func(cell, trial int) T) [][]T {
+	out := make([][]T, cells)
+	for c := range out {
+		out[c] = make([]T, trials)
+	}
+	if total := cells * trials; workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for c := 0; c < cells; c++ {
+			for tr := 0; tr < trials; tr++ {
+				out[c][tr] = fn(c, tr)
+			}
+		}
+		return out
+	}
+	jobs := make(chan gridJob, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out[j.cell][j.trial] = fn(j.cell, j.trial)
+			}
+		}()
+	}
+	for c := 0; c < cells; c++ {
+		for tr := 0; tr < trials; tr++ {
+			jobs <- gridJob{cell: c, trial: tr}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapGridOrderAndCoverage(t *testing.T) {
+	var calls atomic.Int64
+	for _, workers := range []int{0, 1, 3, 16} {
+		calls.Store(0)
+		got := mapGrid(workers, 4, 3, func(cell, trial int) [2]int {
+			calls.Add(1)
+			return [2]int{cell, trial}
+		})
+		if calls.Load() != 12 {
+			t.Fatalf("workers=%d: %d calls, want 12", workers, calls.Load())
+		}
+		for c := 0; c < 4; c++ {
+			for tr := 0; tr < 3; tr++ {
+				if got[c][tr] != [2]int{c, tr} {
+					t.Fatalf("workers=%d: result[%d][%d] = %v", workers, c, tr, got[c][tr])
+				}
+			}
+		}
+	}
+}
+
+func TestMapGridEmptyGrid(t *testing.T) {
+	got := mapGrid(8, 0, 5, func(cell, trial int) int { t.Fatal("must not be called"); return 0 })
+	if len(got) != 0 {
+		t.Fatalf("empty grid returned %v", got)
+	}
+}
+
+// TestParallelTrialsDeterministic is the determinism contract of the worker
+// pool: the same configuration must produce bit-identical tables whether the
+// (cell × trial) grid runs sequentially or fanned out, because every trial
+// derives all randomness from its own seed.
+func TestParallelTrialsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel determinism sweep skipped in -short mode")
+	}
+	cfg := Config{Sizes: []int{6}, Trials: 2, Seed: 11, MaxSteps: 200_000}
+	for _, e := range []string{"E1", "E6", "E9", "A2"} {
+		exp, err := ExperimentByID(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential := cfg
+		sequential.Parallel = 1
+		parallel := cfg
+		parallel.Parallel = 4
+		seqTable := exp.Run(sequential)
+		parTable := exp.Run(parallel)
+		if !reflect.DeepEqual(seqTable, parTable) {
+			t.Errorf("%s: parallel table differs from sequential table:\n%+v\n%+v", e, parTable, seqTable)
+		}
+	}
+}

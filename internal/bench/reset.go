@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"sdr/internal/core"
+	"sdr/internal/sim"
 	"sdr/internal/stats"
 )
 
@@ -11,6 +12,27 @@ import (
 // inner algorithm): the round bound of Corollary 5, the per-process SDR move
 // bound of Corollary 4, and the segment / alive-root structure of Theorem 3
 // and Remark 5.
+
+// sweepCell is one (topology, size, daemon) point of the standard sweep.
+type sweepCell struct {
+	top Topology
+	n   int
+	df  sim.DaemonFactory
+}
+
+// standardSweepCells enumerates the (topology × size × daemon) grid in table
+// order.
+func standardSweepCells(cfg Config) []sweepCell {
+	var cells []sweepCell
+	for _, top := range StandardTopologies() {
+		for _, n := range cfg.Sizes {
+			for _, df := range defaultDaemons() {
+				cells = append(cells, sweepCell{top: top, n: n, df: df})
+			}
+		}
+	}
+	return cells
+}
 
 // RunE1ResetRounds measures, over the standard topology/daemon/fault sweep,
 // the number of rounds until the composition reaches a normal configuration,
@@ -23,29 +45,31 @@ func RunE1ResetRounds(cfg Config) Table {
 		Columns: []string{"topology", "n", "daemon", "scenario", "rounds(max)", "rounds(mean)", "bound 3n", "within"},
 	}
 	scenario := scenarioByName("random-all")
-	for _, top := range StandardTopologies() {
-		for _, n := range cfg.Sizes {
-			for _, df := range defaultDaemons() {
-				var rounds []int
-				bound := 0
-				for trial := 0; trial < cfg.Trials; trial++ {
-					seed := cfg.Seed + int64(trial)*1001
-					rng := rand.New(rand.NewSource(seed))
-					w := buildUnisonWorkload(top, n, rng)
-					bound = core.MaxResetRounds(w.net.N())
-					start := corruptedStart(scenario, w.comp, w.net, rng)
-					m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
-					rounds = append(rounds, m.result.StabilizationRounds)
-				}
-				summary := stats.SummarizeInts(rounds)
-				within := summary.Max <= float64(bound) && summary.Min >= 0
-				if !within {
-					t.Violations++
-				}
-				t.AddRow(top.Name, itoa(n), df.Name, scenario.Name,
-					itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
-			}
+	cells := standardSweepCells(cfg)
+	type trial struct{ rounds, bound int }
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		seed := cfg.Seed + int64(tr)*1001
+		rng := rand.New(rand.NewSource(seed))
+		w := buildUnisonWorkload(c.top, c.n, rng)
+		start := corruptedStart(scenario, w.comp, w.net, rng)
+		m := runComposed(w.comp, w.net, c.df.New(seed), start, cfg.MaxSteps, true)
+		return trial{rounds: m.result.StabilizationRounds, bound: core.MaxResetRounds(w.net.N())}
+	})
+	for ci, c := range cells {
+		var rounds []int
+		bound := 0
+		for _, tr := range results[ci] {
+			rounds = append(rounds, tr.rounds)
+			bound = tr.bound
 		}
+		summary := stats.SummarizeInts(rounds)
+		within := summary.Max <= float64(bound) && summary.Min >= 0
+		if !within {
+			t.Violations++
+		}
+		t.AddRow(c.top.Name, itoa(c.n), c.df.Name, scenario.Name,
+			itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
 	}
 	return t
 }
@@ -60,35 +84,43 @@ func RunE2ResetMovesPerProcess(cfg Config) Table {
 		Title:   "maximum SDR moves per process vs the 3n+3 bound (Corollary 4)",
 		Columns: []string{"topology", "n", "daemon", "scenario", "sdr-moves/proc(max)", "bound 3n+3", "within"},
 	}
+	type cell struct {
+		sweepCell
+		scenarioName string
+	}
+	var cells []cell
 	for _, top := range StandardTopologies() {
 		for _, n := range cfg.Sizes {
 			for _, df := range defaultDaemons() {
 				for _, scenarioName := range []string{"random-all", "fake-wave"} {
-					scenario := scenarioByName(scenarioName)
-					maxMoves := 0
-					bound := 0
-					for trial := 0; trial < cfg.Trials; trial++ {
-						seed := cfg.Seed + int64(trial)*2003
-						rng := rand.New(rand.NewSource(seed))
-						w := buildUnisonWorkload(top, n, rng)
-						bound = core.MaxSDRMovesPerProcess(w.net.N())
-						start := corruptedStart(scenario, w.comp, w.net, rng)
-						// Stopping at the first normal configuration loses no
-						// SDR activity: the normal set is closed, and SDR
-						// rules are disabled in it.
-						m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
-						if mm := m.observer.MaxSDRMoves(); mm > maxMoves {
-							maxMoves = mm
-						}
-					}
-					within := maxMoves <= bound
-					if !within {
-						t.Violations++
-					}
-					t.AddRow(top.Name, itoa(n), df.Name, scenarioName, itoa(maxMoves), itoa(bound), boolCell(within))
+					cells = append(cells, cell{sweepCell{top, n, df}, scenarioName})
 				}
 			}
 		}
+	}
+	type trial struct{ maxMoves, bound int }
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		seed := cfg.Seed + int64(tr)*2003
+		rng := rand.New(rand.NewSource(seed))
+		w := buildUnisonWorkload(c.top, c.n, rng)
+		start := corruptedStart(scenarioByName(c.scenarioName), w.comp, w.net, rng)
+		// Stopping at the first normal configuration loses no SDR activity:
+		// the normal set is closed, and SDR rules are disabled in it.
+		m := runComposed(w.comp, w.net, c.df.New(seed), start, cfg.MaxSteps, true)
+		return trial{maxMoves: m.observer.MaxSDRMoves(), bound: core.MaxSDRMovesPerProcess(w.net.N())}
+	})
+	for ci, c := range cells {
+		maxMoves, bound := 0, 0
+		for _, tr := range results[ci] {
+			maxMoves = maxInt(maxMoves, tr.maxMoves)
+			bound = tr.bound
+		}
+		within := maxMoves <= bound
+		if !within {
+			t.Violations++
+		}
+		t.AddRow(c.top.Name, itoa(c.n), c.df.Name, c.scenarioName, itoa(maxMoves), itoa(bound), boolCell(within))
 	}
 	return t
 }
@@ -104,37 +136,42 @@ func RunE3Segments(cfg Config) Table {
 		Columns: []string{"topology", "n", "daemon", "segments(max)", "bound n+1", "root-creations", "language-ok", "within"},
 	}
 	scenario := scenarioByName("random-all")
-	for _, top := range StandardTopologies() {
-		for _, n := range cfg.Sizes {
-			for _, df := range defaultDaemons() {
-				maxSegments, rootCreations := 0, 0
-				languageOK := true
-				bound := 0
-				for trial := 0; trial < cfg.Trials; trial++ {
-					seed := cfg.Seed + int64(trial)*3001
-					rng := rand.New(rand.NewSource(seed))
-					w := buildUnisonWorkload(top, n, rng)
-					bound = core.MaxSegments(w.net.N())
-					start := corruptedStart(scenario, w.comp, w.net, rng)
-					// As in E2, the SDR-level quantities are fully determined
-					// before the first normal configuration.
-					m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
-					if s := m.observer.Segments(); s > maxSegments {
-						maxSegments = s
-					}
-					rootCreations += m.observer.AliveRootViolations()
-					if m.observer.LanguageViolation() != "" {
-						languageOK = false
-					}
-				}
-				within := maxSegments <= bound && rootCreations == 0 && languageOK
-				if !within {
-					t.Violations++
-				}
-				t.AddRow(top.Name, itoa(n), df.Name,
-					itoa(maxSegments), itoa(bound), itoa(rootCreations), boolCell(languageOK), boolCell(within))
-			}
+	cells := standardSweepCells(cfg)
+	type trial struct {
+		segments, bound, rootCreations int
+		languageOK                     bool
+	}
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		seed := cfg.Seed + int64(tr)*3001
+		rng := rand.New(rand.NewSource(seed))
+		w := buildUnisonWorkload(c.top, c.n, rng)
+		start := corruptedStart(scenario, w.comp, w.net, rng)
+		// As in E2, the SDR-level quantities are fully determined before the
+		// first normal configuration.
+		m := runComposed(w.comp, w.net, c.df.New(seed), start, cfg.MaxSteps, true)
+		return trial{
+			segments:      m.observer.Segments(),
+			bound:         core.MaxSegments(w.net.N()),
+			rootCreations: m.observer.AliveRootViolations(),
+			languageOK:    m.observer.LanguageViolation() == "",
 		}
+	})
+	for ci, c := range cells {
+		maxSegments, rootCreations, bound := 0, 0, 0
+		languageOK := true
+		for _, tr := range results[ci] {
+			maxSegments = maxInt(maxSegments, tr.segments)
+			rootCreations += tr.rootCreations
+			bound = tr.bound
+			languageOK = languageOK && tr.languageOK
+		}
+		within := maxSegments <= bound && rootCreations == 0 && languageOK
+		if !within {
+			t.Violations++
+		}
+		t.AddRow(c.top.Name, itoa(c.n), c.df.Name,
+			itoa(maxSegments), itoa(bound), itoa(rootCreations), boolCell(languageOK), boolCell(within))
 	}
 	return t
 }

@@ -23,63 +23,80 @@ func RunX1SpanningTree(cfg Config) Table {
 		Title:   "extension: silent self-stabilizing BFS spanning tree via B∘SDR",
 		Columns: []string{"topology", "n", "scenario", "moves(mean)", "rounds(max)", "sdr-rounds-bound", "sdr-moves/proc(max)", "bound 3n+3", "root-creations", "tree-exact", "within"},
 	}
+	type cell struct {
+		top          Topology
+		n            int
+		scenarioName string
+	}
+	var cells []cell
 	for _, top := range StandardTopologies() {
 		for _, n := range cfg.Sizes {
 			for _, scenarioName := range []string{"random-all", "fake-wave"} {
-				scenario := scenarioByName(scenarioName)
-				var moves []int
-				maxRounds, maxSDRMoves, sdrBound, rootCreations := 0, 0, 0, 0
-				normalRoundsOK, treesExact := true, true
-				for trial := 0; trial < cfg.Trials; trial++ {
-					seed := cfg.Seed + int64(trial)*13007
-					rng := rand.New(rand.NewSource(seed))
-					g := top.Build(n, rng)
-					root := 0
-					bfs := spantree.NewFor(g, root)
-					comp := core.Compose(bfs)
-					net := sim.NewNetwork(g)
-					sdrBound = core.MaxSDRMovesPerProcess(g.N())
-
-					var start *sim.Configuration
-					if scenarioName == "random-all" {
-						start = faults.RandomConfiguration(comp, net, rng)
-					} else {
-						start = scenario.Build(comp, bfs, net, rng)
-					}
-
-					observer := core.NewObserver(bfs, net)
-					observer.Prime(start)
-					daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-					eng := sim.NewEngine(net, comp, daemon)
-					res := eng.Run(start,
-						sim.WithMaxSteps(cfg.MaxSteps),
-						sim.WithLegitimate(core.NormalPredicate(bfs, net)),
-						sim.WithStepHook(observer.Hook()),
-					)
-					moves = append(moves, res.Moves)
-					if res.Rounds > maxRounds {
-						maxRounds = res.Rounds
-					}
-					if m := observer.MaxSDRMoves(); m > maxSDRMoves {
-						maxSDRMoves = m
-					}
-					rootCreations += observer.AliveRootViolations()
-					if res.StabilizationRounds < 0 || res.StabilizationRounds > core.MaxResetRounds(g.N()) {
-						normalRoundsOK = false
-					}
-					if !res.Terminated || spantree.VerifyTree(g, root, res.Final) != nil {
-						treesExact = false
-					}
-				}
-				within := normalRoundsOK && treesExact && maxSDRMoves <= sdrBound && rootCreations == 0
-				if !within {
-					t.Violations++
-				}
-				t.AddRow(top.Name, itoa(n), scenarioName,
-					ftoa(stats.SummarizeInts(moves).Mean), itoa(maxRounds), boolCell(normalRoundsOK),
-					itoa(maxSDRMoves), itoa(sdrBound), itoa(rootCreations), boolCell(treesExact), boolCell(within))
+				cells = append(cells, cell{top: top, n: n, scenarioName: scenarioName})
 			}
 		}
+	}
+	type trial struct {
+		moves, rounds, sdrMoves, sdrBound, rootCreations int
+		normalRoundsOK, treeExact                        bool
+	}
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		scenario := scenarioByName(c.scenarioName)
+		seed := cfg.Seed + int64(tr)*13007
+		rng := rand.New(rand.NewSource(seed))
+		g := c.top.Build(c.n, rng)
+		root := 0
+		bfs := spantree.NewFor(g, root)
+		comp := core.Compose(bfs)
+		net := sim.NewNetwork(g)
+
+		var start *sim.Configuration
+		if c.scenarioName == "random-all" {
+			start = faults.RandomConfiguration(comp, net, rng)
+		} else {
+			start = scenario.Build(comp, bfs, net, rng)
+		}
+
+		observer := core.NewObserver(bfs, net)
+		observer.Prime(start)
+		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+		eng := sim.NewEngine(net, comp, daemon)
+		res := eng.Run(start,
+			sim.WithMaxSteps(cfg.MaxSteps),
+			sim.WithLegitimate(core.NormalPredicate(bfs, net)),
+			sim.WithStepHook(observer.Hook()),
+		)
+		return trial{
+			moves:          res.Moves,
+			rounds:         res.Rounds,
+			sdrMoves:       observer.MaxSDRMoves(),
+			sdrBound:       core.MaxSDRMovesPerProcess(g.N()),
+			rootCreations:  observer.AliveRootViolations(),
+			normalRoundsOK: res.StabilizationRounds >= 0 && res.StabilizationRounds <= core.MaxResetRounds(g.N()),
+			treeExact:      res.Terminated && spantree.VerifyTree(g, root, res.Final) == nil,
+		}
+	})
+	for ci, c := range cells {
+		var moves []int
+		maxRounds, maxSDRMoves, sdrBound, rootCreations := 0, 0, 0, 0
+		normalRoundsOK, treesExact := true, true
+		for _, tr := range results[ci] {
+			moves = append(moves, tr.moves)
+			maxRounds = maxInt(maxRounds, tr.rounds)
+			maxSDRMoves = maxInt(maxSDRMoves, tr.sdrMoves)
+			sdrBound = tr.sdrBound
+			rootCreations += tr.rootCreations
+			normalRoundsOK = normalRoundsOK && tr.normalRoundsOK
+			treesExact = treesExact && tr.treeExact
+		}
+		within := normalRoundsOK && treesExact && maxSDRMoves <= sdrBound && rootCreations == 0
+		if !within {
+			t.Violations++
+		}
+		t.AddRow(c.top.Name, itoa(c.n), c.scenarioName,
+			ftoa(stats.SummarizeInts(moves).Mean), itoa(maxRounds), boolCell(normalRoundsOK),
+			itoa(maxSDRMoves), itoa(sdrBound), itoa(rootCreations), boolCell(treesExact), boolCell(within))
 	}
 	return t
 }

@@ -23,29 +23,31 @@ func RunE4UnisonRounds(cfg Config) Table {
 		Columns: []string{"topology", "n", "daemon", "rounds(max)", "rounds(mean)", "bound 3n", "within"},
 	}
 	scenario := scenarioByName("inner-only")
-	for _, top := range StandardTopologies() {
-		for _, n := range cfg.Sizes {
-			for _, df := range defaultDaemons() {
-				var rounds []int
-				bound := 0
-				for trial := 0; trial < cfg.Trials; trial++ {
-					seed := cfg.Seed + int64(trial)*4001
-					rng := rand.New(rand.NewSource(seed))
-					w := buildUnisonWorkload(top, n, rng)
-					bound = unison.MaxStabilizationRounds(w.net.N())
-					start := corruptedStart(scenario, w.comp, w.net, rng)
-					m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
-					rounds = append(rounds, m.result.StabilizationRounds)
-				}
-				summary := stats.SummarizeInts(rounds)
-				within := summary.Max <= float64(bound) && summary.Min >= 0
-				if !within {
-					t.Violations++
-				}
-				t.AddRow(top.Name, itoa(n), df.Name,
-					itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
-			}
+	cells := standardSweepCells(cfg)
+	type trial struct{ rounds, bound int }
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		seed := cfg.Seed + int64(tr)*4001
+		rng := rand.New(rand.NewSource(seed))
+		w := buildUnisonWorkload(c.top, c.n, rng)
+		start := corruptedStart(scenario, w.comp, w.net, rng)
+		m := runComposed(w.comp, w.net, c.df.New(seed), start, cfg.MaxSteps, true)
+		return trial{rounds: m.result.StabilizationRounds, bound: unison.MaxStabilizationRounds(w.net.N())}
+	})
+	for ci, c := range cells {
+		var rounds []int
+		bound := 0
+		for _, tr := range results[ci] {
+			rounds = append(rounds, tr.rounds)
+			bound = tr.bound
 		}
+		summary := stats.SummarizeInts(rounds)
+		within := summary.Max <= float64(bound) && summary.Min >= 0
+		if !within {
+			t.Violations++
+		}
+		t.AddRow(c.top.Name, itoa(c.n), c.df.Name,
+			itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
 	}
 	return t
 }
@@ -61,38 +63,50 @@ func RunE5UnisonMoves(cfg Config) Table {
 		Columns: []string{"topology", "n", "D", "daemon", "moves(max)", "moves(mean)", "bound", "within"},
 	}
 	scenario := scenarioByName("random-all")
-	for _, top := range StandardTopologies() {
-		var ns, moveMeans []float64
-		for _, n := range cfg.Sizes {
-			for _, df := range defaultDaemons() {
-				var moves []int
-				bound, diameter := 0, 0
-				for trial := 0; trial < cfg.Trials; trial++ {
-					seed := cfg.Seed + int64(trial)*5003
-					rng := rand.New(rand.NewSource(seed))
-					w := buildUnisonWorkload(top, n, rng)
-					diameter = w.graph.Diameter()
-					bound = unison.MaxStabilizationMoves(w.net.N(), diameter)
-					start := corruptedStart(scenario, w.comp, w.net, rng)
-					m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
-					moves = append(moves, m.result.StabilizationMoves)
-				}
-				summary := stats.SummarizeInts(moves)
-				within := summary.Max <= float64(bound) && summary.Min >= 0
-				if !within {
-					t.Violations++
-				}
-				if df.Name == "distributed-random" {
-					ns = append(ns, float64(n))
-					moveMeans = append(moveMeans, summary.Mean)
-				}
-				t.AddRow(top.Name, itoa(n), itoa(diameter), df.Name,
-					itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
-			}
+	cells := standardSweepCells(cfg)
+	type trial struct{ moves, bound, diameter int }
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		seed := cfg.Seed + int64(tr)*5003
+		rng := rand.New(rand.NewSource(seed))
+		w := buildUnisonWorkload(c.top, c.n, rng)
+		diameter := w.graph.Diameter()
+		start := corruptedStart(scenario, w.comp, w.net, rng)
+		m := runComposed(w.comp, w.net, c.df.New(seed), start, cfg.MaxSteps, true)
+		return trial{
+			moves:    m.result.StabilizationMoves,
+			bound:    unison.MaxStabilizationMoves(w.net.N(), diameter),
+			diameter: diameter,
 		}
-		if len(ns) >= 2 {
+	})
+	// Per-topology growth fits over the distributed-random rows.
+	growth := map[string][2][]float64{}
+	for ci, c := range cells {
+		var moves []int
+		bound, diameter := 0, 0
+		for _, tr := range results[ci] {
+			moves = append(moves, tr.moves)
+			bound = tr.bound
+			diameter = tr.diameter
+		}
+		summary := stats.SummarizeInts(moves)
+		within := summary.Max <= float64(bound) && summary.Min >= 0
+		if !within {
+			t.Violations++
+		}
+		if c.df.Name == "distributed-random" {
+			g := growth[c.top.Name]
+			g[0] = append(g[0], float64(c.n))
+			g[1] = append(g[1], summary.Mean)
+			growth[c.top.Name] = g
+		}
+		t.AddRow(c.top.Name, itoa(c.n), itoa(diameter), c.df.Name,
+			itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
+	}
+	for _, top := range StandardTopologies() {
+		if g, ok := growth[top.Name]; ok && len(g[0]) >= 2 {
 			t.AddNote("%s: measured moves grow like n^%.2f under the distributed-random daemon (paper bound: O(D·n²))",
-				top.Name, stats.GrowthExponent(ns, moveMeans))
+				top.Name, stats.GrowthExponent(g[0], g[1]))
 		}
 	}
 	return t
@@ -109,43 +123,56 @@ func RunE6UnisonVsBPV(cfg Config) Table {
 		Title:   "U∘SDR vs BPV baseline: stabilization moves on the same workloads",
 		Columns: []string{"topology", "n", "sdr-moves(mean)", "bpv-moves(mean)", "ratio bpv/sdr", "sdr wins"},
 	}
-	var ratioAccum []float64
+	type cell struct {
+		top Topology
+		n   int
+	}
+	var cells []cell
 	for _, top := range StandardTopologies() {
 		for _, n := range cfg.Sizes {
-			var sdrMoves, bpvMoves []int
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.Seed + int64(trial)*6007
-				rng := rand.New(rand.NewSource(seed))
-				w := buildUnisonWorkload(top, n, rng)
-
-				// U ∘ SDR from a uniformly random composed configuration.
-				start := faults.RandomConfiguration(w.comp, w.net, rng)
-				daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-				m := runComposed(w.comp, w.net, daemon, start, cfg.MaxSteps, true)
-				if m.result.StabilizationMoves >= 0 {
-					sdrMoves = append(sdrMoves, m.result.StabilizationMoves)
-				}
-
-				// BPV on the same topology from a uniformly random configuration.
-				bpv := unison.NewBPVFor(w.graph)
-				bpvStart := faults.RandomConfiguration(bpv, w.net, rng)
-				bpvDaemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed+1)), 0.5)
-				eng := sim.NewEngine(w.net, bpv, bpvDaemon)
-				res := eng.Run(bpvStart,
-					sim.WithMaxSteps(cfg.MaxSteps),
-					sim.WithLegitimate(bpv.LegitimatePredicate(w.graph)),
-					sim.WithStopWhenLegitimate(),
-				)
-				if res.StabilizationMoves >= 0 {
-					bpvMoves = append(bpvMoves, res.StabilizationMoves)
-				}
-			}
-			sdrMean := stats.SummarizeInts(sdrMoves).Mean
-			bpvMean := stats.SummarizeInts(bpvMoves).Mean
-			ratio := stats.Ratio(bpvMean, sdrMean)
-			ratioAccum = append(ratioAccum, ratio)
-			t.AddRow(top.Name, itoa(n), ftoa(sdrMean), ftoa(bpvMean), ftoa(ratio), boolCell(sdrMean <= bpvMean || ratio >= 1))
+			cells = append(cells, cell{top: top, n: n})
 		}
+	}
+	type trial struct{ sdrMoves, bpvMoves int }
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		c := cells[ci]
+		seed := cfg.Seed + int64(tr)*6007
+		rng := rand.New(rand.NewSource(seed))
+		w := buildUnisonWorkload(c.top, c.n, rng)
+
+		// U ∘ SDR from a uniformly random composed configuration.
+		start := faults.RandomConfiguration(w.comp, w.net, rng)
+		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+		m := runComposed(w.comp, w.net, daemon, start, cfg.MaxSteps, true)
+
+		// BPV on the same topology from a uniformly random configuration.
+		bpv := unison.NewBPVFor(w.graph)
+		bpvStart := faults.RandomConfiguration(bpv, w.net, rng)
+		bpvDaemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed+1)), 0.5)
+		eng := sim.NewEngine(w.net, bpv, bpvDaemon)
+		res := eng.Run(bpvStart,
+			sim.WithMaxSteps(cfg.MaxSteps),
+			sim.WithLegitimate(bpv.LegitimatePredicate(w.graph)),
+			sim.WithStopWhenLegitimate(),
+		)
+		return trial{sdrMoves: m.result.StabilizationMoves, bpvMoves: res.StabilizationMoves}
+	})
+	var ratioAccum []float64
+	for ci, c := range cells {
+		var sdrMoves, bpvMoves []int
+		for _, tr := range results[ci] {
+			if tr.sdrMoves >= 0 {
+				sdrMoves = append(sdrMoves, tr.sdrMoves)
+			}
+			if tr.bpvMoves >= 0 {
+				bpvMoves = append(bpvMoves, tr.bpvMoves)
+			}
+		}
+		sdrMean := stats.SummarizeInts(sdrMoves).Mean
+		bpvMean := stats.SummarizeInts(bpvMoves).Mean
+		ratio := stats.Ratio(bpvMean, sdrMean)
+		ratioAccum = append(ratioAccum, ratio)
+		t.AddRow(c.top.Name, itoa(c.n), ftoa(sdrMean), ftoa(bpvMean), ftoa(ratio), boolCell(sdrMean <= bpvMean || ratio >= 1))
 	}
 	t.AddNote("mean bpv/sdr move ratio across the sweep: %.2f (>1 means U∘SDR needs fewer moves, matching the paper's comparison)",
 		stats.Summarize(ratioAccum).Mean)

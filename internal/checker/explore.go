@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"sdr/internal/sim"
@@ -67,14 +68,18 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 		maxConfigs = DefaultMaxConfigurations
 	}
 
-	// visited maps configuration keys to node indices.
+	// visited maps interned configuration keys to node indices. The interner
+	// maps each distinct local state to a small integer once, so keys are a
+	// few bytes per process instead of the full rendered state strings that
+	// Configuration.Key would concatenate for every visited configuration.
+	interner := newKeyInterner()
 	visited := make(map[string]int)
 	var configs []*sim.Configuration
 	var succs [][]int
 	legit := []bool{}
 
 	addConfig := func(c *sim.Configuration) (int, bool) {
-		key := c.Key()
+		key := interner.key(c)
 		if idx, ok := visited[key]; ok {
 			return idx, false
 		}
@@ -154,6 +159,39 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 		}
 	}
 	return report, nil
+}
+
+// keyInterner builds compact map keys for configurations: every distinct
+// local state (by its canonical String rendering) is assigned a small
+// integer id once, and a configuration's key is the varint encoding of its
+// per-process ids. On the product state spaces Explore visits the number of
+// distinct local states is tiny compared to the number of configurations, so
+// interning shrinks both the bytes hashed per lookup and the resident key
+// set.
+type keyInterner struct {
+	ids map[string]uint64
+	buf []byte
+}
+
+func newKeyInterner() *keyInterner {
+	return &keyInterner{ids: make(map[string]uint64)}
+}
+
+// key returns the compact key of c. The returned string is freshly
+// allocated and safe to retain as a map key.
+func (ki *keyInterner) key(c *sim.Configuration) string {
+	ki.buf = ki.buf[:0]
+	n := c.N()
+	for u := 0; u < n; u++ {
+		s := c.State(u).String()
+		id, ok := ki.ids[s]
+		if !ok {
+			id = uint64(len(ki.ids))
+			ki.ids[s] = id
+		}
+		ki.buf = binary.AppendUvarint(ki.buf, id)
+	}
+	return string(ki.buf)
 }
 
 // enumerateSelections returns every non-empty subset of enabled whose size is

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 )
 
 // Daemon is the scheduling adversary of the model. Given the set of enabled
@@ -18,6 +19,8 @@ type Daemon interface {
 }
 
 // Selection is the information offered to a daemon when it picks a step.
+// Config and Enabled are the engine's reusable working buffers: daemons must
+// not retain or modify them beyond the Select call (clone if needed).
 type Selection struct {
 	// Net is the network the algorithm runs on.
 	Net *Network
@@ -160,20 +163,17 @@ func NewRoundRobinDaemon() *RoundRobinDaemon { return &RoundRobinDaemon{} }
 // Name implements Daemon.
 func (*RoundRobinDaemon) Name() string { return "round-robin" }
 
-// Select implements Daemon.
+// Select implements Daemon. Enabled is sorted, so the first enabled process
+// at or after the cursor is found by binary search (wrapping to the smallest
+// enabled process when none remains above the cursor).
 func (d *RoundRobinDaemon) Select(sel Selection) []int {
-	n := sel.Net.N()
-	for i := 0; i < n; i++ {
-		candidate := (d.next + i) % n
-		for _, u := range sel.Enabled {
-			if u == candidate {
-				d.next = (candidate + 1) % n
-				return []int{u}
-			}
-		}
+	i, _ := slices.BinarySearch(sel.Enabled, d.next)
+	if i == len(sel.Enabled) {
+		i = 0
 	}
-	// Unreachable: Enabled is non-empty and a subset of [0,n).
-	return []int{sel.Enabled[0]}
+	u := sel.Enabled[i]
+	d.next = (u + 1) % sel.Net.N()
+	return []int{u}
 }
 
 // GreedyAdversarialDaemon activates the single enabled process whose
@@ -182,7 +182,9 @@ func (d *RoundRobinDaemon) Select(sel Selection) []int {
 // is a legal unfair-daemon schedule that tends to maximise the number of
 // moves; it is used to probe worst-case move complexity.
 type GreedyAdversarialDaemon struct {
-	rng *rand.Rand
+	rng     *rand.Rand
+	scratch []State
+	best    []int
 }
 
 var _ Daemon = (*GreedyAdversarialDaemon)(nil)
@@ -195,13 +197,51 @@ func NewGreedyAdversarialDaemon(rng *rand.Rand) *GreedyAdversarialDaemon {
 // Name implements Daemon.
 func (*GreedyAdversarialDaemon) Name() string { return "greedy-adversarial" }
 
-// Select implements Daemon.
+// Select implements Daemon. The lookahead is neighbourhood-scoped: moving u
+// changes only u's state, and guards read closed neighbourhoods only, so the
+// enabled count after the move differs from |Enabled| exactly by the
+// enabledness changes at u and its neighbours — O(Δ·|rules|) per candidate
+// instead of rescanning all n processes.
 func (d *GreedyAdversarialDaemon) Select(sel Selection) []int {
+	n := sel.Net.N()
+	if cap(d.scratch) < n {
+		d.scratch = make([]State, n)
+	}
+	states := d.scratch[:n]
+	for u := 0; u < n; u++ {
+		states[u] = sel.Config.State(u)
+	}
+	patched := &Configuration{states: states}
+	base := len(sel.Enabled)
 	bestScore := -1
-	var best []int
+	best := d.best[:0]
 	for _, u := range sel.Enabled {
-		next := applySingleMove(sel.Alg, sel.Net, sel.Config, u)
-		score := len(EnabledSet(sel.Alg, sel.Net, next))
+		v := sel.Net.View(sel.Config, u)
+		moved := false
+		for _, r := range sel.Alg.Rules() {
+			if r.Guard(v) {
+				states[u] = r.Action(v)
+				moved = true
+				break
+			}
+		}
+		score := base
+		if moved {
+			// u was enabled before the move by construction.
+			if !Enabled(sel.Alg, sel.Net, patched, u) {
+				score--
+			}
+			for _, w := range sel.Net.Neighbors(u) {
+				_, before := slices.BinarySearch(sel.Enabled, w)
+				after := Enabled(sel.Alg, sel.Net, patched, w)
+				if after && !before {
+					score++
+				} else if !after && before {
+					score--
+				}
+			}
+			states[u] = sel.Config.State(u)
+		}
 		if score > bestScore {
 			bestScore = score
 			best = best[:0]
@@ -210,11 +250,14 @@ func (d *GreedyAdversarialDaemon) Select(sel Selection) []int {
 			best = append(best, u)
 		}
 	}
+	d.best = best
 	return []int{best[d.rng.Intn(len(best))]}
 }
 
 // applySingleMove returns the configuration obtained by letting only u move
-// (executing its first enabled rule) from c. Used for daemon lookahead.
+// (executing its first enabled rule) from c. It is the naive lookahead the
+// greedy daemon's neighbourhood-scoped Select replaced; the differential
+// test in daemon_greedy_test.go uses it as the reference.
 func applySingleMove(a Algorithm, net *Network, c *Configuration, u int) *Configuration {
 	v := net.View(c, u)
 	next := NewConfiguration(copyStates(c))

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"slices"
 )
 
 // DefaultMaxSteps bounds a run when the caller does not override it; it
@@ -31,9 +33,9 @@ type StepInfo struct {
 	// Rules gives, for each activated process (same order), the name of the
 	// rule it executed.
 	Rules []string
-	// Before and After are the configurations around the step. They are the
-	// engine's working copies: hooks must not retain or modify them beyond
-	// the callback (clone if needed).
+	// Before and After are the configurations around the step. Like Activated
+	// and Rules they are the engine's reusable working buffers: hooks must
+	// not retain or modify them beyond the callback (clone if needed).
 	Before, After *Configuration
 	// Round is the index (0-based) of the round this step belongs to.
 	Round int
@@ -132,6 +134,54 @@ type Result struct {
 	StabilizationMovesPerProcessMax int
 }
 
+// newResult returns a Result with the accounting fields initialised for n
+// processes.
+func newResult(n int) Result {
+	return Result{
+		MovesPerProcess:                 make([]int, n),
+		MovesPerRule:                    make(map[string]int),
+		StabilizationMoves:              -1,
+		StabilizationRounds:             -1,
+		StabilizationSteps:              -1,
+		StabilizationMovesPerProcessMax: -1,
+	}
+}
+
+// recordMove accounts one rule execution by process u.
+func (r *Result) recordMove(u int, rule string) {
+	r.Moves++
+	r.MovesPerProcess[u]++
+	r.MovesPerRule[rule]++
+}
+
+// markLegitimate records the costs incurred up to the first legitimate
+// configuration.
+func (r *Result) markLegitimate() {
+	r.LegitimateReached = true
+	r.StabilizationMoves = r.Moves
+	r.StabilizationSteps = r.Steps
+	r.StabilizationRounds = r.Rounds
+	maxMoves := 0
+	for _, m := range r.MovesPerProcess {
+		if m > maxMoves {
+			maxMoves = m
+		}
+	}
+	r.StabilizationMovesPerProcessMax = maxMoves
+}
+
+// finish computes the derived fields once the run has ended.
+func (r *Result) finish() {
+	for _, m := range r.MovesPerProcess {
+		if m > r.MaxMovesPerProcess {
+			r.MaxMovesPerProcess = m
+		}
+	}
+	if r.LegitimateReached && r.StabilizationRounds > r.Rounds {
+		r.StabilizationRounds = r.Rounds
+	}
+}
+
 // Engine executes an algorithm on a network under a daemon.
 type Engine struct {
 	net    *Network
@@ -156,63 +206,86 @@ func (e *Engine) Algorithm() Algorithm { return e.alg }
 // Daemon returns the engine's daemon.
 func (e *Engine) Daemon() Daemon { return e.daemon }
 
+func (e *Engine) checkStart(start *Configuration) {
+	if start.N() != e.net.N() {
+		panic(fmt.Sprintf("sim: configuration has %d states for %d processes", start.N(), e.net.N()))
+	}
+}
+
 // Run executes the algorithm from the given starting configuration until a
 // terminal configuration is reached or the step bound is hit. The starting
 // configuration is not modified.
+//
+// The loop is incremental and allocation-free in the steady state: the
+// enabled set is maintained as a bitset and, after a step, only the
+// activated processes and their neighbours are re-evaluated — rule guards
+// read closed neighbourhoods only (the locally shared memory model), so
+// enabledness cannot change anywhere else. The configuration is
+// double-buffered instead of cloned per step, and the neutralization-based
+// round accounting runs on reusable bitsets. RunReference retains the
+// straightforward implementation; the two are differentially tested to
+// produce bit-identical Results.
 func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if start.N() != e.net.N() {
-		panic(fmt.Sprintf("sim: configuration has %d states for %d processes", start.N(), e.net.N()))
-	}
+	e.checkStart(start)
 
 	n := e.net.N()
-	cur := start.Clone()
-	res := Result{
-		MovesPerProcess:                 make([]int, n),
-		MovesPerRule:                    make(map[string]int),
-		StabilizationMoves:              -1,
-		StabilizationRounds:             -1,
-		StabilizationSteps:              -1,
-		StabilizationMovesPerProcessMax: -1,
+	rules := e.alg.Rules()
+
+	// Double-buffered state vectors: guards and the daemon read cur, the
+	// step's writes land in next, and the two swap after every step.
+	curStates := make([]State, n)
+	for u := 0; u < n; u++ {
+		curStates[u] = start.State(u).Clone()
 	}
+	nextStates := make([]State, n)
+	curCfg := &Configuration{states: curStates}
+	nextCfg := &Configuration{states: nextStates}
+
+	res := newResult(n)
 
 	recordLegit := func() {
 		if res.LegitimateReached || o.legitimate == nil {
 			return
 		}
-		if o.legitimate(cur) {
-			res.LegitimateReached = true
-			res.StabilizationMoves = res.Moves
-			res.StabilizationSteps = res.Steps
-			res.StabilizationRounds = res.Rounds
-			maxMoves := 0
-			for _, m := range res.MovesPerProcess {
-				if m > maxMoves {
-					maxMoves = m
-				}
-			}
-			res.StabilizationMovesPerProcessMax = maxMoves
+		if o.legitimate(curCfg) {
+			res.markLegitimate()
 		}
 	}
+
+	// enabledBits is the authoritative enabled set; enabledList is its sorted
+	// materialisation handed to daemons.
+	enabledBits := newBitset(n)
+	for u := 0; u < n; u++ {
+		if Enabled(e.alg, e.net, curCfg, u) {
+			enabledBits.set(u)
+		}
+	}
+	enabledList := enabledBits.appendIndices(make([]int, 0, n))
 
 	// Round accounting (neutralization-based): pending holds the processes
 	// enabled at the start of the current round that have neither moved nor
 	// been neutralized yet. roundProgress records whether the current round
 	// saw any step, so that a final partial round is counted.
-	enabled := EnabledSet(e.alg, e.net, cur)
-	pending := make(map[int]bool, len(enabled))
-	for _, u := range enabled {
-		pending[u] = true
-	}
+	pending := newBitset(n)
+	pending.copyFrom(enabledBits)
+	wasEnabled := newBitset(n)
+	activated := newBitset(n)
+	touched := newBitset(n)
 	roundProgress := false
+
+	// Reusable per-step scratch buffers.
+	selectedBuf := make([]int, 0, n)
+	ruleNames := make([]string, 0, n)
+	ruleIdx := make([]int, 0, len(rules))
+	dedup := newBitset(n)
 
 	recordLegit()
 
-	rules := e.alg.Rules()
-	for len(enabled) > 0 {
+	for len(enabledList) > 0 {
 		if res.Steps >= o.maxSteps {
 			res.HitStepLimit = true
 			break
@@ -221,85 +294,86 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 			break
 		}
 
-		selected := e.daemon.Select(Selection{
+		raw := e.daemon.Select(Selection{
 			Net:     e.net,
 			Alg:     e.alg,
-			Config:  cur,
-			Enabled: enabled,
+			Config:  curCfg,
+			Enabled: enabledList,
 			Step:    res.Steps,
 		})
-		selected = sanitizeSelection(selected, enabled)
+		selected := sanitizeSelectionInto(selectedBuf[:0], raw, n, enabledBits, dedup, enabledList)
+		selectedBuf = selected[:0]
 
 		// Composite atomicity: all selected processes read cur and their
 		// writes are installed together in next.
-		next := NewConfiguration(copyStates(cur))
-		ruleNames := make([]string, 0, len(selected))
+		copy(nextStates, curStates)
+		ruleNames = ruleNames[:0]
 		for _, u := range selected {
-			v := e.net.View(cur, u)
-			ri := chooseRule(rules, v, o)
+			v := e.net.View(curCfg, u)
+			ri := chooseRule(rules, v, o, ruleIdx)
 			if ri < 0 {
 				// Defensive: the daemon selected a non-enabled process; skip.
 				ruleNames = append(ruleNames, "")
 				continue
 			}
-			next.SetState(u, rules[ri].Action(v))
+			nextStates[u] = rules[ri].Action(v)
 			ruleNames = append(ruleNames, rules[ri].Name)
-			res.Moves++
-			res.MovesPerProcess[u]++
-			res.MovesPerRule[rules[ri].Name]++
+			res.recordMove(u, rules[ri].Name)
 		}
 
-		enabledBefore := enabled
-		prev := cur
-		cur = next
-		enabled = EnabledSet(e.alg, e.net, cur)
+		// Snapshot the pre-step enabled set for neutralization accounting and
+		// mark the closed neighbourhoods whose guards must be re-evaluated.
+		wasEnabled.copyFrom(enabledBits)
+		activated.reset()
+		touched.reset()
+		for _, u := range selected {
+			activated.set(u)
+			touched.set(u)
+			for _, w := range e.net.Neighbors(u) {
+				touched.set(w)
+			}
+		}
+
+		// Install the step and refresh enabledness only where it can change.
+		curStates, nextStates = nextStates, curStates
+		curCfg, nextCfg = nextCfg, curCfg
+		for wi, word := range touched {
+			base := wi << 6
+			for word != 0 {
+				u := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				if Enabled(e.alg, e.net, curCfg, u) {
+					enabledBits.set(u)
+				} else {
+					enabledBits.clear(u)
+				}
+			}
+		}
+		enabledList = enabledBits.appendIndices(enabledList[:0])
 		roundProgress = true
 
-		// Update the pending set of the current round.
-		activatedSet := make(map[int]bool, len(selected))
-		for _, u := range selected {
-			activatedSet[u] = true
-		}
-		enabledAfter := make(map[int]bool, len(enabled))
-		for _, u := range enabled {
-			enabledAfter[u] = true
-		}
-		wasEnabled := make(map[int]bool, len(enabledBefore))
-		for _, u := range enabledBefore {
-			wasEnabled[u] = true
-		}
-		for u := range pending {
-			if activatedSet[u] {
-				delete(pending, u)
-				continue
-			}
-			if wasEnabled[u] && !enabledAfter[u] {
-				// Neutralized: enabled before the step, not activated, and
-				// no longer enabled after it.
-				delete(pending, u)
-			}
-		}
+		// pending loses the activated processes and the neutralized ones
+		// (enabled before the step, not activated, not enabled after it).
+		pending.subtract(activated)
+		pending.subtractDiff(wasEnabled, enabledBits)
 
 		for _, h := range o.hooks {
 			h(StepInfo{
 				Step:      res.Steps,
 				Activated: selected,
 				Rules:     ruleNames,
-				Before:    prev,
-				After:     cur,
+				Before:    nextCfg,
+				After:     curCfg,
 				Round:     res.Rounds,
 			})
 		}
 		res.Steps++
 
-		if len(pending) == 0 {
+		if pending.empty() {
 			// The round is complete; the next one starts at cur.
 			res.Rounds++
 			roundProgress = false
-			pending = make(map[int]bool, len(enabled))
-			for _, u := range enabled {
-				pending[u] = true
-			}
+			pending.copyFrom(enabledBits)
 		}
 
 		recordLegit()
@@ -310,54 +384,42 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 		// that round counts are conservative upper estimates.
 		res.Rounds++
 	}
-	res.Terminated = len(enabled) == 0
-	res.Final = cur
-	for _, m := range res.MovesPerProcess {
-		if m > res.MaxMovesPerProcess {
-			res.MaxMovesPerProcess = m
-		}
-	}
-	if res.LegitimateReached && res.StabilizationRounds > res.Rounds {
-		res.StabilizationRounds = res.Rounds
-	}
+	res.Terminated = len(enabledList) == 0
+	res.Final = NewConfiguration(curStates)
+	res.finish()
 	return res
 }
 
-// sanitizeSelection keeps only selected processes that are actually enabled
-// and returns them sorted and de-duplicated; when the daemon misbehaves and
-// returns an empty or fully invalid selection, the first enabled process is
-// used so that the run always makes progress (matching the "distributed"
-// requirement that at least one enabled process moves).
-func sanitizeSelection(selected, enabled []int) []int {
-	enabledSet := make(map[int]bool, len(enabled))
-	for _, u := range enabled {
-		enabledSet[u] = true
-	}
-	seen := make(map[int]bool, len(selected))
-	var out []int
+// sanitizeSelectionInto is the allocation-free selection sanitizer of the hot
+// loop: it appends to out the selected processes that are actually enabled,
+// de-duplicated (via the dedup scratch bitset, left cleared) and sorted; when
+// the daemon misbehaves and returns an empty or fully invalid selection, the
+// first enabled process is used so that the run always makes progress
+// (matching the "distributed" requirement that at least one enabled process
+// moves).
+func sanitizeSelectionInto(out, selected []int, n int, enabledBits, dedup bitset, enabled []int) []int {
 	for _, u := range selected {
-		if enabledSet[u] && !seen[u] {
-			seen[u] = true
-			out = append(out, u)
+		if u < 0 || u >= n || !enabledBits.get(u) || dedup.get(u) {
+			continue
 		}
+		dedup.set(u)
+		out = append(out, u)
+	}
+	for _, u := range out {
+		dedup.clear(u)
 	}
 	if len(out) == 0 {
-		return []int{enabled[0]}
+		return append(out, enabled[0])
 	}
-	sortInts(out)
+	slices.Sort(out)
 	return out
 }
 
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j-1] > s[j]; j-- {
-			s[j-1], s[j] = s[j], s[j-1]
-		}
-	}
-}
-
-func chooseRule(rules []Rule, v View, o Options) int {
-	var enabled []int
+// chooseRule returns the index of the rule process v executes, or -1 when no
+// rule is enabled. scratch is a reusable buffer for the RandomEnabledRule
+// policy; it must have capacity for all rule indices.
+func chooseRule(rules []Rule, v View, o Options, scratch []int) int {
+	enabled := scratch[:0]
 	for i, r := range rules {
 		if r.Guard(v) {
 			if o.ruleChoice == FirstEnabledRule {

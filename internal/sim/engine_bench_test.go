@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdr/internal/graph"
+)
+
+// The engine micro-benchmarks measure the cost of the stepping hot loop
+// itself, independent of any concrete paper algorithm: ticker keeps every
+// process permanently enabled (steady-state stepping, bounded by
+// WithMaxSteps), and maxPropagation exercises a shrinking enabled set until
+// termination. Each benchmark reports allocations so regressions of the
+// allocation-free loop are caught by inspection.
+
+func benchmarkEngineRun(b *testing.B, run func(e *Engine, start *Configuration, opts ...Option) Result, alg Algorithm, g *graph.Graph, newDaemon func() Daemon, opts ...Option) {
+	b.Helper()
+	net := NewNetwork(g)
+	start := InitialConfiguration(alg, net)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine(net, alg, newDaemon())
+		res := run(eng, start, opts...)
+		if res.Steps == 0 {
+			b.Fatal("benchmark run took no steps")
+		}
+	}
+}
+
+func runIncremental(e *Engine, start *Configuration, opts ...Option) Result {
+	return e.Run(start, opts...)
+}
+
+func runReference(e *Engine, start *Configuration, opts ...Option) Result {
+	return e.RunReference(start, opts...)
+}
+
+// BenchmarkEngineStepsSynchronous measures steady-state stepping with every
+// process enabled in every step (ticker under the synchronous daemon).
+func BenchmarkEngineStepsSynchronous(b *testing.B) {
+	benchmarkEngineRun(b, runIncremental, ticker{}, graph.Ring(64),
+		func() Daemon { return SynchronousDaemon{} }, WithMaxSteps(1000))
+}
+
+// BenchmarkEngineStepsSynchronousReference is the same workload on the
+// retained reference engine, for before/after comparison.
+func BenchmarkEngineStepsSynchronousReference(b *testing.B) {
+	benchmarkEngineRun(b, runReference, ticker{}, graph.Ring(64),
+		func() Daemon { return SynchronousDaemon{} }, WithMaxSteps(1000))
+}
+
+// BenchmarkEngineStepsCentral measures stepping under a central daemon, where
+// only one process moves per step and incremental enabled-set maintenance
+// touches a single neighbourhood.
+func BenchmarkEngineStepsCentral(b *testing.B) {
+	benchmarkEngineRun(b, runIncremental, ticker{}, graph.Ring(64),
+		func() Daemon { return NewCentralRandomDaemon(rand.New(rand.NewSource(7))) },
+		WithMaxSteps(1000))
+}
+
+// BenchmarkEngineStepsCentralReference is the reference-engine counterpart.
+func BenchmarkEngineStepsCentralReference(b *testing.B) {
+	benchmarkEngineRun(b, runReference, ticker{}, graph.Ring(64),
+		func() Daemon { return NewCentralRandomDaemon(rand.New(rand.NewSource(7))) },
+		WithMaxSteps(1000))
+}
+
+// BenchmarkEngineMaxPropagation runs a terminating algorithm (max
+// propagation on a grid) to completion, covering the shrinking-enabled-set
+// and round-accounting paths.
+func BenchmarkEngineMaxPropagation(b *testing.B) {
+	benchmarkEngineRun(b, runIncremental, maxPropagation{}, graph.Grid(8, 8),
+		func() Daemon { return NewDistributedRandomDaemon(rand.New(rand.NewSource(3)), 0.5) })
+}
+
+// BenchmarkEngineMaxPropagationReference is the reference-engine counterpart.
+func BenchmarkEngineMaxPropagationReference(b *testing.B) {
+	benchmarkEngineRun(b, runReference, maxPropagation{}, graph.Grid(8, 8),
+		func() Daemon { return NewDistributedRandomDaemon(rand.New(rand.NewSource(3)), 0.5) })
+}
+
+// BenchmarkEngineGreedyAdversarial exercises the greedy adversarial daemon's
+// lookahead (neighbourhood-scoped in the current engine).
+func BenchmarkEngineGreedyAdversarial(b *testing.B) {
+	benchmarkEngineRun(b, runIncremental, maxPropagation{}, graph.Grid(6, 6),
+		func() Daemon { return NewGreedyAdversarialDaemon(rand.New(rand.NewSource(5))) })
+}
+
+// BenchmarkEngineGreedyAdversarialReference is the reference-engine
+// counterpart (full-rescan lookahead cost shows up here only through the
+// engine loop; the daemon itself is shared).
+func BenchmarkEngineGreedyAdversarialReference(b *testing.B) {
+	benchmarkEngineRun(b, runReference, maxPropagation{}, graph.Grid(6, 6),
+		func() Daemon { return NewGreedyAdversarialDaemon(rand.New(rand.NewSource(5))) })
+}

@@ -1,0 +1,257 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdr/internal/alliance"
+	"sdr/internal/core"
+	"sdr/internal/faults"
+	"sdr/internal/graph"
+	"sdr/internal/sim"
+	"sdr/internal/spantree"
+	"sdr/internal/unison"
+)
+
+// The differential tests assert that the incremental engine (Run) produces
+// bit-identical Results to the retained reference engine (RunReference) for
+// fixed seeds, across every standard daemon and the paper's instantiations:
+// the SDR rules through U∘SDR, FGA∘SDR and B∘SDR, plus standalone FGA and
+// the BPV baseline. Both engines consume daemon randomness through the same
+// sorted enabled sets, so any divergence in enabled-set maintenance, round
+// accounting or rule choice shows up as a Result mismatch.
+
+// assertResultsIdentical compares every field of the two Results (and the
+// final configurations by value).
+func assertResultsIdentical(t *testing.T, label string, inc, ref sim.Result) {
+	t.Helper()
+	if inc.Steps != ref.Steps || inc.Moves != ref.Moves || inc.Rounds != ref.Rounds {
+		t.Fatalf("%s: steps/moves/rounds = %d/%d/%d, reference %d/%d/%d",
+			label, inc.Steps, inc.Moves, inc.Rounds, ref.Steps, ref.Moves, ref.Rounds)
+	}
+	if inc.Terminated != ref.Terminated || inc.HitStepLimit != ref.HitStepLimit {
+		t.Fatalf("%s: terminated/hitLimit = %v/%v, reference %v/%v",
+			label, inc.Terminated, inc.HitStepLimit, ref.Terminated, ref.HitStepLimit)
+	}
+	if inc.LegitimateReached != ref.LegitimateReached ||
+		inc.StabilizationMoves != ref.StabilizationMoves ||
+		inc.StabilizationRounds != ref.StabilizationRounds ||
+		inc.StabilizationSteps != ref.StabilizationSteps ||
+		inc.StabilizationMovesPerProcessMax != ref.StabilizationMovesPerProcessMax {
+		t.Fatalf("%s: stabilization accounting diverged: %+v vs %+v", label, inc, ref)
+	}
+	if inc.MaxMovesPerProcess != ref.MaxMovesPerProcess {
+		t.Fatalf("%s: MaxMovesPerProcess %d != %d", label, inc.MaxMovesPerProcess, ref.MaxMovesPerProcess)
+	}
+	for u := range inc.MovesPerProcess {
+		if inc.MovesPerProcess[u] != ref.MovesPerProcess[u] {
+			t.Fatalf("%s: MovesPerProcess[%d] = %d, reference %d",
+				label, u, inc.MovesPerProcess[u], ref.MovesPerProcess[u])
+		}
+	}
+	if len(inc.MovesPerRule) != len(ref.MovesPerRule) {
+		t.Fatalf("%s: MovesPerRule %v != %v", label, inc.MovesPerRule, ref.MovesPerRule)
+	}
+	for rule, m := range ref.MovesPerRule {
+		if inc.MovesPerRule[rule] != m {
+			t.Fatalf("%s: MovesPerRule[%q] = %d, reference %d", label, rule, inc.MovesPerRule[rule], m)
+		}
+	}
+	if !inc.Final.Equal(ref.Final) {
+		t.Fatalf("%s: final configurations differ:\n  incremental %s\n  reference   %s",
+			label, inc.Final, ref.Final)
+	}
+}
+
+// diffWorkload is one (algorithm, start, options) point of the parity sweep.
+type diffWorkload struct {
+	name  string
+	net   *sim.Network
+	alg   sim.Algorithm
+	start *sim.Configuration
+	opts  []sim.Option
+}
+
+// diffWorkloads builds the instantiation sweep for one seed. Step bounds are
+// small enough to keep the sweep fast but large enough that most runs
+// terminate (both outcomes are compared either way).
+func diffWorkloads(seed int64) []diffWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	var ws []diffWorkload
+
+	// U∘SDR from a fully corrupted configuration, with legitimacy tracking.
+	{
+		g := graph.RandomConnected(10, 0.3, rng)
+		net := sim.NewNetwork(g)
+		u := unison.New(unison.DefaultPeriod(g.N()))
+		comp := core.Compose(u)
+		start := faults.RandomConfiguration(comp, net, rng)
+		ws = append(ws, diffWorkload{
+			name:  "unison∘SDR",
+			net:   net,
+			alg:   comp,
+			start: start,
+			opts: []sim.Option{
+				sim.WithMaxSteps(20_000),
+				sim.WithLegitimate(core.NormalPredicate(u, net)),
+				sim.WithStopWhenLegitimate(),
+			},
+		})
+	}
+
+	// FGA∘SDR from a corrupted configuration, run to termination.
+	{
+		g := graph.RandomConnected(9, 0.5, rng)
+		net := sim.NewNetwork(g)
+		comp := alliance.NewSelfStabilizing(alliance.DominatingSet())
+		start := faults.RandomConfiguration(comp, net, rng)
+		ws = append(ws, diffWorkload{
+			name:  "FGA∘SDR",
+			net:   net,
+			alg:   comp,
+			start: start,
+			opts:  []sim.Option{sim.WithMaxSteps(50_000)},
+		})
+	}
+
+	// B∘SDR (BFS spanning tree) from a corrupted configuration.
+	{
+		g := graph.Grid(3, 3)
+		net := sim.NewNetwork(g)
+		comp := spantree.NewSelfStabilizing(g, int(seed)%g.N())
+		start := faults.RandomConfiguration(comp, net, rng)
+		ws = append(ws, diffWorkload{
+			name:  "B∘SDR",
+			net:   net,
+			alg:   comp,
+			start: start,
+			opts:  []sim.Option{sim.WithMaxSteps(50_000)},
+		})
+	}
+
+	// Standalone FGA from its pre-defined initial configuration.
+	{
+		g := graph.RandomConnected(8, 0.5, rng)
+		net := sim.NewNetwork(g)
+		alg := core.NewStandalone(alliance.NewFGA(alliance.GlobalDefensiveAlliance()))
+		ws = append(ws, diffWorkload{
+			name:  "FGA-standalone",
+			net:   net,
+			alg:   alg,
+			start: sim.InitialConfiguration(alg, net),
+			opts:  []sim.Option{sim.WithMaxSteps(50_000)},
+		})
+	}
+
+	// The BPV baseline (non-terminating) under a step bound, with
+	// legitimacy tracking but no early stop, so the bounded-suffix and
+	// step-limit paths are compared too.
+	{
+		g := graph.Ring(8)
+		net := sim.NewNetwork(g)
+		bpv := unison.NewBPVFor(g)
+		start := faults.RandomConfiguration(bpv, net, rng)
+		ws = append(ws, diffWorkload{
+			name:  "BPV",
+			net:   net,
+			alg:   bpv,
+			start: start,
+			opts: []sim.Option{
+				sim.WithMaxSteps(300),
+				sim.WithLegitimate(bpv.LegitimatePredicate(g)),
+			},
+		})
+	}
+	return ws
+}
+
+// TestEngineMatchesReference is the golden parity sweep: every standard
+// daemon × every instantiation × several fixed seeds.
+func TestEngineMatchesReference(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		for _, df := range sim.StandardDaemonFactories() {
+			for _, w := range diffWorkloads(seed) {
+				// Fresh daemons from the same factory seed: daemons are
+				// stateful, so each engine needs its own instance.
+				inc := sim.NewEngine(w.net, w.alg, df.New(seed)).Run(w.start, w.opts...)
+				ref := sim.NewEngine(w.net, w.alg, df.New(seed)).RunReference(w.start, w.opts...)
+				assertResultsIdentical(t, w.name+"/"+df.Name, inc, ref)
+			}
+		}
+	}
+}
+
+// TestEngineMatchesReferenceRandomRuleChoice covers the RandomEnabledRule
+// policy: both engines must consume the rule-choice rng identically.
+func TestEngineMatchesReferenceRandomRuleChoice(t *testing.T) {
+	g := graph.RandomConnected(9, 0.35, rand.New(rand.NewSource(7)))
+	net := sim.NewNetwork(g)
+	u := unison.New(unison.DefaultPeriod(g.N()))
+	comp := core.Compose(u)
+	start := faults.RandomConfiguration(comp, net, rand.New(rand.NewSource(8)))
+	for _, df := range sim.StandardDaemonFactories() {
+		optsFor := func(seed int64) []sim.Option {
+			return []sim.Option{
+				sim.WithMaxSteps(5_000),
+				sim.WithRuleChoice(sim.RandomEnabledRule, rand.New(rand.NewSource(seed))),
+			}
+		}
+		inc := sim.NewEngine(net, comp, df.New(9)).Run(start, optsFor(21)...)
+		ref := sim.NewEngine(net, comp, df.New(9)).RunReference(start, optsFor(21)...)
+		assertResultsIdentical(t, "random-rule-choice/"+df.Name, inc, ref)
+	}
+}
+
+// TestEngineHooksMatchReference compares the step-by-step trace the hooks
+// observe (activated processes, rule names, rounds), not just the end-of-run
+// summary.
+func TestEngineHooksMatchReference(t *testing.T) {
+	type step struct {
+		step, round int
+		activated   []int
+		rules       []string
+	}
+	record := func(dst *[]step) sim.StepHook {
+		return func(info sim.StepInfo) {
+			*dst = append(*dst, step{
+				step:      info.Step,
+				round:     info.Round,
+				activated: append([]int(nil), info.Activated...),
+				rules:     append([]string(nil), info.Rules...),
+			})
+		}
+	}
+	g := graph.RandomConnected(8, 0.4, rand.New(rand.NewSource(17)))
+	net := sim.NewNetwork(g)
+	comp := alliance.NewSelfStabilizing(alliance.DominatingSet())
+	start := faults.RandomConfiguration(comp, net, rand.New(rand.NewSource(18)))
+	for _, df := range sim.StandardDaemonFactories() {
+		var incSteps, refSteps []step
+		sim.NewEngine(net, comp, df.New(4)).Run(start,
+			sim.WithMaxSteps(20_000), sim.WithStepHook(record(&incSteps)))
+		sim.NewEngine(net, comp, df.New(4)).RunReference(start,
+			sim.WithMaxSteps(20_000), sim.WithStepHook(record(&refSteps)))
+		if len(incSteps) != len(refSteps) {
+			t.Fatalf("%s: %d steps vs %d reference steps", df.Name, len(incSteps), len(refSteps))
+		}
+		for i := range incSteps {
+			a, b := incSteps[i], refSteps[i]
+			if a.step != b.step || a.round != b.round {
+				t.Fatalf("%s step %d: step/round %d/%d vs %d/%d", df.Name, i, a.step, a.round, b.step, b.round)
+			}
+			if len(a.activated) != len(b.activated) {
+				t.Fatalf("%s step %d: activated %v vs %v", df.Name, i, a.activated, b.activated)
+			}
+			for j := range a.activated {
+				if a.activated[j] != b.activated[j] || a.rules[j] != b.rules[j] {
+					t.Fatalf("%s step %d: (%d,%q) vs (%d,%q)",
+						df.Name, i, a.activated[j], a.rules[j], b.activated[j], b.rules[j])
+				}
+			}
+		}
+	}
+}

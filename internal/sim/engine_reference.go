@@ -1,0 +1,202 @@
+package sim
+
+// This file retains the straightforward engine implementation that predates
+// the incremental enabled-set engine: it rescans every process after each
+// step, clones the configuration per step, and keeps the round accounting in
+// maps. It is deliberately kept simple and obviously correct; the
+// differential tests in engine_diff_test.go assert that Run produces
+// bit-identical Results to RunReference across algorithms, daemons and
+// seeds, and the benchmarks in engine_bench_test.go quantify the speedup.
+
+// RunReference executes the algorithm exactly like Run but with the retained
+// reference implementation. It is exported for differential tests and
+// benchmarks; simulation code should always use Run.
+func (e *Engine) RunReference(start *Configuration, opts ...Option) Result {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	e.checkStart(start)
+
+	n := e.net.N()
+	cur := start.Clone()
+	res := newResult(n)
+
+	recordLegit := func() {
+		if res.LegitimateReached || o.legitimate == nil {
+			return
+		}
+		if o.legitimate(cur) {
+			res.markLegitimate()
+		}
+	}
+
+	// Round accounting (neutralization-based): pending holds the processes
+	// enabled at the start of the current round that have neither moved nor
+	// been neutralized yet. roundProgress records whether the current round
+	// saw any step, so that a final partial round is counted.
+	enabled := EnabledSet(e.alg, e.net, cur)
+	pending := make(map[int]bool, len(enabled))
+	for _, u := range enabled {
+		pending[u] = true
+	}
+	roundProgress := false
+
+	recordLegit()
+
+	rules := e.alg.Rules()
+	for len(enabled) > 0 {
+		if res.Steps >= o.maxSteps {
+			res.HitStepLimit = true
+			break
+		}
+		if o.stopWhenLegitimate && res.LegitimateReached {
+			break
+		}
+
+		selected := e.daemon.Select(Selection{
+			Net:     e.net,
+			Alg:     e.alg,
+			Config:  cur,
+			Enabled: enabled,
+			Step:    res.Steps,
+		})
+		selected = referenceSanitizeSelection(selected, enabled)
+
+		// Composite atomicity: all selected processes read cur and their
+		// writes are installed together in next.
+		next := NewConfiguration(copyStates(cur))
+		ruleNames := make([]string, 0, len(selected))
+		for _, u := range selected {
+			v := e.net.View(cur, u)
+			ri := referenceChooseRule(rules, v, o)
+			if ri < 0 {
+				// Defensive: the daemon selected a non-enabled process; skip.
+				ruleNames = append(ruleNames, "")
+				continue
+			}
+			next.SetState(u, rules[ri].Action(v))
+			ruleNames = append(ruleNames, rules[ri].Name)
+			res.recordMove(u, rules[ri].Name)
+		}
+
+		enabledBefore := enabled
+		prev := cur
+		cur = next
+		enabled = EnabledSet(e.alg, e.net, cur)
+		roundProgress = true
+
+		// Update the pending set of the current round.
+		activatedSet := make(map[int]bool, len(selected))
+		for _, u := range selected {
+			activatedSet[u] = true
+		}
+		enabledAfter := make(map[int]bool, len(enabled))
+		for _, u := range enabled {
+			enabledAfter[u] = true
+		}
+		wasEnabled := make(map[int]bool, len(enabledBefore))
+		for _, u := range enabledBefore {
+			wasEnabled[u] = true
+		}
+		for u := range pending {
+			if activatedSet[u] {
+				delete(pending, u)
+				continue
+			}
+			if wasEnabled[u] && !enabledAfter[u] {
+				// Neutralized: enabled before the step, not activated, and
+				// no longer enabled after it.
+				delete(pending, u)
+			}
+		}
+
+		for _, h := range o.hooks {
+			h(StepInfo{
+				Step:      res.Steps,
+				Activated: selected,
+				Rules:     ruleNames,
+				Before:    prev,
+				After:     cur,
+				Round:     res.Rounds,
+			})
+		}
+		res.Steps++
+
+		if len(pending) == 0 {
+			// The round is complete; the next one starts at cur.
+			res.Rounds++
+			roundProgress = false
+			pending = make(map[int]bool, len(enabled))
+			for _, u := range enabled {
+				pending[u] = true
+			}
+		}
+
+		recordLegit()
+	}
+
+	if roundProgress {
+		// A partial round was in progress when the run stopped; count it so
+		// that round counts are conservative upper estimates.
+		res.Rounds++
+	}
+	res.Terminated = len(enabled) == 0
+	res.Final = cur
+	res.finish()
+	return res
+}
+
+// referenceSanitizeSelection is the retained map-based selection sanitizer:
+// it keeps only selected processes that are actually enabled and returns
+// them sorted and de-duplicated; when the daemon misbehaves and returns an
+// empty or fully invalid selection, the first enabled process is used so
+// that the run always makes progress.
+func referenceSanitizeSelection(selected, enabled []int) []int {
+	enabledSet := make(map[int]bool, len(enabled))
+	for _, u := range enabled {
+		enabledSet[u] = true
+	}
+	seen := make(map[int]bool, len(selected))
+	var out []int
+	for _, u := range selected {
+		if enabledSet[u] && !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	if len(out) == 0 {
+		return []int{enabled[0]}
+	}
+	referenceSortInts(out)
+	return out
+}
+
+func referenceSortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// referenceChooseRule is the retained rule-choice helper; it allocates the
+// enabled-rule slice per call under RandomEnabledRule.
+func referenceChooseRule(rules []Rule, v View, o Options) int {
+	var enabled []int
+	for i, r := range rules {
+		if r.Guard(v) {
+			if o.ruleChoice == FirstEnabledRule {
+				return i
+			}
+			enabled = append(enabled, i)
+		}
+	}
+	if len(enabled) == 0 {
+		return -1
+	}
+	if o.rng == nil {
+		return enabled[0]
+	}
+	return enabled[o.rng.Intn(len(enabled))]
+}

