@@ -3,9 +3,16 @@
 // index). By default every experiment is run with the full configuration;
 // use -experiment to run a single one and -quick for a fast, smaller sweep.
 //
+// Beyond the paper's tables, -sweep runs an arbitrary algorithm × topology ×
+// daemon × fault grid through the scenario registries, and -json writes
+// every rendered table as machine-readable BENCH_<id>.json so the benchmark
+// trajectory can be tracked across revisions.
+//
 // Usage:
 //
-//	sdrbench [-experiment E5] [-quick] [-markdown] [-sizes 8,16,32] [-trials 5] [-seed 1] [-parallel 8]
+//	sdrbench [-experiment E5] [-quick] [-markdown] [-sizes 8,16,32] [-trials 5] [-seed 1] [-parallel 8] [-json] [-json-dir out]
+//	sdrbench -sweep -algorithms unison,bfstree -topologies ring,tree,grid -daemons synchronous,distributed-random -sizes 8
+//	sdrbench -list
 package main
 
 import (
@@ -13,11 +20,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 
 	"sdr/internal/bench"
+	"sdr/internal/scenario"
 )
 
 func main() {
@@ -37,16 +46,29 @@ func run(args []string, out io.Writer) error {
 		trials     = fs.Int("trials", 0, "number of trials per point (0 keeps the configuration default)")
 		seed       = fs.Int64("seed", 0, "base random seed (0 keeps the configuration default)")
 		parallel   = fs.Int("parallel", 0, "max number of concurrently executed trials (0 = one per CPU, 1 = sequential); tables are identical for every value")
-		list       = fs.Bool("list", false, "list the experiments and exit")
+		list       = fs.Bool("list", false, "list the experiments and the scenario registries, then exit")
+		jsonOut    = fs.Bool("json", false, "additionally write each table as machine-readable BENCH_<id>.json")
+		jsonDir    = fs.String("json-dir", ".", "directory the -json files are written to")
+		sweep      = fs.Bool("sweep", false, "run a custom algorithm×topology×daemon×fault grid instead of the paper's tables")
+		algorithms = fs.String("algorithms", "unison", "comma-separated algorithm registry entries for -sweep")
+		topologies = fs.String("topologies", "ring", "comma-separated topology registry entries for -sweep")
+		daemons    = fs.String("daemons", "distributed-random", "comma-separated daemon registry entries for -sweep")
+		faultList  = fs.String("faults", "random-all", "comma-separated fault-model registry entries for -sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *list {
+		fmt.Fprintln(out, "experiments:")
 		for _, e := range bench.Experiments() {
-			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Title)
+			fmt.Fprintf(out, "  %-4s %s\n", e.ID, e.Title)
 		}
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "sweep algorithms : %s\n", strings.Join(scenario.Algorithms(), ", "))
+		fmt.Fprintf(out, "sweep topologies : %s\n", strings.Join(scenario.Topologies(), ", "))
+		fmt.Fprintf(out, "sweep daemons    : %s\n", strings.Join(scenario.Daemons(), ", "))
+		fmt.Fprintf(out, "sweep faults     : %s\n", strings.Join(scenario.FaultModels(), ", "))
 		return nil
 	}
 
@@ -72,6 +94,49 @@ func run(args []string, out io.Writer) error {
 		cfg.Parallel = runtime.NumCPU()
 	}
 
+	emit := func(table bench.Table) error {
+		if *markdown {
+			if err := table.Markdown(out); err != nil {
+				return err
+			}
+		} else {
+			if err := table.Render(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		if *jsonOut {
+			if err := writeTableJSON(*jsonDir, table); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if *sweep {
+		sw := scenario.Sweep{
+			Algorithms: splitNames(*algorithms),
+			Topologies: splitNames(*topologies),
+			Daemons:    splitNames(*daemons),
+			Faults:     splitNames(*faultList),
+			Sizes:      cfg.Sizes,
+			Trials:     cfg.Trials,
+			Seed:       cfg.Seed,
+			MaxSteps:   cfg.MaxSteps,
+		}
+		table, err := bench.RunSweep(sw, cfg.Parallel)
+		if err != nil {
+			return err
+		}
+		if err := emit(table); err != nil {
+			return err
+		}
+		if table.Violations > 0 {
+			return fmt.Errorf("%d sweep cell(s) failed their correctness check", table.Violations)
+		}
+		return nil
+	}
+
 	experiments := bench.Experiments()
 	if *experiment != "" {
 		e, err := bench.ExperimentByID(*experiment)
@@ -85,14 +150,7 @@ func run(args []string, out io.Writer) error {
 	for _, e := range experiments {
 		table := e.Run(cfg)
 		violations += table.Violations
-		var err error
-		if *markdown {
-			err = table.Markdown(out)
-		} else {
-			err = table.Render(out)
-			fmt.Fprintln(out)
-		}
-		if err != nil {
+		if err := emit(table); err != nil {
 			return err
 		}
 	}
@@ -100,6 +158,32 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("%d measurement(s) violated a proven bound or failed a correctness check", violations)
 	}
 	return nil
+}
+
+// writeTableJSON writes the table as BENCH_<id>.json in dir.
+func writeTableJSON(dir string, table bench.Table) error {
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", table.ID))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := table.JSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// splitNames parses a comma-separated name list, dropping empty parts.
+func splitNames(s string) []string {
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -55,6 +58,73 @@ func TestParallelFlagDeterministic(t *testing.T) {
 	}
 	if sequential.String() != parallel.String() {
 		t.Errorf("-parallel changed the table:\n%s\nvs\n%s", sequential.String(), parallel.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-experiment", "E8", "-sizes", "6", "-trials", "1", "-seed", "5", "-json", "-json-dir", dir}, &out)
+	if err != nil {
+		t.Fatalf("run E8 -json: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_E8.json"))
+	if err != nil {
+		t.Fatalf("BENCH_E8.json not written: %v", err)
+	}
+	var table struct {
+		ID         string
+		Columns    []string
+		Rows       [][]string
+		Violations int
+	}
+	if err := json.Unmarshal(data, &table); err != nil {
+		t.Fatalf("BENCH_E8.json is not valid JSON: %v", err)
+	}
+	if table.ID != "E8" || len(table.Rows) == 0 || len(table.Columns) == 0 {
+		t.Errorf("unexpected JSON table: %+v", table)
+	}
+	if table.Violations != 0 {
+		t.Errorf("E8 reported %d violations", table.Violations)
+	}
+}
+
+func TestSweepMode(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{
+		"-sweep",
+		"-algorithms", "unison,bfstree,dominating-set",
+		"-topologies", "ring,tree,grid",
+		"-daemons", "synchronous,distributed-random",
+		"-sizes", "8", "-trials", "1", "-seed", "3",
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run -sweep: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "SWEEP") || !strings.Contains(text, "dominating-set") {
+		t.Errorf("sweep output looks wrong:\n%s", text)
+	}
+	if got := strings.Count(text, "yes"); got != 3*3*2 {
+		t.Errorf("expected %d ok cells, counted %d:\n%s", 3*3*2, got, text)
+	}
+
+	// Unknown registry names must be rejected.
+	var errOut bytes.Buffer
+	if err := run([]string{"-sweep", "-algorithms", "nope"}, &errOut); err == nil {
+		t.Error("a sweep over an unknown algorithm must fail")
+	}
+}
+
+func TestListIncludesRegistries(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, want := range []string{"sweep algorithms", "unison-uncoop", "hypercube", "greedy-adversarial", "fake-wave"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
 	}
 }
 

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
+
+// goldenCases are the representative Specs whose rendered output is pinned.
+// Every run is fully seeded, so the output is deterministic; regenerate with
+//
+//	go test ./cmd/sdrsim -run TestGolden -update
+var goldenCases = []struct {
+	name string
+	args []string
+}{
+	{"unison_ring", []string{"-algorithm", "unison", "-topology", "ring", "-n", "8", "-daemon", "distributed-random", "-scenario", "random-all", "-seed", "3"}},
+	{"unison_standalone_none", []string{"-algorithm", "unison-standalone", "-topology", "path", "-n", "6", "-scenario", "none", "-max-steps", "60"}},
+	{"alliance_complete", []string{"-algorithm", "global-defensive-alliance", "-topology", "complete", "-n", "8", "-scenario", "random-all", "-seed", "2"}},
+	{"alliance_generic_spec", []string{"-algorithm", "alliance", "-spec", "2-domination", "-topology", "random", "-n", "10", "-seed", "4"}},
+	{"bfstree_grid", []string{"-algorithm", "bfstree", "-topology", "grid", "-n", "9", "-scenario", "fake-wave", "-seed", "5"}},
+	{"bpv_ring", []string{"-algorithm", "bpv", "-topology", "ring", "-n", "8", "-scenario", "random-all", "-seed", "6"}},
+	{"trace_text", []string{"-algorithm", "unison", "-topology", "ring", "-n", "5", "-seed", "7", "-trace", "-format", "text", "-max-steps", "100000"}},
+	{"trace_json", []string{"-algorithm", "unison", "-topology", "ring", "-n", "5", "-seed", "7", "-trace", "-format", "json", "-max-steps", "100000"}},
+	{"list", []string{"-list"}},
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err != nil {
+				t.Fatalf("run %v: %v", tc.args, err)
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", path, out.Bytes(), want)
+			}
+		})
+	}
+}

@@ -1,31 +1,28 @@
 // Command sdrsim runs one simulated execution of a reproduced algorithm on a
 // chosen topology, under a chosen daemon, from a chosen (possibly corrupted)
 // starting configuration, and prints the trace summary and the stabilization
-// measurements.
+// measurements. It is a thin flag parser over the internal/scenario
+// registries: every combination it can run is a scenario.Spec, and -list
+// shows everything the registries know.
 //
 // Usage examples:
 //
 //	sdrsim -algorithm unison -topology ring -n 16 -daemon distributed-random -scenario random-all
 //	sdrsim -algorithm alliance -spec dominating-set -topology random -n 12 -trace
 //	sdrsim -algorithm bpv -topology ring -n 10 -scenario random-all
+//	sdrsim -list
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
-	"strings"
 
-	"sdr/internal/alliance"
 	"sdr/internal/core"
-	"sdr/internal/faults"
-	"sdr/internal/graph"
+	"sdr/internal/scenario"
 	"sdr/internal/sim"
-	"sdr/internal/spantree"
 	"sdr/internal/trace"
-	"sdr/internal/unison"
 )
 
 func main() {
@@ -35,87 +32,81 @@ func main() {
 	}
 }
 
-type options struct {
-	algorithm string
-	spec      string
-	topology  string
-	n         int
-	k         int
-	daemon    string
-	scenario  string
-	seed      int64
-	maxSteps  int
-	showTrace bool
-	format    string
-}
-
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sdrsim", flag.ContinueOnError)
-	var o options
-	fs.StringVar(&o.algorithm, "algorithm", "unison", "algorithm to run: unison, unison-standalone, alliance, alliance-standalone, bfstree, bpv")
-	fs.StringVar(&o.spec, "spec", "dominating-set", "alliance spec: dominating-set, 2-domination, 2-tuple-domination, global-offensive-alliance, global-defensive-alliance, global-powerful-alliance")
-	fs.StringVar(&o.topology, "topology", "ring", "topology: ring, path, star, complete, tree, grid, torus, hypercube, random")
-	fs.IntVar(&o.n, "n", 12, "number of processes (rounded by structured topologies)")
-	fs.IntVar(&o.k, "k", 0, "unison period K (0 means n+1)")
-	fs.StringVar(&o.daemon, "daemon", "distributed-random", "daemon: synchronous, central-random, distributed-random, locally-central, round-robin, greedy-adversarial")
-	fs.StringVar(&o.scenario, "scenario", "random-all", "fault scenario for composed algorithms: random-all, inner-only, fake-wave, half-corrupt, none")
-	fs.Int64Var(&o.seed, "seed", 1, "random seed")
-	fs.IntVar(&o.maxSteps, "max-steps", 2_000_000, "step bound")
-	fs.BoolVar(&o.showTrace, "trace", false, "print the full step-by-step trace")
-	fs.StringVar(&o.format, "format", "text", "trace format when -trace is set: text, csv, json")
+	var (
+		sp        scenario.Spec
+		list      = fs.Bool("list", false, "list the registered algorithms, topologies, daemons and fault models, then exit")
+		showTrace = fs.Bool("trace", false, "print the full step-by-step trace")
+		format    = fs.String("format", "text", "trace format when -trace is set: text, csv, json")
+	)
+	fs.StringVar(&sp.Algorithm, "algorithm", "unison", "algorithm registry entry (see -list)")
+	fs.StringVar(&sp.Params.AllianceSpec, "spec", "dominating-set", "alliance spec for the generic alliance entries (see -list)")
+	fs.StringVar(&sp.Topology, "topology", "ring", "topology registry entry (see -list)")
+	fs.IntVar(&sp.N, "n", 12, "number of processes (rounded by structured topologies)")
+	fs.IntVar(&sp.Params.K, "k", 0, "unison period K (0 means n+1)")
+	fs.IntVar(&sp.Params.Root, "root", 0, "root process of the spanning-tree algorithms")
+	fs.StringVar(&sp.Daemon, "daemon", "distributed-random", "daemon registry entry (see -list)")
+	fs.StringVar(&sp.Fault, "scenario", "random-all", "fault-model registry entry (see -list)")
+	fs.Int64Var(&sp.Seed, "seed", 1, "random seed")
+	fs.IntVar(&sp.MaxSteps, "max-steps", 2_000_000, "step bound")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return simulate(o, out)
+	if *list {
+		printRegistries(out)
+		return nil
+	}
+	return simulate(sp, *showTrace, *format, out)
 }
 
-func simulate(o options, out io.Writer) error {
-	g, err := buildTopology(o.topology, o.n, o.seed)
+// printRegistries renders the scenario registries, one section per axis.
+func printRegistries(out io.Writer) {
+	section := func(title string, names []string, describe func(string) string) {
+		fmt.Fprintf(out, "%s:\n", title)
+		for _, name := range names {
+			fmt.Fprintf(out, "  %-32s %s\n", name, describe(name))
+		}
+		fmt.Fprintln(out)
+	}
+	section("algorithms", scenario.Algorithms(), func(name string) string {
+		e, _ := scenario.AlgorithmByName(name)
+		return e.Description
+	})
+	section("topologies", scenario.Topologies(), func(name string) string {
+		e, _ := scenario.TopologyByName(name)
+		return e.Description
+	})
+	section("daemons", scenario.Daemons(), func(name string) string {
+		e, _ := scenario.DaemonByName(name)
+		return e.Description
+	})
+	section("fault models", scenario.FaultModels(), func(name string) string {
+		e, _ := scenario.FaultByName(name)
+		return e.Description
+	})
+}
+
+func simulate(sp scenario.Spec, showTrace bool, format string, out io.Writer) error {
+	run, err := sp.Resolve()
 	if err != nil {
 		return err
 	}
-	net := sim.NewNetwork(g)
-	rng := rand.New(rand.NewSource(o.seed))
 
-	alg, inner, legit, err := buildAlgorithm(o, g)
-	if err != nil {
-		return err
+	recorder := trace.NewRecorder(run.Net.N(), trace.WithMaxEvents(10_000))
+	opts := []sim.Option{sim.WithStepHook(recorder.Hook())}
+	observer := run.Observer()
+	if observer != nil {
+		opts = append(opts, sim.WithStepHook(observer.Hook()))
 	}
-	daemon, err := buildDaemon(o.daemon, o.seed)
-	if err != nil {
-		return err
-	}
-	start, err := buildStart(o.scenario, alg, inner, net, rng)
-	if err != nil {
-		return err
-	}
+	res := run.Execute(opts...)
 
-	recorder := trace.NewRecorder(net.N(), trace.WithMaxEvents(10_000))
-	runOpts := []sim.Option{
-		sim.WithMaxSteps(o.maxSteps),
-		sim.WithStepHook(recorder.Hook()),
-	}
-	var observer *core.Observer
-	if inner != nil {
-		observer = core.NewObserver(inner, net)
-		observer.Prime(start)
-		runOpts = append(runOpts, sim.WithStepHook(observer.Hook()))
-	}
-	if legit != nil {
-		runOpts = append(runOpts, sim.WithLegitimate(legit))
-	}
-	if !terminatingAlgorithm(o.algorithm) {
-		runOpts = append(runOpts, sim.WithStopWhenLegitimate())
-	}
-
-	eng := sim.NewEngine(net, alg, daemon)
-	res := eng.Run(start, runOpts...)
-
-	fmt.Fprintf(out, "algorithm : %s\n", alg.Name())
-	fmt.Fprintf(out, "topology  : %s (n=%d m=%d Δ=%d D=%d)\n", o.topology, g.N(), g.M(), g.MaxDegree(), g.Diameter())
-	fmt.Fprintf(out, "daemon    : %s, scenario: %s, seed: %d\n", daemon.Name(), o.scenario, o.seed)
+	g := run.Graph
+	fmt.Fprintf(out, "algorithm : %s\n", run.Alg.Name())
+	fmt.Fprintf(out, "topology  : %s (n=%d m=%d Δ=%d D=%d)\n", run.Spec.Topology, g.N(), g.M(), g.MaxDegree(), g.Diameter())
+	fmt.Fprintf(out, "daemon    : %s, scenario: %s, seed: %d\n", run.Daemon.Name(), run.Spec.Fault, run.Spec.Seed)
 	fmt.Fprintf(out, "steps     : %d, moves: %d, rounds: %d, terminated: %v\n", res.Steps, res.Moves, res.Rounds, res.Terminated)
-	if legit != nil {
+	if run.Legitimate != nil {
 		if res.LegitimateReached {
 			fmt.Fprintf(out, "stabilized: after %d moves / %d rounds / %d steps\n",
 				res.StabilizationMoves, res.StabilizationRounds, res.StabilizationSteps)
@@ -125,12 +116,14 @@ func simulate(o options, out io.Writer) error {
 	}
 	if observer != nil {
 		fmt.Fprintf(out, "reset     : segments=%d, max SDR moves/process=%d (bound %d), alive-root creations=%d\n",
-			observer.Segments(), observer.MaxSDRMoves(), core.MaxSDRMovesPerProcess(net.N()), observer.AliveRootViolations())
+			observer.Segments(), observer.MaxSDRMoves(), core.MaxSDRMovesPerProcess(run.Net.N()), observer.AliveRootViolations())
 	}
-	printOutcome(o, out, net, res)
+	for _, line := range run.Report(res).Lines {
+		fmt.Fprintln(out, line)
+	}
 
-	if o.showTrace {
-		switch o.format {
+	if showTrace {
+		switch format {
 		case "text":
 			return recorder.WriteText(out)
 		case "csv":
@@ -138,171 +131,9 @@ func simulate(o options, out io.Writer) error {
 		case "json":
 			return recorder.WriteJSON(out)
 		default:
-			return fmt.Errorf("unknown trace format %q", o.format)
+			return fmt.Errorf("unknown trace format %q", format)
 		}
 	}
 	fmt.Fprint(out, recorder.Summary())
 	return nil
-}
-
-// printOutcome prints the algorithm-specific result of the run.
-func printOutcome(o options, out io.Writer, net *sim.Network, res sim.Result) {
-	switch {
-	case strings.HasPrefix(o.algorithm, "alliance"):
-		members := alliance.Members(res.Final)
-		spec, err := specByName(o.spec)
-		if err != nil {
-			return
-		}
-		fmt.Fprintf(out, "alliance  : %v (size %d)\n", members, len(members))
-		fmt.Fprintf(out, "valid     : alliance=%v, 1-minimal=%v\n",
-			alliance.IsAlliance(net.Graph(), spec, members),
-			alliance.Is1Minimal(net.Graph(), spec, members))
-	case o.algorithm == "bfstree":
-		err := spantree.VerifyTree(net.Graph(), 0, res.Final)
-		fmt.Fprintf(out, "bfs tree  : distances=%v\n", spantree.Distances(res.Final))
-		fmt.Fprintf(out, "valid     : %v\n", err == nil)
-	case o.algorithm == "unison" || o.algorithm == "unison-standalone":
-		fmt.Fprintf(out, "final     : %s\n", res.Final)
-	}
-}
-
-func terminatingAlgorithm(name string) bool {
-	return strings.HasPrefix(name, "alliance") || name == "bfstree"
-}
-
-func buildTopology(name string, n int, seed int64) (*graph.Graph, error) {
-	rng := rand.New(rand.NewSource(seed))
-	switch name {
-	case "ring":
-		return graph.Ring(n), nil
-	case "path":
-		return graph.Path(n), nil
-	case "star":
-		return graph.Star(n), nil
-	case "complete":
-		return graph.Complete(n), nil
-	case "tree":
-		return graph.RandomTree(n, rng), nil
-	case "grid":
-		side := 2
-		for side*side < n {
-			side++
-		}
-		return graph.Grid(side, (n+side-1)/side), nil
-	case "torus":
-		side := 3
-		for side*side < n {
-			side++
-		}
-		return graph.Torus(side, side), nil
-	case "hypercube":
-		d := 1
-		for (1 << uint(d)) < n {
-			d++
-		}
-		return graph.Hypercube(d), nil
-	case "random":
-		return graph.RandomConnected(n, 0.3, rng), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", name)
-	}
-}
-
-func specByName(name string) (alliance.Spec, error) {
-	for _, s := range alliance.StandardSpecs() {
-		if s.Name == name {
-			return s, nil
-		}
-	}
-	var known []string
-	for _, s := range alliance.StandardSpecs() {
-		known = append(known, s.Name)
-	}
-	return alliance.Spec{}, fmt.Errorf("unknown alliance spec %q (known: %s)", name, strings.Join(known, ", "))
-}
-
-// buildAlgorithm returns the algorithm to run, the inner Resettable when the
-// algorithm is a composition (nil otherwise), and the legitimacy predicate.
-func buildAlgorithm(o options, g *graph.Graph) (sim.Algorithm, core.Resettable, sim.Predicate, error) {
-	net := sim.NewNetwork(g)
-	k := o.k
-	if k <= 0 {
-		k = unison.DefaultPeriod(g.N())
-	}
-	switch o.algorithm {
-	case "unison":
-		u := unison.New(k)
-		comp := core.Compose(u)
-		return comp, u, core.NormalPredicate(u, net), nil
-	case "unison-standalone":
-		u := unison.New(k)
-		return core.NewStandalone(u), nil, nil, nil
-	case "alliance":
-		spec, err := specByName(o.spec)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		if err := spec.Validate(g); err != nil {
-			return nil, nil, nil, err
-		}
-		fga := alliance.NewFGA(spec)
-		comp := core.Compose(fga)
-		return comp, fga, core.NormalPredicate(fga, net), nil
-	case "alliance-standalone":
-		spec, err := specByName(o.spec)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		if err := spec.Validate(g); err != nil {
-			return nil, nil, nil, err
-		}
-		return core.NewStandalone(alliance.NewFGA(spec)), nil, nil, nil
-	case "bfstree":
-		bfs := spantree.NewFor(g, 0)
-		comp := core.Compose(bfs)
-		return comp, bfs, core.NormalPredicate(bfs, net), nil
-	case "bpv":
-		bpv := unison.NewBPVFor(g)
-		return bpv, nil, bpv.LegitimatePredicate(g), nil
-	default:
-		return nil, nil, nil, fmt.Errorf("unknown algorithm %q", o.algorithm)
-	}
-}
-
-func buildDaemon(name string, seed int64) (sim.Daemon, error) {
-	for _, df := range sim.StandardDaemonFactories() {
-		if df.Name == name {
-			return df.New(seed), nil
-		}
-	}
-	var known []string
-	for _, df := range sim.StandardDaemonFactories() {
-		known = append(known, df.Name)
-	}
-	return nil, fmt.Errorf("unknown daemon %q (known: %s)", name, strings.Join(known, ", "))
-}
-
-func buildStart(scenario string, alg sim.Algorithm, inner core.Resettable, net *sim.Network, rng *rand.Rand) (*sim.Configuration, error) {
-	if scenario == "none" || inner == nil {
-		if scenario != "none" && scenario != "random-all" {
-			return nil, fmt.Errorf("scenario %q requires a composed algorithm", scenario)
-		}
-		if scenario == "random-all" {
-			if _, ok := alg.(sim.Enumerable); ok {
-				return faults.RandomConfiguration(alg, net, rng), nil
-			}
-		}
-		return sim.InitialConfiguration(alg, net), nil
-	}
-	for _, s := range faults.StandardScenarios() {
-		if s.Name == scenario {
-			return s.Build(alg, inner, net, rng), nil
-		}
-	}
-	var known []string
-	for _, s := range faults.StandardScenarios() {
-		known = append(known, s.Name)
-	}
-	return nil, fmt.Errorf("unknown scenario %q (known: %s, none)", scenario, strings.Join(known, ", "))
 }

@@ -16,12 +16,19 @@
 //   - internal/checker  — closure/convergence checkers and bounded-exhaustive
 //     state-space exploration;
 //   - internal/faults   — transient-fault injection;
+//   - internal/scenario — the declarative experiment layer: named registries
+//     for algorithms, topologies, daemons and fault models, the Spec type
+//     that resolves a description into a ready-to-run engine, and Sweep
+//     cross-products;
 //   - internal/trace    — execution recording and export;
 //   - internal/stats    — summaries and growth fits for the reports;
-//   - internal/bench    — the experiment harness (E1-E10, A1-A3).
+//   - internal/bench    — the experiment harness (E1-E10, A1-A3), built on
+//     scenario sweeps.
 //
 // The executables cmd/sdrsim and cmd/sdrbench and the runnable examples under
-// examples/ are the entry points; bench_test.go at this root exposes one
-// testing.B benchmark per experiment table. See README.md for the quickstart
-// and benchmark usage.
+// examples/ are the entry points; all of them construct their runs through
+// internal/scenario Specs, so `sdrsim -list` shows every combination they can
+// run. bench_test.go at this root exposes one testing.B benchmark per
+// experiment table. See README.md for the quickstart, the scenario sweeps and
+// benchmark usage.
 package sdr

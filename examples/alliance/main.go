@@ -2,10 +2,11 @@
 //
 // The example computes, with FGA ∘ SDR, several of the alliance variants the
 // paper lists in Section 6.1 (dominating set, global offensive / defensive /
-// powerful alliances) on one random identified network. It then injects a
-// transient fault into the converged system and shows that the composition
-// recovers a (possibly different) 1-minimal alliance, within the proven
-// bounds.
+// powerful alliances) on one random identified network. Each variant is its
+// own entry in the scenario algorithm registry, so the sweep is a loop over
+// registry names. After convergence a transient fault corrupts half of the
+// processes, and the composition recovers a (possibly different) 1-minimal
+// alliance within the proven bounds.
 //
 // Run with:
 //
@@ -13,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -20,7 +22,7 @@ import (
 
 	"sdr/internal/alliance"
 	"sdr/internal/faults"
-	"sdr/internal/graph"
+	"sdr/internal/scenario"
 	"sdr/internal/sim"
 )
 
@@ -48,56 +50,61 @@ func run(args []string) error {
 		seed = v
 	}
 
-	rng := rand.New(rand.NewSource(seed))
-	g := graph.RandomConnected(n, 0.4, rng)
-	net := sim.NewNetwork(g)
-	fmt.Printf("network: random identified graph, n=%d m=%d Δ=%d\n\n", g.N(), g.M(), g.MaxDegree())
-
-	specs := []alliance.Spec{
-		alliance.DominatingSet(),
-		alliance.GlobalOffensiveAlliance(),
-		alliance.GlobalDefensiveAlliance(),
-		alliance.GlobalPowerfulAlliance(),
+	variants := []string{
+		"dominating-set",
+		"global-offensive-alliance",
+		"global-defensive-alliance",
+		"global-powerful-alliance",
 	}
-	for _, spec := range specs {
-		if err := demo(spec, g, net, seed); err != nil {
+	for _, name := range variants {
+		if err := demo(name, n, seed); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func demo(spec alliance.Spec, g *graph.Graph, net *sim.Network, seed int64) error {
-	fmt.Printf("— %s —\n", spec.Name)
-	if err := spec.Validate(g); err != nil {
+func demo(name string, n int, seed int64) error {
+	fmt.Printf("— %s —\n", name)
+	// Phase 1: converge from the pre-defined initial configuration (every
+	// process in the alliance).
+	run, err := scenario.Spec{
+		Algorithm: name,
+		Topology:  "random",
+		N:         n,
+		Daemon:    "distributed-random",
+		Fault:     "none",
+		Seed:      seed,
+		Params:    scenario.Params{EdgeProb: 0.4},
+	}.Resolve()
+	if errors.Is(err, scenario.ErrUnsatisfiable) {
 		fmt.Printf("  skipped: %v\n\n", err)
 		return nil
 	}
-	composed := alliance.NewSelfStabilizing(spec)
-	daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-	engine := sim.NewEngine(net, composed, daemon)
-
-	// Phase 1: converge from the pre-defined initial configuration (every
-	// process in the alliance).
-	res := engine.Run(sim.InitialConfiguration(composed, net))
+	if err != nil {
+		return err
+	}
+	g := run.Graph
+	res := run.Execute()
 	members := alliance.Members(res.Final)
+	fmt.Printf("  network   : n=%d m=%d Δ=%d\n", g.N(), g.M(), g.MaxDegree())
 	fmt.Printf("  converged : %v (size %d) in %d moves / %d rounds\n",
 		members, len(members), res.Moves, res.Rounds)
 	fmt.Printf("  1-minimal : %v (move bound %d, round bound %d)\n",
-		alliance.Is1Minimal(g, spec, members),
+		run.Report(res).OK,
 		alliance.MaxStabilizationMoves(g.N(), g.M(), g.MaxDegree()),
 		alliance.MaxStabilizationRounds(g.N()))
 
 	// Phase 2: a transient fault corrupts half of the processes (application
-	// variables and reset machinery alike); the composition recovers.
-	rng := rand.New(rand.NewSource(seed + 1))
-	corrupted := faults.CorruptFraction(composed, net, res.Final, 0.5, rng)
-	res2 := engine.Run(corrupted)
+	// variables and reset machinery alike); the composition recovers. The
+	// corruption reuses the resolved run's engine on the converged state.
+	corrupted := faults.CorruptFraction(run.Alg, run.Net, res.Final, 0.5, rand.New(rand.NewSource(seed+1)))
+	res2 := run.Engine.Run(corrupted, sim.WithMaxSteps(run.Spec.MaxSteps))
 	recovered := alliance.Members(res2.Final)
 	fmt.Printf("  after fault: recovered %v (size %d) in %d moves; 1-minimal: %v\n\n",
-		recovered, len(recovered), res2.Moves, alliance.Is1Minimal(g, spec, recovered))
+		recovered, len(recovered), res2.Moves, run.Report(res2).OK)
 	if !res2.Terminated {
-		return fmt.Errorf("alliance: %s did not re-converge after the fault", spec.Name)
+		return fmt.Errorf("alliance: %s did not re-converge after the fault", name)
 	}
 	return nil
 }

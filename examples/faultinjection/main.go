@@ -1,11 +1,11 @@
 // Repeated transient faults and cooperative recovery.
 //
-// The example runs U ∘ SDR on a torus and injects a fresh transient fault
-// every time the system has stabilized, for a configurable number of rounds
-// of the fault/recovery cycle. After each fault it reports how many
-// concurrent resets were initiated (the multi-initiator aspect of the paper)
-// and how the cooperative coordination kept the per-process reset work within
-// the 3n+3 bound of Corollary 4.
+// The example resolves one scenario (U ∘ SDR on a torus) and then injects a
+// fresh transient fault from each registered fault model in turn, for a
+// configurable number of fault/recovery cycles. After each fault it reports
+// how many concurrent resets were initiated (the multi-initiator aspect of
+// the paper) and how the cooperative coordination kept the per-process reset
+// work within the 3n+3 bound of Corollary 4.
 //
 // Run with:
 //
@@ -19,10 +19,8 @@ import (
 	"strconv"
 
 	"sdr/internal/core"
-	"sdr/internal/faults"
-	"sdr/internal/graph"
+	"sdr/internal/scenario"
 	"sdr/internal/sim"
-	"sdr/internal/unison"
 )
 
 func main() {
@@ -49,41 +47,58 @@ func run(args []string) error {
 		seed = v
 	}
 
-	g := graph.Torus(4, 5)
-	net := sim.NewNetwork(g)
-	n := net.N()
-	u := unison.New(unison.DefaultPeriod(n))
-	composed := core.Compose(u)
-	rng := rand.New(rand.NewSource(seed))
-	daemon := sim.NewDistributedRandomDaemon(rng, 0.5)
-	engine := sim.NewEngine(net, composed, daemon)
-
-	fmt.Printf("network: 4×5 torus (n=%d, D=%d); unison period K=%d\n", n, g.Diameter(), u.K())
+	// One resolved scenario provides the network, algorithm, daemon and
+	// engine for every cycle; only the fault model rotates.
+	base, err := scenario.Spec{
+		Algorithm: "unison",
+		Topology:  "torus",
+		N:         20, // rounded up to the 5×5 torus
+		Daemon:    "distributed-random",
+		Fault:     "none",
+		Seed:      seed,
+	}.Resolve()
+	if err != nil {
+		return err
+	}
+	n := base.Net.N()
+	fmt.Printf("network: %s torus (n=%d, D=%d); algorithm %s\n", "5×5", n, base.Graph.Diameter(), base.Alg.Name())
 	fmt.Printf("per-process SDR move bound (Corollary 4): %d\n\n", core.MaxSDRMovesPerProcess(n))
 
-	scenarios := faults.StandardScenarios()
-	current := sim.InitialConfiguration(composed, net)
+	// The corrupting fault models, rotated across cycles.
+	var corruptions []scenario.FaultEntry
+	for _, name := range scenario.FaultModels() {
+		if name == "none" {
+			continue
+		}
+		entry, err := scenario.FaultByName(name)
+		if err != nil {
+			return err
+		}
+		corruptions = append(corruptions, entry)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var current *sim.Configuration
 	for cycle := 1; cycle <= cycles; cycle++ {
-		scenario := scenarios[(cycle-1)%len(scenarios)]
-		current = scenario.Build(composed, u, net, rng)
+		fault := corruptions[(cycle-1)%len(corruptions)]
+		current, err = fault.Build(base.Alg, base.Inner, base.Net, rng)
+		if err != nil {
+			return err
+		}
 
 		// Count the resets initiated from this corrupted configuration: the
 		// processes that will act as roots (alive roots of Definition 1).
-		initiators := len(core.AliveRoots(u, net, current))
+		initiators := len(core.AliveRoots(base.Inner, base.Net, current))
 
-		observer := core.NewObserver(u, net)
+		observer := core.NewObserver(base.Inner, base.Net)
 		observer.Prime(current)
-		res := engine.Run(current,
-			sim.WithLegitimate(core.NormalPredicate(u, net)),
-			sim.WithStopWhenLegitimate(),
-			sim.WithStepHook(observer.Hook()),
-		)
+		res := base.Engine.Run(current, append(base.Options(), sim.WithStepHook(observer.Hook()))...)
 		if !res.LegitimateReached {
-			return fmt.Errorf("cycle %d (%s): the system did not recover", cycle, scenario.Name)
+			return fmt.Errorf("cycle %d (%s): the system did not recover", cycle, fault.Name)
 		}
 		fmt.Printf("cycle %d: fault %-12s  initiators=%-3d recovered in %4d moves / %2d rounds  "+
 			"(segments=%d, max SDR moves/process=%d, alive-root creations=%d)\n",
-			cycle, scenario.Name, initiators,
+			cycle, fault.Name, initiators,
 			res.StabilizationMoves, res.StabilizationRounds,
 			observer.Segments(), observer.MaxSDRMoves(), observer.AliveRootViolations())
 		current = res.Final

@@ -1,24 +1,27 @@
-// Quickstart: self-stabilizing unison on a ring.
+// Quickstart: self-stabilizing unison on a ring, through the declarative
+// scenario API.
 //
-// The example builds the composition U ∘ SDR (Algorithm U made
-// self-stabilizing by the cooperative reset of the paper), corrupts every
-// process's state arbitrarily, runs the system under a distributed daemon,
-// and shows that it recovers a legitimate clock configuration within the
-// bounds proven in the paper (3n rounds, O(D·n²) moves).
+// The whole experiment is one scenario.Spec: the algorithm (U ∘ SDR, the
+// composition the paper's cooperative reset makes self-stabilizing), the
+// topology, the daemon and the fault model are registry names, and Resolve
+// assembles the ready-to-run engine. Running it shows that the system
+// recovers a legitimate clock configuration within the bounds proven in the
+// paper (3n rounds, O(D·n²) moves).
 //
 // Run with:
 //
 //	go run ./examples/quickstart
+//
+// Explore the registries with:
+//
+//	go run ./cmd/sdrsim -list
 package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 
-	"sdr/internal/core"
-	"sdr/internal/faults"
-	"sdr/internal/graph"
+	"sdr/internal/scenario"
 	"sdr/internal/sim"
 	"sdr/internal/unison"
 )
@@ -32,50 +35,47 @@ func main() {
 
 func run() error {
 	const n = 12
-	const seed = 2024
 
-	// 1. The network: an anonymous ring of n processes.
-	g := graph.Ring(n)
-	net := sim.NewNetwork(g)
+	// 1. Describe the whole experiment declaratively: every axis names a
+	//    registry entry, and the seed makes the run fully reproducible.
+	spec := scenario.Spec{
+		Algorithm: "unison", // Algorithm U composed with the cooperative reset SDR
+		Topology:  "ring",   // an anonymous ring of n processes
+		N:         n,
+		Daemon:    "distributed-random",
+		Fault:     "random-all", // a transient fault corrupted every variable
+		Seed:      2024,
+	}
 
-	// 2. The algorithm: Algorithm U with period K = n+1, composed with the
-	//    cooperative reset SDR. The composition is what makes U
-	//    self-stabilizing (Theorem 6 of the paper).
-	u := unison.New(unison.DefaultPeriod(n))
-	composed := core.Compose(u)
+	// 2. Resolve the description into a concrete network, algorithm, daemon
+	//    and corrupted starting configuration.
+	run, err := spec.Resolve()
+	if err != nil {
+		return err
+	}
+	fmt.Println("corrupted start:", run.Start)
 
-	// 3. A transient fault: every variable of every process (clocks and reset
-	//    machinery alike) is replaced by an arbitrary value.
-	rng := rand.New(rand.NewSource(seed))
-	start := faults.RandomConfiguration(composed, net, rng)
-	fmt.Println("corrupted start:", start)
-
-	// 4. Run under a distributed daemon until the system reaches a normal
-	//    configuration (every process clean and locally correct).
-	daemon := sim.NewDistributedRandomDaemon(rng, 0.5)
-	engine := sim.NewEngine(net, composed, daemon)
-	result := engine.Run(start,
-		sim.WithLegitimate(core.NormalPredicate(u, net)),
-		sim.WithStopWhenLegitimate(),
-	)
-
+	// 3. Execute. U ∘ SDR is non-terminating, so the run stops at the first
+	//    legitimate (normal) configuration.
+	result := run.Execute()
 	if !result.LegitimateReached {
 		return fmt.Errorf("the system did not stabilize (this should be impossible)")
 	}
 	fmt.Println("stabilized  :", result.Final)
 	fmt.Printf("cost        : %d moves, %d rounds\n", result.StabilizationMoves, result.StabilizationRounds)
 	fmt.Printf("paper bounds: ≤ %d moves (Theorem 6), ≤ %d rounds (Theorem 7)\n",
-		unison.MaxStabilizationMoves(n, g.Diameter()), unison.MaxStabilizationRounds(n))
+		unison.MaxStabilizationMoves(n, run.Graph.Diameter()), unison.MaxStabilizationRounds(n))
 
-	// 5. After stabilization the clocks keep ticking while never drifting by
+	// 4. After stabilization the clocks keep ticking while never drifting by
 	//    more than one increment across an edge (the unison specification).
+	u := run.Inner.(*unison.Unison)
 	ticker := unison.NewTickCounter(n)
-	engine.Run(result.Final,
+	run.Engine.Run(result.Final,
 		sim.WithMaxSteps(40*n),
 		sim.WithStepHook(ticker.Hook()),
 	)
 	fmt.Printf("liveness    : every process ticked at least %d times in the next %d steps\n", ticker.Min(), 40*n)
 	fmt.Printf("safety      : maximum clock drift across an edge is %d (allowed: 1)\n",
-		unison.MaxDrift(u, net, result.Final))
+		unison.MaxDrift(u, run.Net, result.Final))
 	return nil
 }

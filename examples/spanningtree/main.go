@@ -4,9 +4,10 @@
 // input algorithm with the reset yields a self-stabilizing solution, and for
 // static problems the result is silent (Section 1.1). This example exercises
 // that claim on a third instantiation beyond the two the paper evaluates: a
-// breadth-first spanning tree construction. The composition B ∘ SDR is run
-// from an arbitrarily corrupted configuration; it terminates (silence) in a
-// configuration whose distances and parent pointers form the exact BFS tree.
+// breadth-first spanning tree construction, described as the scenario Spec
+// "bfstree" + "random-all". The composition B ∘ SDR runs from an arbitrarily
+// corrupted configuration; it terminates (silence) in a configuration whose
+// distances and parent pointers form the exact BFS tree.
 //
 // Run with:
 //
@@ -15,13 +16,11 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 
 	"sdr/internal/core"
-	"sdr/internal/faults"
-	"sdr/internal/graph"
+	"sdr/internal/scenario"
 	"sdr/internal/sim"
 	"sdr/internal/spantree"
 )
@@ -50,35 +49,36 @@ func run(args []string) error {
 		seed = v
 	}
 
-	rng := rand.New(rand.NewSource(seed))
-	g := graph.RandomConnected(n, 0.25, rng)
-	const root = 0
-	net := sim.NewNetwork(g)
-	composed := spantree.NewSelfStabilizing(g, root)
-	fmt.Printf("network: random connected graph, n=%d m=%d D=%d, root=%d\n\n", g.N(), g.M(), g.Diameter(), root)
+	run, err := scenario.Spec{
+		Algorithm: "bfstree",
+		Topology:  "random",
+		N:         n,
+		Daemon:    "distributed-random",
+		Fault:     "random-all", // distances, parent pointers and reset machinery all corrupted
+		Seed:      seed,
+	}.Resolve()
+	if err != nil {
+		return err
+	}
+	g := run.Graph
+	fmt.Printf("network: random connected graph, n=%d m=%d D=%d, root=%d\n\n", g.N(), g.M(), g.Diameter(), run.Spec.Params.Root)
+	fmt.Println("corrupted distances:", spantree.Distances(run.Start))
+	fmt.Println("corrupted parents  :", spantree.Parents(run.Start))
 
-	// Corrupt every variable of every process: distances, parent pointers and
-	// the reset machinery alike.
-	start := faults.RandomConfiguration(composed, net, rng)
-	fmt.Println("corrupted distances:", spantree.Distances(start))
-	fmt.Println("corrupted parents  :", spantree.Parents(start))
-
-	observer := core.NewObserver(composed.Inner(), net)
-	observer.Prime(start)
-	daemon := sim.NewDistributedRandomDaemon(rng, 0.5)
-	res := sim.NewEngine(net, composed, daemon).Run(start, sim.WithStepHook(observer.Hook()))
+	observer := run.Observer()
+	res := run.Execute(sim.WithStepHook(observer.Hook()))
 	if !res.Terminated {
 		return fmt.Errorf("the composition did not terminate — silence is violated")
 	}
 
 	fmt.Printf("\nterminated after %d moves and %d rounds (silent)\n", res.Moves, res.Rounds)
 	fmt.Printf("reset structure: %d segments, max %d SDR moves per process (bound %d), %d alive-root creations\n",
-		observer.Segments(), observer.MaxSDRMoves(), core.MaxSDRMovesPerProcess(n), observer.AliveRootViolations())
+		observer.Segments(), observer.MaxSDRMoves(), core.MaxSDRMovesPerProcess(g.N()), observer.AliveRootViolations())
 
 	fmt.Println("\nfinal distances:", spantree.Distances(res.Final))
 	fmt.Println("final parents  :", spantree.Parents(res.Final))
-	if err := spantree.VerifyTree(g, root, res.Final); err != nil {
-		return fmt.Errorf("the terminal configuration is not the exact BFS tree: %w", err)
+	if report := run.Report(res); !report.OK {
+		return fmt.Errorf("the terminal configuration is not the exact BFS tree")
 	}
 	fmt.Println("\nthe terminal configuration is the exact BFS spanning tree of the network")
 	return nil

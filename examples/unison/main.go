@@ -3,10 +3,10 @@
 //
 // The example reproduces, on one concrete workload, the comparison of
 // Section 5.3 of the paper: both self-stabilizing unison algorithms are
-// started from the same kind of corrupted configuration on the same random
-// network, and their stabilization costs (moves and rounds) are reported
-// side by side. The paper's claim is that U ∘ SDR has the better move
-// complexity: O(D·n²) against O(D·n³ + α·n²).
+// described as scenario Specs differing only in the Algorithm axis, so they
+// resolve to the same random network (same seed → same topology) and the
+// same kind of corrupted start. The paper's claim is that U ∘ SDR has the
+// better move complexity: O(D·n²) against O(D·n³ + α·n²).
 //
 // Run with:
 //
@@ -15,13 +15,10 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 
-	"sdr/internal/core"
-	"sdr/internal/faults"
-	"sdr/internal/graph"
+	"sdr/internal/scenario"
 	"sdr/internal/sim"
 	"sdr/internal/unison"
 )
@@ -50,33 +47,38 @@ func run(args []string) error {
 		seed = v
 	}
 
-	rng := rand.New(rand.NewSource(seed))
-	g := graph.RandomConnected(n, 0.2, rng)
-	net := sim.NewNetwork(g)
-	fmt.Printf("network: random connected graph, n=%d m=%d Δ=%d D=%d\n\n", g.N(), g.M(), g.MaxDegree(), g.Diameter())
+	spec := scenario.Spec{
+		Algorithm: "unison",
+		Topology:  "random",
+		N:         n,
+		Daemon:    "distributed-random",
+		Fault:     "random-all",
+		Seed:      seed,
+		Params:    scenario.Params{EdgeProb: 0.2},
+	}
 
 	// --- U ∘ SDR -----------------------------------------------------------
-	u := unison.New(unison.DefaultPeriod(g.N()))
-	composed := core.Compose(u)
-	sdrStart := faults.RandomConfiguration(composed, net, rng)
-	sdrDaemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-	sdrRes := sim.NewEngine(net, composed, sdrDaemon).Run(sdrStart,
-		sim.WithLegitimate(core.NormalPredicate(u, net)),
-		sim.WithStopWhenLegitimate(),
-	)
+	sdrRun, err := spec.Resolve()
+	if err != nil {
+		return err
+	}
+	g := sdrRun.Graph
+	fmt.Printf("network: random connected graph, n=%d m=%d Δ=%d D=%d\n\n", g.N(), g.M(), g.MaxDegree(), g.Diameter())
+	sdrRes := sdrRun.Execute()
 	fmt.Println("U ∘ SDR (this paper)")
 	report(sdrRes)
 	fmt.Printf("  proven bound: %d moves (O(D·n²), Theorem 6), %d rounds (Theorem 7)\n\n",
 		unison.MaxStabilizationMoves(g.N(), g.Diameter()), unison.MaxStabilizationRounds(g.N()))
 
-	// --- BPV baseline -------------------------------------------------------
-	bpv := unison.NewBPVFor(g)
-	bpvStart := faults.RandomConfiguration(bpv, net, rng)
-	bpvDaemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed+1)), 0.5)
-	bpvRes := sim.NewEngine(net, bpv, bpvDaemon).Run(bpvStart,
-		sim.WithLegitimate(bpv.LegitimatePredicate(g)),
-		sim.WithStopWhenLegitimate(),
-	)
+	// --- BPV baseline: the same Spec with one axis changed ------------------
+	bpvSpec := spec
+	bpvSpec.Algorithm = "bpv"
+	bpvRun, err := bpvSpec.Resolve()
+	if err != nil {
+		return err
+	}
+	bpvRes := bpvRun.Execute()
+	bpv := bpvRun.Alg.(*unison.BPV)
 	fmt.Printf("BPV baseline (K=%d, α=%d)\n", bpv.K(), bpv.Alpha())
 	report(bpvRes)
 	fmt.Printf("  reported complexity: O(D·n³ + α·n²) moves\n\n")

@@ -1,10 +1,8 @@
 package bench
 
 import (
-	"math/rand"
-
 	"sdr/internal/core"
-	"sdr/internal/sim"
+	"sdr/internal/scenario"
 	"sdr/internal/stats"
 	"sdr/internal/unison"
 )
@@ -28,17 +26,8 @@ func RunA1NoCooperation(cfg Config) Table {
 			"coop-root-creations", "uncoop-root-creations",
 		},
 	}
-	scenario := scenarioByName("inner-only")
-	type cell struct {
-		top Topology
-		n   int
-	}
-	var cells []cell
-	for _, top := range StandardTopologies() {
-		for _, n := range cfg.Sizes {
-			cells = append(cells, cell{top: top, n: n})
-		}
-	}
+	sweep := sweepFor(cfg, 10007, []string{"unison"}, StandardTopologies(), []string{"distributed-random"}, []string{"inner-only"})
+	cells := sweep.Cells()
 	type trial struct {
 		coopMoves, uncoopMoves           int
 		coopSDR, uncoopSDR               int
@@ -47,29 +36,19 @@ func RunA1NoCooperation(cfg Config) Table {
 		coopStabilized, uncoopStabilized bool
 	}
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		c := cells[ci]
-		seed := cfg.Seed + int64(tr)*10007
-		rng := rand.New(rand.NewSource(seed))
-		g := c.top.Build(c.n, rng)
-		net := sim.NewNetwork(g)
-		u := unison.New(unison.DefaultPeriod(g.N()))
+		coopSpec := sweep.Trial(cells[ci], tr)
+		m := runObserved(coopSpec)
 
-		cooperative := core.Compose(u)
-		uncooperative := core.Compose(u, core.WithUncooperativeResets())
-
-		start := scenario.Build(cooperative, u, net, rng)
-		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-		m := runComposed(cooperative, net, daemon, start, cfg.MaxSteps, true)
-
-		// Same corrupted start and a fresh daemon with the same seed for
-		// the uncooperative variant: the two runs differ only in the
-		// compute(u) macro. The observer quantifies what the loss of
-		// coordination costs: joining processes become roots of their
-		// own resets, so alive roots are created mid-execution and the
-		// per-process reset work is no longer tied to the 3n+3 bound's
-		// proof argument.
-		daemon2 := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-		m2 := runComposed(uncooperative, net, daemon2, start, cfg.MaxSteps, true)
+		// Same seed for the uncooperative variant: the resolved topology,
+		// corrupted start and daemon are identical, so the two runs differ
+		// only in the compute(u) macro. The observer quantifies what the
+		// loss of coordination costs: joining processes become roots of
+		// their own resets, so alive roots are created mid-execution and the
+		// per-process reset work is no longer tied to the 3n+3 bound's proof
+		// argument.
+		uncoopSpec := coopSpec
+		uncoopSpec.Algorithm = "unison-uncoop"
+		m2 := runObserved(uncoopSpec)
 
 		return trial{
 			coopMoves:        m.result.StabilizationMoves,
@@ -78,7 +57,7 @@ func RunA1NoCooperation(cfg Config) Table {
 			uncoopSDR:        m2.observer.MaxSDRMoves(),
 			coopRoots:        m.observer.AliveRootViolations(),
 			uncoopRoots:      m2.observer.AliveRootViolations(),
-			bound:            core.MaxSDRMovesPerProcess(g.N()),
+			bound:            core.MaxSDRMovesPerProcess(m.run.Net.N()),
 			coopStabilized:   m.result.StabilizationMoves >= 0,
 			uncoopStabilized: m2.result.StabilizationMoves >= 0,
 		}
@@ -108,7 +87,7 @@ func RunA1NoCooperation(cfg Config) Table {
 			// The cooperative variant must respect the paper's structure.
 			t.Violations++
 		}
-		t.AddRow(c.top.Name, itoa(c.n),
+		t.AddRow(c.Topology, itoa(c.N),
 			ftoa(coopMean), ftoa(uncoopMean), ftoa(ratio),
 			itoa(coopSDR), itoa(uncoopSDR), itoa(bound),
 			itoa(coopRoots), itoa(uncoopRoots))
@@ -119,10 +98,10 @@ func RunA1NoCooperation(cfg Config) Table {
 	return t
 }
 
-// RunA2Daemons runs the same U ∘ SDR workload under every standard daemon and
-// reports the spread of stabilization rounds and moves; every daemon is a
-// legal schedule of the distributed unfair daemon, so all measurements must
-// stay within the paper's bounds.
+// RunA2Daemons runs the same U ∘ SDR workload under every registered daemon
+// and reports the spread of stabilization rounds and moves; every daemon is
+// a legal schedule of the distributed unfair daemon, so all measurements
+// must stay within the paper's bounds.
 func RunA2Daemons(cfg Config) Table {
 	cfg = cfg.withDefaults()
 	t := Table{
@@ -130,25 +109,21 @@ func RunA2Daemons(cfg Config) Table {
 		Title:   "daemon sensitivity of U∘SDR stabilization",
 		Columns: []string{"daemon", "n", "rounds(max)", "bound 3n", "moves(max)", "move-bound", "within"},
 	}
-	scenario := scenarioByName("random-all")
 	n := cfg.Sizes[len(cfg.Sizes)-1]
-	factories := sim.StandardDaemonFactories()
+	sweep := sweepFor(cfg, 11003, []string{"unison"}, StandardTopologies()[:1], scenario.Daemons(), []string{"random-all"})
+	sweep.Sizes = []int{n}
+	cells := sweep.Cells()
 	type trial struct{ rounds, moves, roundBound, moveBound int }
-	results := mapGrid(cfg.Parallel, len(factories), cfg.Trials, func(ci, tr int) trial {
-		df := factories[ci]
-		seed := cfg.Seed + int64(tr)*11003
-		rng := rand.New(rand.NewSource(seed))
-		w := buildUnisonWorkload(StandardTopologies()[0], n, rng)
-		start := corruptedStart(scenario, w.comp, w.net, rng)
-		m := runComposed(w.comp, w.net, df.New(seed), start, cfg.MaxSteps, true)
+	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		m := runObserved(sweep.Trial(cells[ci], tr))
 		return trial{
 			rounds:     m.result.StabilizationRounds,
 			moves:      m.result.StabilizationMoves,
-			roundBound: unison.MaxStabilizationRounds(w.net.N()),
-			moveBound:  unison.MaxStabilizationMoves(w.net.N(), w.graph.Diameter()),
+			roundBound: unison.MaxStabilizationRounds(m.run.Net.N()),
+			moveBound:  unison.MaxStabilizationMoves(m.run.Net.N(), m.run.Graph.Diameter()),
 		}
 	})
-	for ci, df := range factories {
+	for ci, c := range cells {
 		maxRounds, maxMoves, roundBound, moveBound := 0, 0, 0, 0
 		for _, tr := range results[ci] {
 			maxRounds = maxInt(maxRounds, tr.rounds)
@@ -159,7 +134,7 @@ func RunA2Daemons(cfg Config) Table {
 		if !within {
 			t.Violations++
 		}
-		t.AddRow(df.Name, itoa(n), itoa(maxRounds), itoa(roundBound), itoa(maxMoves), itoa(moveBound), boolCell(within))
+		t.AddRow(c.Daemon, itoa(c.N), itoa(maxRounds), itoa(roundBound), itoa(maxMoves), itoa(moveBound), boolCell(within))
 	}
 	return t
 }
@@ -174,7 +149,6 @@ func RunA3Period(cfg Config) Table {
 		Title:   "unison period sensitivity: K = n+1 vs 2n vs 4n",
 		Columns: []string{"topology", "n", "K", "rounds(max)", "moves(mean)", "bound 3n", "within"},
 	}
-	scenario := scenarioByName("random-all")
 	top := StandardTopologies()[0]
 	type cell struct{ n, factor int }
 	var cells []cell
@@ -186,20 +160,23 @@ func RunA3Period(cfg Config) Table {
 	type trial struct{ rounds, moves, bound, k int }
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		c := cells[ci]
-		seed := cfg.Seed + int64(tr)*12007
-		rng := rand.New(rand.NewSource(seed))
-		g := top.Build(c.n, rng)
-		k := c.factor*g.N() + 1
-		u := unison.New(k)
-		comp := core.Compose(u)
-		net := sim.NewNetwork(g)
-		start := scenario.Build(comp, u, net, rng)
-		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-		m := runComposed(comp, net, daemon, start, cfg.MaxSteps, true)
+		// The ring topology has exactly n processes, so the period can be
+		// derived from the requested size.
+		k := c.factor*c.n + 1
+		m := runObserved(scenario.Spec{
+			Algorithm: "unison",
+			Topology:  top,
+			N:         c.n,
+			Daemon:    "distributed-random",
+			Fault:     "random-all",
+			Seed:      cfg.Seed + int64(tr)*12007,
+			MaxSteps:  cfg.MaxSteps,
+			Params:    scenario.Params{K: k},
+		})
 		return trial{
 			rounds: m.result.StabilizationRounds,
 			moves:  m.result.StabilizationMoves,
-			bound:  unison.MaxStabilizationRounds(g.N()),
+			bound:  unison.MaxStabilizationRounds(m.run.Net.N()),
 			k:      k,
 		}
 	})
@@ -217,7 +194,7 @@ func RunA3Period(cfg Config) Table {
 		if !within {
 			t.Violations++
 		}
-		t.AddRow(top.Name, itoa(c.n), itoa(k), itoa(maxRounds), ftoa(stats.SummarizeInts(moves).Mean), itoa(bound), boolCell(within))
+		t.AddRow(top, itoa(c.n), itoa(k), itoa(maxRounds), ftoa(stats.SummarizeInts(moves).Mean), itoa(bound), boolCell(within))
 	}
 	return t
 }

@@ -1,10 +1,11 @@
 package bench
 
 import (
-	"math/rand"
+	"errors"
+	"strings"
 
 	"sdr/internal/alliance"
-	"sdr/internal/core"
+	"sdr/internal/scenario"
 	"sdr/internal/sim"
 	"sdr/internal/unison"
 )
@@ -13,46 +14,24 @@ import (
 // FGA ∘ SDR (Section 6) and the end-to-end correctness claims of both
 // instantiations.
 
-// allianceSpecs returns the specs swept by E7-E9: one degree-independent and
-// one degree-dependent instance.
-func allianceSpecs() []alliance.Spec {
-	return []alliance.Spec{
-		alliance.DominatingSet(),
-		alliance.GlobalPowerfulAlliance(),
+// allianceSpecNames returns the alliance registry names swept by E7-E9: one
+// degree-independent and one degree-dependent instance.
+func allianceSpecNames() []string {
+	return []string{"dominating-set", "global-powerful-alliance"}
+}
+
+// standaloneNames appends the -standalone registry suffix to each name.
+func standaloneNames(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = n + "-standalone"
 	}
+	return out
 }
 
-// runStandaloneFGA runs FGA alone from γ_init to termination.
-func runStandaloneFGA(spec alliance.Spec, top Topology, n int, seed int64, maxSteps int) (sim.Result, *sim.Network) {
-	rng := rand.New(rand.NewSource(seed))
-	g := top.Build(n, rng)
-	net := sim.NewNetwork(g)
-	alg := core.NewStandalone(alliance.NewFGA(spec))
-	daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-	eng := sim.NewEngine(net, alg, daemon)
-	res := eng.Run(sim.InitialConfiguration(alg, net), sim.WithMaxSteps(maxSteps))
-	return res, net
-}
-
-// allianceCell is one (spec, topology, size) point of the dense sweep.
-type allianceCell struct {
-	spec alliance.Spec
-	top  Topology
-	n    int
-}
-
-// allianceSweepCells enumerates the (spec × dense topology × size) grid in
-// table order.
-func allianceSweepCells(cfg Config) []allianceCell {
-	var cells []allianceCell
-	for _, spec := range allianceSpecs() {
-		for _, top := range DenseTopologies() {
-			for _, n := range cfg.Sizes {
-				cells = append(cells, allianceCell{spec: spec, top: top, n: n})
-			}
-		}
-	}
-	return cells
+// specCell strips the -standalone suffix for the table's spec column.
+func specCell(algorithm string) string {
+	return strings.TrimSuffix(algorithm, "-standalone")
 }
 
 // RunE7FGAMoves measures the total moves of FGA alone against the
@@ -64,22 +43,21 @@ func RunE7FGAMoves(cfg Config) Table {
 		Title:   "FGA termination moves vs the O(Δ·m) bound (Corollary 11)",
 		Columns: []string{"spec", "topology", "n", "m", "Δ", "moves(max)", "bound", "within"},
 	}
-	cells := allianceSweepCells(cfg)
+	sweep := sweepFor(cfg, 7001, standaloneNames(allianceSpecNames()), DenseTopologies(), []string{"distributed-random"}, []string{"none"})
+	cells := sweep.Cells()
 	type trial struct {
 		moves, bound, m, delta int
 		terminated             bool
 	}
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		c := cells[ci]
-		seed := cfg.Seed + int64(tr)*7001
-		res, net := runStandaloneFGA(c.spec, c.top, c.n, seed, cfg.MaxSteps)
-		g := net.Graph()
+		m := runPlain(sweep.Trial(cells[ci], tr))
+		g := m.run.Graph
 		return trial{
-			moves:      res.Moves,
+			moves:      m.result.Moves,
 			bound:      alliance.MaxStandaloneMoves(g.N(), g.M(), g.MaxDegree()),
 			m:          g.M(),
 			delta:      g.MaxDegree(),
-			terminated: res.Terminated,
+			terminated: m.result.Terminated,
 		}
 	})
 	for ci, c := range cells {
@@ -95,7 +73,7 @@ func RunE7FGAMoves(cfg Config) Table {
 		if !within {
 			t.Violations++
 		}
-		t.AddRow(c.spec.Name, c.top.Name, itoa(c.n), itoa(m), itoa(delta), itoa(maxMoves), itoa(bound), boolCell(within))
+		t.AddRow(specCell(c.Algorithm), c.Topology, itoa(c.N), itoa(m), itoa(delta), itoa(maxMoves), itoa(bound), boolCell(within))
 	}
 	return t
 }
@@ -109,13 +87,12 @@ func RunE8FGARounds(cfg Config) Table {
 		Title:   "FGA termination rounds from γ_init vs the 5n+4 bound (Theorem 10)",
 		Columns: []string{"spec", "topology", "n", "rounds(max)", "bound 5n+4", "within"},
 	}
-	cells := allianceSweepCells(cfg)
+	sweep := sweepFor(cfg, 8009, standaloneNames(allianceSpecNames()), DenseTopologies(), []string{"distributed-random"}, []string{"none"})
+	cells := sweep.Cells()
 	type trial struct{ rounds, bound int }
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		c := cells[ci]
-		seed := cfg.Seed + int64(tr)*8009
-		res, net := runStandaloneFGA(c.spec, c.top, c.n, seed, cfg.MaxSteps)
-		return trial{rounds: res.Rounds, bound: alliance.MaxStandaloneRounds(net.N())}
+		m := runPlain(sweep.Trial(cells[ci], tr))
+		return trial{rounds: m.result.Rounds, bound: alliance.MaxStandaloneRounds(m.run.Net.N())}
 	})
 	for ci, c := range cells {
 		maxRounds, bound := 0, 0
@@ -127,7 +104,7 @@ func RunE8FGARounds(cfg Config) Table {
 		if !within {
 			t.Violations++
 		}
-		t.AddRow(c.spec.Name, c.top.Name, itoa(c.n), itoa(maxRounds), itoa(bound), boolCell(within))
+		t.AddRow(specCell(c.Algorithm), c.Topology, itoa(c.N), itoa(maxRounds), itoa(bound), boolCell(within))
 	}
 	return t
 }
@@ -143,41 +120,21 @@ func RunE9AllianceStabilization(cfg Config) Table {
 		Title:   "FGA∘SDR stabilization from corrupted states (Theorems 11-14)",
 		Columns: []string{"spec", "topology", "n", "scenario", "moves(max)", "move-bound", "rounds(max)", "round-bound", "1-minimal", "within"},
 	}
-	type cell struct {
-		allianceCell
-		scenarioName string
-	}
-	var cells []cell
-	for _, spec := range allianceSpecs() {
-		for _, top := range DenseTopologies() {
-			for _, n := range cfg.Sizes {
-				for _, scenarioName := range []string{"random-all", "fake-wave"} {
-					cells = append(cells, cell{allianceCell{spec, top, n}, scenarioName})
-				}
-			}
-		}
-	}
+	sweep := sweepFor(cfg, 9001, allianceSpecNames(), DenseTopologies(), []string{"distributed-random"}, []string{"random-all", "fake-wave"})
+	cells := sweep.Cells()
 	type trial struct {
 		moves, rounds, moveBound, roundBound int
 		minimal                              bool
 	}
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		c := cells[ci]
-		seed := cfg.Seed + int64(tr)*9001
-		rng := rand.New(rand.NewSource(seed))
-		g := c.top.Build(c.n, rng)
-		net := sim.NewNetwork(g)
-		comp := alliance.NewSelfStabilizing(c.spec)
-		start := corruptedStart(scenarioByName(c.scenarioName), comp, net, rng)
-		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-		eng := sim.NewEngine(net, comp, daemon)
-		res := eng.Run(start, sim.WithMaxSteps(cfg.MaxSteps))
+		m := runPlain(sweep.Trial(cells[ci], tr))
+		g := m.run.Graph
 		return trial{
-			moves:      res.Moves,
-			rounds:     res.Rounds,
+			moves:      m.result.Moves,
+			rounds:     m.result.Rounds,
 			moveBound:  alliance.MaxStabilizationMoves(g.N(), g.M(), g.MaxDegree()),
 			roundBound: alliance.MaxStabilizationRounds(g.N()),
-			minimal:    res.Terminated && alliance.Is1Minimal(g, c.spec, alliance.Members(res.Final)),
+			minimal:    m.run.Report(m.result).OK,
 		}
 	})
 	for ci, c := range cells {
@@ -193,7 +150,7 @@ func RunE9AllianceStabilization(cfg Config) Table {
 		if !within {
 			t.Violations++
 		}
-		t.AddRow(c.spec.Name, c.top.Name, itoa(c.n), c.scenarioName,
+		t.AddRow(c.Algorithm, c.Topology, itoa(c.N), c.Fault,
 			itoa(maxMoves), itoa(moveBound), itoa(maxRounds), itoa(roundBound),
 			boolCell(allMinimal), boolCell(within))
 	}
@@ -213,55 +170,66 @@ func RunE10Correctness(cfg Config) Table {
 	}
 	n := cfg.Sizes[len(cfg.Sizes)-1]
 
-	// Alliance instances.
+	// Alliance instances: every Section 6.1 spec is its own registry entry.
 	for _, spec := range alliance.StandardSpecs() {
-		for _, top := range []Topology{DenseTopologies()[0], DenseTopologies()[1]} {
-			seed := cfg.Seed * 11
-			rng := rand.New(rand.NewSource(seed))
-			g := top.Build(n, rng)
-			if spec.Validate(g) != nil {
-				t.AddRow(spec.Name, top.Name, itoa(g.N()), "skipped (δ_u < max(f,g) on this topology)", boolCell(true))
+		for _, top := range DenseTopologies()[:2] {
+			sp := scenario.Spec{
+				Algorithm: spec.Name,
+				Topology:  top,
+				N:         n,
+				Daemon:    "distributed-random",
+				Fault:     "random-all",
+				Seed:      cfg.Seed * 11,
+				MaxSteps:  cfg.MaxSteps,
+			}
+			run, err := sp.Resolve()
+			if errors.Is(err, scenario.ErrUnsatisfiable) {
+				t.AddRow(spec.Name, top, itoa(n), "skipped (δ_u < max(f,g) on this topology)", boolCell(true))
 				continue
 			}
-			net := sim.NewNetwork(g)
-			comp := alliance.NewSelfStabilizing(spec)
-			start := corruptedStart(scenarioByName("random-all"), comp, net, rng)
-			daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-			eng := sim.NewEngine(net, comp, daemon)
-			res := eng.Run(start, sim.WithMaxSteps(cfg.MaxSteps))
-			ok := res.Terminated && alliance.Is1Minimal(g, spec, alliance.Members(res.Final))
+			if err != nil {
+				panic(err)
+			}
+			res := run.Execute()
+			ok := run.Report(res).OK
 			if !ok {
 				t.Violations++
 			}
-			t.AddRow(spec.Name, top.Name, itoa(g.N()), "terminal configuration is a 1-minimal (f,g)-alliance", boolCell(ok))
+			t.AddRow(spec.Name, top, itoa(run.Net.N()), "terminal configuration is a 1-minimal (f,g)-alliance", boolCell(ok))
 		}
 	}
 
 	// Unison safety and liveness after stabilization.
 	for _, top := range StandardTopologies() {
-		seed := cfg.Seed * 13
-		rng := rand.New(rand.NewSource(seed))
-		w := buildUnisonWorkload(top, n, rng)
-		start := corruptedStart(scenarioByName("random-all"), w.comp, w.net, rng)
-		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
+		sp := scenario.Spec{
+			Algorithm: "unison",
+			Topology:  top,
+			N:         n,
+			Daemon:    "distributed-random",
+			Fault:     "random-all",
+			Seed:      cfg.Seed * 13,
+			MaxSteps:  cfg.MaxSteps,
+		}
+		run := sp.MustResolve()
 
 		// Run to a normal configuration first.
-		m := runComposed(w.comp, w.net, daemon, start, cfg.MaxSteps, true)
-		reached := m.result.LegitimateReached
+		res := run.Execute()
+		reached := res.LegitimateReached
 
-		// From the normal configuration, run a bounded suffix and check that
-		// safety always holds and every process ticks at least once.
-		ticker := unison.NewTickCounter(w.net.N())
-		safety := unison.SafetyPredicate(w.algo, w.net)
+		// From the normal configuration, run a bounded suffix under the same
+		// (stateful) daemon and check that safety always holds and every
+		// process ticks at least once.
+		nn := run.Net.N()
+		ticker := unison.NewTickCounter(nn)
+		safety := unison.SafetyPredicate(run.Inner.(*unison.Unison), run.Net)
 		safe := true
 		hook := func(info sim.StepInfo) {
 			if !safety(info.After) {
 				safe = false
 			}
 		}
-		eng := sim.NewEngine(w.net, w.comp, daemon)
-		eng.Run(m.result.Final,
-			sim.WithMaxSteps(20*w.net.N()*w.net.N()),
+		run.Engine.Run(res.Final,
+			sim.WithMaxSteps(20*nn*nn),
 			sim.WithStepHook(ticker.Hook()),
 			sim.WithStepHook(hook),
 		)
@@ -270,7 +238,7 @@ func RunE10Correctness(cfg Config) Table {
 		if !ok {
 			t.Violations++
 		}
-		t.AddRow("unison", top.Name, itoa(w.net.N()), "safety holds and every clock ticks after stabilization", boolCell(ok))
+		t.AddRow("unison", top, itoa(nn), "safety holds and every clock ticks after stabilization", boolCell(ok))
 	}
 	return t
 }

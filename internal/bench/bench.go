@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -179,6 +180,19 @@ func (t *Table) Markdown(w io.Writer) error {
 	_, err := fmt.Fprintln(w)
 	if err != nil {
 		return fmt.Errorf("bench: render markdown: %w", err)
+	}
+	return nil
+}
+
+// JSON writes the table as an indented JSON object, the machine-readable
+// form behind cmd/sdrbench -json (one BENCH_<ID>.json per table), so the
+// benchmark trajectory can be tracked across revisions instead of only
+// pretty-printed.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("bench: render json: %w", err)
 	}
 	return nil
 }

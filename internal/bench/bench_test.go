@@ -2,8 +2,11 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"sdr/internal/scenario"
 )
 
 // tinyConfig keeps the experiment smoke tests fast.
@@ -124,12 +127,81 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestStandardTopologiesConnected(t *testing.T) {
-	for _, top := range append(StandardTopologies(), DenseTopologies()...) {
+	for _, name := range append(StandardTopologies(), DenseTopologies()...) {
+		entry, err := scenario.TopologyByName(name)
+		if err != nil {
+			t.Fatalf("sweep topology %q is not registered: %v", name, err)
+		}
 		for _, n := range []int{5, 9, 16} {
-			g := top.Build(n, newTestRand())
+			g := entry.Build(n, scenario.Params{}, newTestRand())
 			if err := g.Validate(); err != nil {
-				t.Errorf("topology %s(n=%d) invalid: %v", top.Name, n, err)
+				t.Errorf("topology %s(n=%d) invalid: %v", name, n, err)
 			}
 		}
+	}
+}
+
+func TestRunSweepGrid(t *testing.T) {
+	sw := scenario.Sweep{
+		Algorithms: []string{"unison", "bfstree"},
+		Topologies: []string{"ring", "grid"},
+		Daemons:    []string{"synchronous"},
+		Faults:     []string{"random-all"},
+		Sizes:      []int{6},
+		Trials:     2,
+		Seed:       3,
+		MaxSteps:   200_000,
+	}
+	table, err := RunSweep(sw, 2)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if got, want := len(table.Rows), 4; got != want {
+		t.Fatalf("sweep produced %d rows, want %d", got, want)
+	}
+	if table.Violations != 0 {
+		var buf bytes.Buffer
+		_ = table.Render(&buf)
+		t.Fatalf("sweep reported violations:\n%s", buf.String())
+	}
+}
+
+func TestRunSweepSkipsUnsatisfiableCells(t *testing.T) {
+	// 2-tuple-domination needs degree ≥ 2 everywhere; a path's endpoints
+	// have degree 1, so the cell must be skipped rather than fail.
+	sw := scenario.Sweep{
+		Algorithms: []string{"2-tuple-domination"},
+		Topologies: []string{"path"},
+		Daemons:    []string{"synchronous"},
+		Sizes:      []int{6},
+		Trials:     1,
+		Seed:       1,
+		MaxSteps:   10_000,
+	}
+	table, err := RunSweep(sw, 1)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if len(table.Rows) != 1 || table.Rows[0][5] != "skipped" {
+		t.Fatalf("unsatisfiable cell not skipped: %v", table.Rows)
+	}
+	if _, err := RunSweep(scenario.Sweep{Algorithms: []string{"nope"}, Topologies: []string{"ring"}, Daemons: []string{"synchronous"}, Sizes: []int{5}}, 1); err == nil {
+		t.Error("a sweep naming an unknown algorithm must be rejected")
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	table := Table{ID: "T", Title: "json", Columns: []string{"a"}}
+	table.AddRow("1")
+	var buf bytes.Buffer
+	if err := table.JSON(&buf); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var decoded Table
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if decoded.ID != "T" || len(decoded.Rows) != 1 || decoded.Rows[0][0] != "1" {
+		t.Errorf("round-trip mismatch: %+v", decoded)
 	}
 }

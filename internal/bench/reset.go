@@ -1,38 +1,15 @@
 package bench
 
 import (
-	"math/rand"
-
 	"sdr/internal/core"
-	"sdr/internal/sim"
 	"sdr/internal/stats"
 )
 
 // Experiments E1-E3 exercise the reset layer itself (with Algorithm U as the
 // inner algorithm): the round bound of Corollary 5, the per-process SDR move
 // bound of Corollary 4, and the segment / alive-root structure of Theorem 3
-// and Remark 5.
-
-// sweepCell is one (topology, size, daemon) point of the standard sweep.
-type sweepCell struct {
-	top Topology
-	n   int
-	df  sim.DaemonFactory
-}
-
-// standardSweepCells enumerates the (topology × size × daemon) grid in table
-// order.
-func standardSweepCells(cfg Config) []sweepCell {
-	var cells []sweepCell
-	for _, top := range StandardTopologies() {
-		for _, n := range cfg.Sizes {
-			for _, df := range defaultDaemons() {
-				cells = append(cells, sweepCell{top: top, n: n, df: df})
-			}
-		}
-	}
-	return cells
-}
+// and Remark 5. Each is a declarative sweep over the standard grid; the
+// scenario registries do all the construction.
 
 // RunE1ResetRounds measures, over the standard topology/daemon/fault sweep,
 // the number of rounds until the composition reaches a normal configuration,
@@ -44,17 +21,12 @@ func RunE1ResetRounds(cfg Config) Table {
 		Title:   "rounds to reach a normal configuration vs the 3n bound (Corollary 5)",
 		Columns: []string{"topology", "n", "daemon", "scenario", "rounds(max)", "rounds(mean)", "bound 3n", "within"},
 	}
-	scenario := scenarioByName("random-all")
-	cells := standardSweepCells(cfg)
+	sweep := sweepFor(cfg, 1001, []string{"unison"}, StandardTopologies(), defaultDaemons(), []string{"random-all"})
+	cells := sweep.Cells()
 	type trial struct{ rounds, bound int }
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		c := cells[ci]
-		seed := cfg.Seed + int64(tr)*1001
-		rng := rand.New(rand.NewSource(seed))
-		w := buildUnisonWorkload(c.top, c.n, rng)
-		start := corruptedStart(scenario, w.comp, w.net, rng)
-		m := runComposed(w.comp, w.net, c.df.New(seed), start, cfg.MaxSteps, true)
-		return trial{rounds: m.result.StabilizationRounds, bound: core.MaxResetRounds(w.net.N())}
+		m := runObserved(sweep.Trial(cells[ci], tr))
+		return trial{rounds: m.result.StabilizationRounds, bound: core.MaxResetRounds(m.run.Net.N())}
 	})
 	for ci, c := range cells {
 		var rounds []int
@@ -68,7 +40,7 @@ func RunE1ResetRounds(cfg Config) Table {
 		if !within {
 			t.Violations++
 		}
-		t.AddRow(c.top.Name, itoa(c.n), c.df.Name, scenario.Name,
+		t.AddRow(c.Topology, itoa(c.N), c.Daemon, c.Fault,
 			itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
 	}
 	return t
@@ -84,31 +56,12 @@ func RunE2ResetMovesPerProcess(cfg Config) Table {
 		Title:   "maximum SDR moves per process vs the 3n+3 bound (Corollary 4)",
 		Columns: []string{"topology", "n", "daemon", "scenario", "sdr-moves/proc(max)", "bound 3n+3", "within"},
 	}
-	type cell struct {
-		sweepCell
-		scenarioName string
-	}
-	var cells []cell
-	for _, top := range StandardTopologies() {
-		for _, n := range cfg.Sizes {
-			for _, df := range defaultDaemons() {
-				for _, scenarioName := range []string{"random-all", "fake-wave"} {
-					cells = append(cells, cell{sweepCell{top, n, df}, scenarioName})
-				}
-			}
-		}
-	}
+	sweep := sweepFor(cfg, 2003, []string{"unison"}, StandardTopologies(), defaultDaemons(), []string{"random-all", "fake-wave"})
+	cells := sweep.Cells()
 	type trial struct{ maxMoves, bound int }
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		c := cells[ci]
-		seed := cfg.Seed + int64(tr)*2003
-		rng := rand.New(rand.NewSource(seed))
-		w := buildUnisonWorkload(c.top, c.n, rng)
-		start := corruptedStart(scenarioByName(c.scenarioName), w.comp, w.net, rng)
-		// Stopping at the first normal configuration loses no SDR activity:
-		// the normal set is closed, and SDR rules are disabled in it.
-		m := runComposed(w.comp, w.net, c.df.New(seed), start, cfg.MaxSteps, true)
-		return trial{maxMoves: m.observer.MaxSDRMoves(), bound: core.MaxSDRMovesPerProcess(w.net.N())}
+		m := runObserved(sweep.Trial(cells[ci], tr))
+		return trial{maxMoves: m.observer.MaxSDRMoves(), bound: core.MaxSDRMovesPerProcess(m.run.Net.N())}
 	})
 	for ci, c := range cells {
 		maxMoves, bound := 0, 0
@@ -120,7 +73,7 @@ func RunE2ResetMovesPerProcess(cfg Config) Table {
 		if !within {
 			t.Violations++
 		}
-		t.AddRow(c.top.Name, itoa(c.n), c.df.Name, c.scenarioName, itoa(maxMoves), itoa(bound), boolCell(within))
+		t.AddRow(c.Topology, itoa(c.N), c.Daemon, c.Fault, itoa(maxMoves), itoa(bound), boolCell(within))
 	}
 	return t
 }
@@ -135,24 +88,17 @@ func RunE3Segments(cfg Config) Table {
 		Title:   "segments, alive-root creations and the Theorem 4 rule language",
 		Columns: []string{"topology", "n", "daemon", "segments(max)", "bound n+1", "root-creations", "language-ok", "within"},
 	}
-	scenario := scenarioByName("random-all")
-	cells := standardSweepCells(cfg)
+	sweep := sweepFor(cfg, 3001, []string{"unison"}, StandardTopologies(), defaultDaemons(), []string{"random-all"})
+	cells := sweep.Cells()
 	type trial struct {
 		segments, bound, rootCreations int
 		languageOK                     bool
 	}
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		c := cells[ci]
-		seed := cfg.Seed + int64(tr)*3001
-		rng := rand.New(rand.NewSource(seed))
-		w := buildUnisonWorkload(c.top, c.n, rng)
-		start := corruptedStart(scenario, w.comp, w.net, rng)
-		// As in E2, the SDR-level quantities are fully determined before the
-		// first normal configuration.
-		m := runComposed(w.comp, w.net, c.df.New(seed), start, cfg.MaxSteps, true)
+		m := runObserved(sweep.Trial(cells[ci], tr))
 		return trial{
 			segments:      m.observer.Segments(),
-			bound:         core.MaxSegments(w.net.N()),
+			bound:         core.MaxSegments(m.run.Net.N()),
 			rootCreations: m.observer.AliveRootViolations(),
 			languageOK:    m.observer.LanguageViolation() == "",
 		}
@@ -170,7 +116,7 @@ func RunE3Segments(cfg Config) Table {
 		if !within {
 			t.Violations++
 		}
-		t.AddRow(c.top.Name, itoa(c.n), c.df.Name,
+		t.AddRow(c.Topology, itoa(c.N), c.Daemon,
 			itoa(maxSegments), itoa(bound), itoa(rootCreations), boolCell(languageOK), boolCell(within))
 	}
 	return t

@@ -1,12 +1,7 @@
 package bench
 
 import (
-	"math/rand"
-
 	"sdr/internal/core"
-	"sdr/internal/faults"
-	"sdr/internal/sim"
-	"sdr/internal/spantree"
 	"sdr/internal/stats"
 )
 
@@ -23,58 +18,23 @@ func RunX1SpanningTree(cfg Config) Table {
 		Title:   "extension: silent self-stabilizing BFS spanning tree via B∘SDR",
 		Columns: []string{"topology", "n", "scenario", "moves(mean)", "rounds(max)", "sdr-rounds-bound", "sdr-moves/proc(max)", "bound 3n+3", "root-creations", "tree-exact", "within"},
 	}
-	type cell struct {
-		top          Topology
-		n            int
-		scenarioName string
-	}
-	var cells []cell
-	for _, top := range StandardTopologies() {
-		for _, n := range cfg.Sizes {
-			for _, scenarioName := range []string{"random-all", "fake-wave"} {
-				cells = append(cells, cell{top: top, n: n, scenarioName: scenarioName})
-			}
-		}
-	}
+	sweep := sweepFor(cfg, 13007, []string{"bfstree"}, StandardTopologies(), []string{"distributed-random"}, []string{"random-all", "fake-wave"})
+	cells := sweep.Cells()
 	type trial struct {
 		moves, rounds, sdrMoves, sdrBound, rootCreations int
 		normalRoundsOK, treeExact                        bool
 	}
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		c := cells[ci]
-		scenario := scenarioByName(c.scenarioName)
-		seed := cfg.Seed + int64(tr)*13007
-		rng := rand.New(rand.NewSource(seed))
-		g := c.top.Build(c.n, rng)
-		root := 0
-		bfs := spantree.NewFor(g, root)
-		comp := core.Compose(bfs)
-		net := sim.NewNetwork(g)
-
-		var start *sim.Configuration
-		if c.scenarioName == "random-all" {
-			start = faults.RandomConfiguration(comp, net, rng)
-		} else {
-			start = scenario.Build(comp, bfs, net, rng)
-		}
-
-		observer := core.NewObserver(bfs, net)
-		observer.Prime(start)
-		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-		eng := sim.NewEngine(net, comp, daemon)
-		res := eng.Run(start,
-			sim.WithMaxSteps(cfg.MaxSteps),
-			sim.WithLegitimate(core.NormalPredicate(bfs, net)),
-			sim.WithStepHook(observer.Hook()),
-		)
+		m := runObserved(sweep.Trial(cells[ci], tr))
+		n := m.run.Net.N()
 		return trial{
-			moves:          res.Moves,
-			rounds:         res.Rounds,
-			sdrMoves:       observer.MaxSDRMoves(),
-			sdrBound:       core.MaxSDRMovesPerProcess(g.N()),
-			rootCreations:  observer.AliveRootViolations(),
-			normalRoundsOK: res.StabilizationRounds >= 0 && res.StabilizationRounds <= core.MaxResetRounds(g.N()),
-			treeExact:      res.Terminated && spantree.VerifyTree(g, root, res.Final) == nil,
+			moves:          m.result.Moves,
+			rounds:         m.result.Rounds,
+			sdrMoves:       m.observer.MaxSDRMoves(),
+			sdrBound:       core.MaxSDRMovesPerProcess(n),
+			rootCreations:  m.observer.AliveRootViolations(),
+			normalRoundsOK: m.result.StabilizationRounds >= 0 && m.result.StabilizationRounds <= core.MaxResetRounds(n),
+			treeExact:      m.run.Report(m.result).OK,
 		}
 	})
 	for ci, c := range cells {
@@ -94,7 +54,7 @@ func RunX1SpanningTree(cfg Config) Table {
 		if !within {
 			t.Violations++
 		}
-		t.AddRow(c.top.Name, itoa(c.n), c.scenarioName,
+		t.AddRow(c.Topology, itoa(c.N), c.Fault,
 			ftoa(stats.SummarizeInts(moves).Mean), itoa(maxRounds), boolCell(normalRoundsOK),
 			itoa(maxSDRMoves), itoa(sdrBound), itoa(rootCreations), boolCell(treesExact), boolCell(within))
 	}

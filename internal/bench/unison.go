@@ -1,10 +1,6 @@
 package bench
 
 import (
-	"math/rand"
-
-	"sdr/internal/faults"
-	"sdr/internal/sim"
 	"sdr/internal/stats"
 	"sdr/internal/unison"
 )
@@ -22,17 +18,12 @@ func RunE4UnisonRounds(cfg Config) Table {
 		Title:   "U∘SDR stabilization rounds vs the 3n bound (Theorem 7)",
 		Columns: []string{"topology", "n", "daemon", "rounds(max)", "rounds(mean)", "bound 3n", "within"},
 	}
-	scenario := scenarioByName("inner-only")
-	cells := standardSweepCells(cfg)
+	sweep := sweepFor(cfg, 4001, []string{"unison"}, StandardTopologies(), defaultDaemons(), []string{"inner-only"})
+	cells := sweep.Cells()
 	type trial struct{ rounds, bound int }
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		c := cells[ci]
-		seed := cfg.Seed + int64(tr)*4001
-		rng := rand.New(rand.NewSource(seed))
-		w := buildUnisonWorkload(c.top, c.n, rng)
-		start := corruptedStart(scenario, w.comp, w.net, rng)
-		m := runComposed(w.comp, w.net, c.df.New(seed), start, cfg.MaxSteps, true)
-		return trial{rounds: m.result.StabilizationRounds, bound: unison.MaxStabilizationRounds(w.net.N())}
+		m := runObserved(sweep.Trial(cells[ci], tr))
+		return trial{rounds: m.result.StabilizationRounds, bound: unison.MaxStabilizationRounds(m.run.Net.N())}
 	})
 	for ci, c := range cells {
 		var rounds []int
@@ -46,7 +37,7 @@ func RunE4UnisonRounds(cfg Config) Table {
 		if !within {
 			t.Violations++
 		}
-		t.AddRow(c.top.Name, itoa(c.n), c.df.Name,
+		t.AddRow(c.Topology, itoa(c.N), c.Daemon,
 			itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
 	}
 	return t
@@ -62,20 +53,15 @@ func RunE5UnisonMoves(cfg Config) Table {
 		Title:   "U∘SDR stabilization moves vs the O(D·n²) bound (Theorem 6)",
 		Columns: []string{"topology", "n", "D", "daemon", "moves(max)", "moves(mean)", "bound", "within"},
 	}
-	scenario := scenarioByName("random-all")
-	cells := standardSweepCells(cfg)
+	sweep := sweepFor(cfg, 5003, []string{"unison"}, StandardTopologies(), defaultDaemons(), []string{"random-all"})
+	cells := sweep.Cells()
 	type trial struct{ moves, bound, diameter int }
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		c := cells[ci]
-		seed := cfg.Seed + int64(tr)*5003
-		rng := rand.New(rand.NewSource(seed))
-		w := buildUnisonWorkload(c.top, c.n, rng)
-		diameter := w.graph.Diameter()
-		start := corruptedStart(scenario, w.comp, w.net, rng)
-		m := runComposed(w.comp, w.net, c.df.New(seed), start, cfg.MaxSteps, true)
+		m := runObserved(sweep.Trial(cells[ci], tr))
+		diameter := m.run.Graph.Diameter()
 		return trial{
 			moves:    m.result.StabilizationMoves,
-			bound:    unison.MaxStabilizationMoves(w.net.N(), diameter),
+			bound:    unison.MaxStabilizationMoves(m.run.Net.N(), diameter),
 			diameter: diameter,
 		}
 	})
@@ -94,28 +80,30 @@ func RunE5UnisonMoves(cfg Config) Table {
 		if !within {
 			t.Violations++
 		}
-		if c.df.Name == "distributed-random" {
-			g := growth[c.top.Name]
-			g[0] = append(g[0], float64(c.n))
+		if c.Daemon == "distributed-random" {
+			g := growth[c.Topology]
+			g[0] = append(g[0], float64(c.N))
 			g[1] = append(g[1], summary.Mean)
-			growth[c.top.Name] = g
+			growth[c.Topology] = g
 		}
-		t.AddRow(c.top.Name, itoa(c.n), itoa(diameter), c.df.Name,
+		t.AddRow(c.Topology, itoa(c.N), itoa(diameter), c.Daemon,
 			itoa(int(summary.Max)), ftoa(summary.Mean), itoa(bound), boolCell(within))
 	}
 	for _, top := range StandardTopologies() {
-		if g, ok := growth[top.Name]; ok && len(g[0]) >= 2 {
+		if g, ok := growth[top]; ok && len(g[0]) >= 2 {
 			t.AddNote("%s: measured moves grow like n^%.2f under the distributed-random daemon (paper bound: O(D·n²))",
-				top.Name, stats.GrowthExponent(g[0], g[1]))
+				top, stats.GrowthExponent(g[0], g[1]))
 		}
 	}
 	return t
 }
 
 // RunE6UnisonVsBPV compares the stabilization moves of U ∘ SDR against the
-// Boulinier-Petit-Villain baseline on the same topologies and the same
-// uniformly random initial configurations. The paper's claim (Section 5.3) is
-// that U ∘ SDR has the better move complexity: O(D·n²) versus O(D·n³ + α·n²).
+// Boulinier-Petit-Villain baseline on the same topologies and the same kind
+// of uniformly random initial configurations. The paper's claim (Section
+// 5.3) is that U ∘ SDR has the better move complexity: O(D·n²) versus
+// O(D·n³ + α·n²). Both legs resolve from the same seed, so they run on
+// identical graphs.
 func RunE6UnisonVsBPV(cfg Config) Table {
 	cfg = cfg.withDefaults()
 	t := Table{
@@ -123,39 +111,19 @@ func RunE6UnisonVsBPV(cfg Config) Table {
 		Title:   "U∘SDR vs BPV baseline: stabilization moves on the same workloads",
 		Columns: []string{"topology", "n", "sdr-moves(mean)", "bpv-moves(mean)", "ratio bpv/sdr", "sdr wins"},
 	}
-	type cell struct {
-		top Topology
-		n   int
-	}
-	var cells []cell
-	for _, top := range StandardTopologies() {
-		for _, n := range cfg.Sizes {
-			cells = append(cells, cell{top: top, n: n})
-		}
-	}
+	sweep := sweepFor(cfg, 6007, []string{"unison"}, StandardTopologies(), []string{"distributed-random"}, []string{"random-all"})
+	cells := sweep.Cells()
 	type trial struct{ sdrMoves, bpvMoves int }
 	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		c := cells[ci]
-		seed := cfg.Seed + int64(tr)*6007
-		rng := rand.New(rand.NewSource(seed))
-		w := buildUnisonWorkload(c.top, c.n, rng)
+		sdrSpec := sweep.Trial(cells[ci], tr)
+		m := runObserved(sdrSpec)
 
-		// U ∘ SDR from a uniformly random composed configuration.
-		start := faults.RandomConfiguration(w.comp, w.net, rng)
-		daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-		m := runComposed(w.comp, w.net, daemon, start, cfg.MaxSteps, true)
-
-		// BPV on the same topology from a uniformly random configuration.
-		bpv := unison.NewBPVFor(w.graph)
-		bpvStart := faults.RandomConfiguration(bpv, w.net, rng)
-		bpvDaemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed+1)), 0.5)
-		eng := sim.NewEngine(w.net, bpv, bpvDaemon)
-		res := eng.Run(bpvStart,
-			sim.WithMaxSteps(cfg.MaxSteps),
-			sim.WithLegitimate(bpv.LegitimatePredicate(w.graph)),
-			sim.WithStopWhenLegitimate(),
-		)
-		return trial{sdrMoves: m.result.StabilizationMoves, bpvMoves: res.StabilizationMoves}
+		// BPV on the same topology (same seed → same graph) from the same
+		// kind of uniformly random configuration.
+		bpvSpec := sdrSpec
+		bpvSpec.Algorithm = "bpv"
+		b := runPlain(bpvSpec)
+		return trial{sdrMoves: m.result.StabilizationMoves, bpvMoves: b.result.StabilizationMoves}
 	})
 	var ratioAccum []float64
 	for ci, c := range cells {
@@ -172,7 +140,7 @@ func RunE6UnisonVsBPV(cfg Config) Table {
 		bpvMean := stats.SummarizeInts(bpvMoves).Mean
 		ratio := stats.Ratio(bpvMean, sdrMean)
 		ratioAccum = append(ratioAccum, ratio)
-		t.AddRow(c.top.Name, itoa(c.n), ftoa(sdrMean), ftoa(bpvMean), ftoa(ratio), boolCell(sdrMean <= bpvMean || ratio >= 1))
+		t.AddRow(c.Topology, itoa(c.N), ftoa(sdrMean), ftoa(bpvMean), ftoa(ratio), boolCell(sdrMean <= bpvMean || ratio >= 1))
 	}
 	t.AddNote("mean bpv/sdr move ratio across the sweep: %.2f (>1 means U∘SDR needs fewer moves, matching the paper's comparison)",
 		stats.Summarize(ratioAccum).Mean)

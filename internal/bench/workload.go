@@ -2,140 +2,81 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sdr/internal/core"
-	"sdr/internal/faults"
-	"sdr/internal/graph"
+	"sdr/internal/scenario"
 	"sdr/internal/sim"
-	"sdr/internal/unison"
 )
 
-// Topology names a parameterised topology family used by the sweeps.
-type Topology struct {
-	// Name labels the family in result tables.
-	Name string
-	// Build returns a connected graph with (approximately) n nodes; families
-	// with structural constraints (grids, hypercubes) may round n.
-	Build func(n int, rng *rand.Rand) *graph.Graph
+// The experiment runners describe their workloads declaratively: each
+// experiment is a scenario.Sweep (which algorithm × topology × daemon ×
+// fault grid to run) plus the per-experiment metrics extracted from the
+// results. All construction goes through the scenario registries; nothing in
+// this package calls an algorithm, topology or daemon constructor directly.
+
+// StandardTopologies returns the topology registry names used across the
+// sweep experiments: bounded-degree families of increasing irregularity.
+func StandardTopologies() []string {
+	return []string{"ring", "tree", "grid", "random"}
 }
 
-// StandardTopologies returns the topology families used across the
-// experiment suite.
-func StandardTopologies() []Topology {
-	return []Topology{
-		{Name: "ring", Build: func(n int, _ *rand.Rand) *graph.Graph { return graph.Ring(n) }},
-		{Name: "tree", Build: func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomTree(n, rng) }},
-		{Name: "grid", Build: func(n int, _ *rand.Rand) *graph.Graph { return squareGrid(n) }},
-		{Name: "random", Build: func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomConnected(n, 0.25, rng) }},
+// DenseTopologies returns the topology registry names whose degree grows
+// with n, used by the alliance experiments (where Δ and m drive the bounds).
+func DenseTopologies() []string {
+	return []string{"complete", "random-dense", "random-sparse"}
+}
+
+// defaultDaemons returns the daemon registry names used by the sweep
+// experiments: the synchronous daemon (fast, deterministic) and a
+// distributed random daemon (samples the unfair daemon).
+func defaultDaemons() []string {
+	return []string{"synchronous", "distributed-random"}
+}
+
+// sweepFor assembles the scenario.Sweep of one experiment: the standard
+// topology/daemon grid over the configured sizes, with the experiment's
+// algorithms, fault models and trial-seed stride.
+func sweepFor(cfg Config, stride int64, algorithms, topologies, daemons, faultModels []string) scenario.Sweep {
+	return scenario.Sweep{
+		Algorithms: algorithms,
+		Topologies: topologies,
+		Daemons:    daemons,
+		Faults:     faultModels,
+		Sizes:      cfg.Sizes,
+		Trials:     cfg.Trials,
+		Seed:       cfg.Seed,
+		SeedStride: stride,
+		MaxSteps:   cfg.MaxSteps,
 	}
 }
 
-// DenseTopologies returns families whose degree grows with n, used by the
-// alliance experiments (where Δ and m drive the bounds).
-func DenseTopologies() []Topology {
-	return []Topology{
-		{Name: "complete", Build: func(n int, _ *rand.Rand) *graph.Graph { return graph.Complete(n) }},
-		{Name: "random-dense", Build: func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomConnected(n, 0.5, rng) }},
-		{Name: "random-sparse", Build: func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomConnected(n, 0.2, rng) }},
-	}
-}
-
-// squareGrid builds the largest r×c grid with r·c ≤ n and r, c ≥ 2 as close
-// to square as possible (falls back to a path for n < 4).
-func squareGrid(n int) *graph.Graph {
-	if n < 4 {
-		return graph.Path(n)
-	}
-	rows := 2
-	for r := 2; r*r <= n; r++ {
-		rows = r
-	}
-	cols := n / rows
-	return graph.Grid(rows, cols)
-}
-
-// measurement is one measured execution of a composition I ∘ SDR.
+// measurement is one measured execution of a resolved scenario.
 type measurement struct {
+	run      *scenario.Run
 	result   sim.Result
 	observer *core.Observer
-	netSize  int
 }
 
-// runComposed runs the composed algorithm from the given start until it
-// reaches a normal configuration (and keeps running to termination or the
-// step bound when stopAtNormal is false), under the given daemon, recording
-// the SDR observer quantities.
-func runComposed(
-	composed *core.Composed,
-	net *sim.Network,
-	daemon sim.Daemon,
-	start *sim.Configuration,
-	maxSteps int,
-	stopAtNormal bool,
-) measurement {
-	observer := core.NewObserver(composed.Inner(), net)
-	observer.Prime(start)
-	opts := []sim.Option{
-		sim.WithMaxSteps(maxSteps),
-		sim.WithLegitimate(core.NormalPredicate(composed.Inner(), net)),
-		sim.WithStepHook(observer.Hook()),
+// runObserved resolves and executes the spec with a primed reset observer
+// hooked into the run (compositions only; the observer is nil otherwise).
+// Non-terminating algorithms stop at their first legitimate configuration —
+// for compositions this loses no SDR activity, since the normal set is
+// closed and SDR rules are disabled in it.
+func runObserved(sp scenario.Spec) measurement {
+	run := sp.MustResolve()
+	observer := run.Observer()
+	var opts []sim.Option
+	if observer != nil {
+		opts = append(opts, sim.WithStepHook(observer.Hook()))
 	}
-	if stopAtNormal {
-		opts = append(opts, sim.WithStopWhenLegitimate())
-	}
-	eng := sim.NewEngine(net, composed, daemon)
-	res := eng.Run(start, opts...)
-	return measurement{result: res, observer: observer, netSize: net.N()}
+	res := run.Execute(opts...)
+	return measurement{run: run, result: res, observer: observer}
 }
 
-// unisonWorkload bundles the pieces of one U ∘ SDR measurement point.
-type unisonWorkload struct {
-	algo  *unison.Unison
-	comp  *core.Composed
-	net   *sim.Network
-	graph *graph.Graph
-}
-
-// buildUnisonWorkload builds U ∘ SDR with the default period K = n+1 on the
-// given topology.
-func buildUnisonWorkload(top Topology, n int, rng *rand.Rand) unisonWorkload {
-	g := top.Build(n, rng)
-	u := unison.New(unison.DefaultPeriod(g.N()))
-	return unisonWorkload{
-		algo:  u,
-		comp:  core.Compose(u),
-		net:   sim.NewNetwork(g),
-		graph: g,
-	}
-}
-
-// corruptedStart builds a corrupted starting configuration for a composition
-// using the named fault scenario.
-func corruptedStart(scenario faults.Scenario, comp *core.Composed, net *sim.Network, rng *rand.Rand) *sim.Configuration {
-	return scenario.Build(comp, comp.Inner(), net, rng)
-}
-
-// scenarioByName returns the standard fault scenario with the given name.
-func scenarioByName(name string) faults.Scenario {
-	for _, s := range faults.StandardScenarios() {
-		if s.Name == name {
-			return s
-		}
-	}
-	panic(fmt.Sprintf("bench: unknown fault scenario %q", name))
-}
-
-// defaultDaemons returns the daemon factories used by the sweep experiments:
-// the synchronous daemon (fast, deterministic) and a distributed random
-// daemon (samples the unfair daemon).
-func defaultDaemons() []sim.DaemonFactory {
-	return []sim.DaemonFactory{
-		{Name: "synchronous", New: func(int64) sim.Daemon { return sim.SynchronousDaemon{} }},
-		{Name: "distributed-random", New: func(seed int64) sim.Daemon {
-			return sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(seed)), 0.5)
-		}},
-	}
+// runPlain resolves and executes the spec without instrumentation.
+func runPlain(sp scenario.Spec) measurement {
+	run := sp.MustResolve()
+	return measurement{run: run, result: run.Execute()}
 }
 
 // itoa formats an integer cell.

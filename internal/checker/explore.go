@@ -1,7 +1,6 @@
 package checker
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"sdr/internal/sim"
@@ -71,15 +70,19 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 	// visited maps interned configuration keys to node indices. The interner
 	// maps each distinct local state to a small integer once, so keys are a
 	// few bytes per process instead of the full rendered state strings that
-	// Configuration.Key would concatenate for every visited configuration.
-	interner := newKeyInterner()
+	// the deprecated Configuration.Key would concatenate for every visited
+	// configuration. Guard evaluation goes through a single Evaluator shared
+	// with the engine's code path, so the rule set is fetched once for the
+	// whole exploration.
+	interner := sim.NewKeyInterner()
+	ev := sim.NewEvaluator(alg, net)
 	visited := make(map[string]int)
 	var configs []*sim.Configuration
 	var succs [][]int
 	legit := []bool{}
 
 	addConfig := func(c *sim.Configuration) (int, bool) {
-		key := interner.key(c)
+		key := interner.Key(c)
 		if idx, ok := visited[key]; ok {
 			return idx, false
 		}
@@ -90,6 +93,10 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 		legit = append(legit, opts.Legitimate != nil && opts.Legitimate(c))
 		return idx, true
 	}
+
+	// Scratch buffers reused across the BFS: both are transient within one
+	// loop iteration (enumerateSelections copies the enabled values out).
+	var enabledBuf, rulesBuf []int
 
 	var queue []int
 	for _, s := range starts {
@@ -112,7 +119,8 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 			return report, fmt.Errorf("checker: invariant violated in reachable configuration %s", c)
 		}
 
-		enabled := sim.EnabledSet(alg, net, c)
+		enabled := ev.AppendEnabled(enabledBuf[:0], c)
+		enabledBuf = enabled
 		if len(enabled) == 0 {
 			report.TerminalConfigurations++
 			if opts.TerminalOK != nil && !opts.TerminalOK(c) {
@@ -123,7 +131,8 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 
 		// Mutual-exclusion sanity check: at most one rule enabled per process.
 		for _, u := range enabled {
-			if rules := sim.EnabledRules(alg, net, c, u); len(rules) > 1 {
+			rulesBuf = ev.AppendEnabledRules(rulesBuf[:0], c, u)
+			if rules := rulesBuf; len(rules) > 1 {
 				return report, fmt.Errorf("checker: process %d has %d enabled rules in %s; exploration requires mutually exclusive rules", u, len(rules), c)
 			}
 		}
@@ -153,45 +162,12 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 		}
 		// Illegitimate terminal configurations.
 		for idx, c := range configs {
-			if len(succs[idx]) == 0 && !legit[idx] && len(sim.EnabledSet(alg, net, c)) == 0 {
+			if len(succs[idx]) == 0 && !legit[idx] && ev.Terminal(c) {
 				return report, fmt.Errorf("checker: illegitimate terminal configuration %s", c)
 			}
 		}
 	}
 	return report, nil
-}
-
-// keyInterner builds compact map keys for configurations: every distinct
-// local state (by its canonical String rendering) is assigned a small
-// integer id once, and a configuration's key is the varint encoding of its
-// per-process ids. On the product state spaces Explore visits the number of
-// distinct local states is tiny compared to the number of configurations, so
-// interning shrinks both the bytes hashed per lookup and the resident key
-// set.
-type keyInterner struct {
-	ids map[string]uint64
-	buf []byte
-}
-
-func newKeyInterner() *keyInterner {
-	return &keyInterner{ids: make(map[string]uint64)}
-}
-
-// key returns the compact key of c. The returned string is freshly
-// allocated and safe to retain as a map key.
-func (ki *keyInterner) key(c *sim.Configuration) string {
-	ki.buf = ki.buf[:0]
-	n := c.N()
-	for u := 0; u < n; u++ {
-		s := c.State(u).String()
-		id, ok := ki.ids[s]
-		if !ok {
-			id = uint64(len(ki.ids))
-			ki.ids[s] = id
-		}
-		ki.buf = binary.AppendUvarint(ki.buf, id)
-	}
-	return string(ki.buf)
 }
 
 // enumerateSelections returns every non-empty subset of enabled whose size is

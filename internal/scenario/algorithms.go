@@ -1,0 +1,289 @@
+package scenario
+
+import (
+	"fmt"
+
+	"sdr/internal/alliance"
+	"sdr/internal/core"
+	"sdr/internal/graph"
+	"sdr/internal/sim"
+	"sdr/internal/spantree"
+	"sdr/internal/unison"
+)
+
+// Assembly is what an algorithm registry entry builds for a concrete
+// network: the algorithm itself plus the metadata the run pipeline needs.
+type Assembly struct {
+	// Algorithm is the built algorithm.
+	Algorithm sim.Algorithm
+	// Inner is the inner Resettable when Algorithm is a composition I ∘ SDR,
+	// nil otherwise.
+	Inner core.Resettable
+	// Legitimate is the legitimacy predicate used to measure stabilization
+	// (nil when the entry defines none).
+	Legitimate sim.Predicate
+	// Terminating reports whether executions terminate (silent algorithms).
+	Terminating bool
+}
+
+// AlgorithmEntry is one named algorithm of the registry.
+type AlgorithmEntry struct {
+	// Name is the registry key.
+	Name string
+	// Kind groups variants of the same algorithm family ("unison", "bpv",
+	// "alliance", "bfstree") for presentation purposes.
+	Kind string
+	// Composed reports whether the entry builds a composition I ∘ SDR.
+	Composed bool
+	// Description is a one-line summary for -list output.
+	Description string
+	// Build assembles the algorithm on the given network.
+	Build func(g *graph.Graph, net *sim.Network, p Params) (Assembly, error)
+	// Report renders the algorithm-specific outcome of a finished run
+	// (optional; nil means "no output check").
+	Report func(r *Run, res sim.Result) Report
+}
+
+var algorithmRegistry = newRegistry[AlgorithmEntry]("algorithm")
+
+// RegisterAlgorithm adds an entry to the algorithm registry. It panics on
+// duplicate names; call it from init functions or test setup only.
+func RegisterAlgorithm(e AlgorithmEntry) { algorithmRegistry.add(e.Name, e) }
+
+// Algorithms returns the registered algorithm names in registration order.
+func Algorithms() []string { return algorithmRegistry.list() }
+
+// AlgorithmByName returns the entry with the given name.
+func AlgorithmByName(name string) (AlgorithmEntry, error) { return algorithmRegistry.lookup(name) }
+
+// periodOf returns the unison period for Params.K on an n-process network.
+func periodOf(p Params, n int) int {
+	if p.K > 0 {
+		return p.K
+	}
+	return unison.DefaultPeriod(n)
+}
+
+// allianceSpecByName returns the Section 6.1 alliance spec with the given
+// name ("" means dominating-set).
+func allianceSpecByName(name string) (alliance.Spec, error) {
+	if name == "" {
+		return alliance.DominatingSet(), nil
+	}
+	for _, s := range alliance.StandardSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	var known []string
+	for _, s := range alliance.StandardSpecs() {
+		known = append(known, s.Name)
+	}
+	return alliance.Spec{}, fmt.Errorf("%w: alliance spec %q (known: %v)", ErrUnknown, name, known)
+}
+
+// buildAllianceComposed assembles FGA ∘ SDR for the given spec.
+func buildAllianceComposed(spec alliance.Spec, g *graph.Graph, net *sim.Network) (Assembly, error) {
+	if err := spec.Validate(g); err != nil {
+		return Assembly{}, fmt.Errorf("%w: %v", ErrUnsatisfiable, err)
+	}
+	fga := alliance.NewFGA(spec)
+	return Assembly{
+		Algorithm:   core.Compose(fga),
+		Inner:       fga,
+		Legitimate:  core.NormalPredicate(fga, net),
+		Terminating: true,
+	}, nil
+}
+
+// buildAllianceStandalone assembles FGA alone for the given spec.
+func buildAllianceStandalone(spec alliance.Spec, g *graph.Graph) (Assembly, error) {
+	if err := spec.Validate(g); err != nil {
+		return Assembly{}, fmt.Errorf("%w: %v", ErrUnsatisfiable, err)
+	}
+	return Assembly{Algorithm: core.NewStandalone(alliance.NewFGA(spec)), Terminating: true}, nil
+}
+
+// allianceReport renders the alliance outcome: the member set and whether it
+// is a 1-minimal (f,g)-alliance.
+func allianceReport(spec alliance.Spec) func(r *Run, res sim.Result) Report {
+	return func(r *Run, res sim.Result) Report {
+		members := alliance.Members(res.Final)
+		isAlliance := alliance.IsAlliance(r.Graph, spec, members)
+		minimal := alliance.Is1Minimal(r.Graph, spec, members)
+		return Report{
+			Lines: []string{
+				fmt.Sprintf("alliance  : %v (size %d)", members, len(members)),
+				fmt.Sprintf("valid     : alliance=%v, 1-minimal=%v", isAlliance, minimal),
+			},
+			OK: res.Terminated && isAlliance && minimal,
+		}
+	}
+}
+
+func init() {
+	RegisterAlgorithm(AlgorithmEntry{
+		Name:        "unison",
+		Kind:        "unison",
+		Composed:    true,
+		Description: "Algorithm U ∘ SDR: self-stabilizing unison via the cooperative reset (Section 5); K = n+1 unless Params.K is set",
+		Build: func(g *graph.Graph, net *sim.Network, p Params) (Assembly, error) {
+			u := unison.New(periodOf(p, g.N()))
+			return Assembly{
+				Algorithm:  core.Compose(u),
+				Inner:      u,
+				Legitimate: core.NormalPredicate(u, net),
+			}, nil
+		},
+		Report: unisonReport,
+	})
+	RegisterAlgorithm(AlgorithmEntry{
+		Name:        "unison-standalone",
+		Kind:        "unison",
+		Description: "Algorithm U alone from its pre-defined initial configuration (not self-stabilizing)",
+		Build: func(g *graph.Graph, net *sim.Network, p Params) (Assembly, error) {
+			return Assembly{Algorithm: core.NewStandalone(unison.New(periodOf(p, g.N())))}, nil
+		},
+		Report: unisonReport,
+	})
+	RegisterAlgorithm(AlgorithmEntry{
+		Name:        "unison-uncoop",
+		Kind:        "unison",
+		Composed:    true,
+		Description: "ablation A1: U ∘ SDR with uncooperative resets (joining processes become roots of their own reset)",
+		Build: func(g *graph.Graph, net *sim.Network, p Params) (Assembly, error) {
+			u := unison.New(periodOf(p, g.N()))
+			return Assembly{
+				Algorithm:  core.Compose(u, core.WithUncooperativeResets()),
+				Inner:      u,
+				Legitimate: core.NormalPredicate(u, net),
+			}, nil
+		},
+		Report: unisonReport,
+	})
+	RegisterAlgorithm(AlgorithmEntry{
+		Name:        "bpv",
+		Kind:        "bpv",
+		Description: "Boulinier-Petit-Villain self-stabilizing unison, the Section 5.3 baseline; K and α derived from the topology",
+		Build: func(g *graph.Graph, net *sim.Network, p Params) (Assembly, error) {
+			b := unison.NewBPVFor(g)
+			return Assembly{Algorithm: b, Legitimate: b.LegitimatePredicate(g)}, nil
+		},
+		Report: func(r *Run, res sim.Result) Report {
+			return Report{OK: res.LegitimateReached}
+		},
+	})
+	RegisterAlgorithm(AlgorithmEntry{
+		Name:        "bfstree",
+		Kind:        "bfstree",
+		Composed:    true,
+		Description: "extension: silent self-stabilizing BFS spanning tree via B ∘ SDR, rooted at Params.Root",
+		Build: func(g *graph.Graph, net *sim.Network, p Params) (Assembly, error) {
+			bfs := spantree.NewFor(g, p.Root)
+			return Assembly{
+				Algorithm:   core.Compose(bfs),
+				Inner:       bfs,
+				Legitimate:  core.NormalPredicate(bfs, net),
+				Terminating: true,
+			}, nil
+		},
+		Report: bfsReport,
+	})
+	RegisterAlgorithm(AlgorithmEntry{
+		Name:        "bfstree-standalone",
+		Kind:        "bfstree",
+		Description: "BFS spanning tree algorithm B alone from its pre-defined initial configuration",
+		Build: func(g *graph.Graph, net *sim.Network, p Params) (Assembly, error) {
+			return Assembly{Algorithm: core.NewStandalone(spantree.NewFor(g, p.Root)), Terminating: true}, nil
+		},
+		Report: bfsReport,
+	})
+	RegisterAlgorithm(AlgorithmEntry{
+		Name:        "alliance",
+		Kind:        "alliance",
+		Composed:    true,
+		Description: "FGA ∘ SDR for the alliance spec named by Params.AllianceSpec (default dominating-set)",
+		Build: func(g *graph.Graph, net *sim.Network, p Params) (Assembly, error) {
+			spec, err := allianceSpecByName(p.AllianceSpec)
+			if err != nil {
+				return Assembly{}, err
+			}
+			return buildAllianceComposed(spec, g, net)
+		},
+		Report: func(r *Run, res sim.Result) Report {
+			spec, err := allianceSpecByName(r.Spec.Params.AllianceSpec)
+			if err != nil {
+				return Report{}
+			}
+			return allianceReport(spec)(r, res)
+		},
+	})
+	RegisterAlgorithm(AlgorithmEntry{
+		Name:        "alliance-standalone",
+		Kind:        "alliance",
+		Description: "FGA alone for the alliance spec named by Params.AllianceSpec (default dominating-set)",
+		Build: func(g *graph.Graph, net *sim.Network, p Params) (Assembly, error) {
+			spec, err := allianceSpecByName(p.AllianceSpec)
+			if err != nil {
+				return Assembly{}, err
+			}
+			return buildAllianceStandalone(spec, g)
+		},
+		Report: func(r *Run, res sim.Result) Report {
+			spec, err := allianceSpecByName(r.Spec.Params.AllianceSpec)
+			if err != nil {
+				return Report{}
+			}
+			return allianceReport(spec)(r, res)
+		},
+	})
+	// The six Section 6.1 special cases, each as composed and standalone
+	// entries, so that sweeps can name them directly.
+	for _, spec := range alliance.StandardSpecs() {
+		spec := spec
+		RegisterAlgorithm(AlgorithmEntry{
+			Name:        spec.Name,
+			Kind:        "alliance",
+			Composed:    true,
+			Description: fmt.Sprintf("FGA ∘ SDR computing a 1-minimal %s (Section 6.1)", spec.Name),
+			Build: func(g *graph.Graph, net *sim.Network, p Params) (Assembly, error) {
+				return buildAllianceComposed(spec, g, net)
+			},
+			Report: allianceReport(spec),
+		})
+		RegisterAlgorithm(AlgorithmEntry{
+			Name:        spec.Name + "-standalone",
+			Kind:        "alliance",
+			Description: fmt.Sprintf("FGA alone computing a 1-minimal %s from γ_init", spec.Name),
+			Build: func(g *graph.Graph, net *sim.Network, p Params) (Assembly, error) {
+				return buildAllianceStandalone(spec, g)
+			},
+			Report: allianceReport(spec),
+		})
+	}
+}
+
+// unisonReport renders the unison outcome: the final clock configuration.
+func unisonReport(r *Run, res sim.Result) Report {
+	ok := true
+	if r.Legitimate != nil {
+		ok = res.LegitimateReached
+	}
+	return Report{
+		Lines: []string{fmt.Sprintf("final     : %s", res.Final)},
+		OK:    ok,
+	}
+}
+
+// bfsReport renders the spanning-tree outcome: the distance vector and the
+// exactness of the tree.
+func bfsReport(r *Run, res sim.Result) Report {
+	err := spantree.VerifyTree(r.Graph, r.Spec.Params.Root, res.Final)
+	return Report{
+		Lines: []string{
+			fmt.Sprintf("bfs tree  : distances=%v", spantree.Distances(res.Final)),
+			fmt.Sprintf("valid     : %v", err == nil),
+		},
+		OK: res.Terminated && err == nil,
+	}
+}

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"sdr/internal/sim"
+)
+
+// DaemonEntry is one named scheduling adversary of the registry.
+type DaemonEntry struct {
+	// Name is the registry key.
+	Name string
+	// Description is a one-line summary for -list output.
+	Description string
+	// New builds a daemon from the given seed.
+	New func(seed int64) sim.Daemon
+}
+
+var daemonRegistry = newRegistry[DaemonEntry]("daemon")
+
+// RegisterDaemon adds an entry to the daemon registry. It panics on
+// duplicate names; call it from init functions or test setup only.
+func RegisterDaemon(e DaemonEntry) { daemonRegistry.add(e.Name, e) }
+
+// Daemons returns the registered daemon names in registration order.
+func Daemons() []string { return daemonRegistry.list() }
+
+// DaemonByName returns the entry with the given name.
+func DaemonByName(name string) (DaemonEntry, error) { return daemonRegistry.lookup(name) }
+
+// daemonDescriptions documents the standard daemons; keyed by factory name.
+var daemonDescriptions = map[string]string{
+	"synchronous":        "activates every enabled process in every step",
+	"central-random":     "activates one uniformly random enabled process per step (central daemon)",
+	"distributed-random": "activates each enabled process independently with probability 0.5",
+	"locally-central":    "activates a random maximal independent subset of the enabled processes",
+	"round-robin":        "activates one process per step, cycling through process indices (weakly fair)",
+	"greedy-adversarial": "one-step lookahead: activates the process leaving the most processes enabled",
+}
+
+func init() {
+	// The registry mirrors sim.StandardDaemonFactories so that daemon names
+	// resolve identically everywhere; the completeness test asserts the two
+	// stay in sync.
+	for _, df := range sim.StandardDaemonFactories() {
+		df := df
+		RegisterDaemon(DaemonEntry{
+			Name:        df.Name,
+			Description: daemonDescriptions[df.Name],
+			New:         df.New,
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sdr/internal/core"
+	"sdr/internal/faults"
+	"sdr/internal/sim"
+)
+
+// FaultEntry is one named fault model of the registry: a recipe producing
+// the (possibly corrupted) starting configuration of a run.
+type FaultEntry struct {
+	// Name is the registry key.
+	Name string
+	// Description is a one-line summary for -list output.
+	Description string
+	// ComposedOnly marks recipes that corrupt the reset machinery and hence
+	// only apply to compositions I ∘ SDR.
+	ComposedOnly bool
+	// Build produces the starting configuration. inner is nil for
+	// non-composed algorithms.
+	Build func(alg sim.Algorithm, inner core.Resettable, net *sim.Network, rng *rand.Rand) (*sim.Configuration, error)
+}
+
+var faultRegistry = newRegistry[FaultEntry]("fault model")
+
+// RegisterFault adds an entry to the fault-model registry. It panics on
+// duplicate names; call it from init functions or test setup only.
+func RegisterFault(e FaultEntry) { faultRegistry.add(e.Name, e) }
+
+// FaultModels returns the registered fault-model names in registration order.
+func FaultModels() []string { return faultRegistry.list() }
+
+// FaultByName returns the entry with the given name.
+func FaultByName(name string) (FaultEntry, error) { return faultRegistry.lookup(name) }
+
+// faultDescriptions documents the standard scenarios; keyed by scenario name.
+var faultDescriptions = map[string]string{
+	"random-all":   "every variable of every process drawn uniformly from the state space",
+	"inner-only":   "clean reset machinery, half of the application states corrupted",
+	"fake-wave":    "40% of the processes put into an arbitrary phase of a non-existent reset",
+	"half-corrupt": "half of the processes get uniformly random full states",
+}
+
+func init() {
+	RegisterFault(FaultEntry{
+		Name:        "none",
+		Description: "no fault: start from the algorithm's pre-defined initial configuration γ_init",
+		Build: func(alg sim.Algorithm, _ core.Resettable, net *sim.Network, _ *rand.Rand) (*sim.Configuration, error) {
+			return sim.InitialConfiguration(alg, net), nil
+		},
+	})
+	// The faults package scenarios become registry entries; the completeness
+	// test asserts every standard scenario is registered.
+	for _, s := range faults.StandardScenarios() {
+		s := s
+		RegisterFault(FaultEntry{
+			Name:         s.Name,
+			Description:  faultDescriptions[s.Name],
+			ComposedOnly: s.Name == "inner-only" || s.Name == "fake-wave",
+			Build: func(alg sim.Algorithm, inner core.Resettable, net *sim.Network, rng *rand.Rand) (*sim.Configuration, error) {
+				if s.Name == "random-all" || s.Name == "half-corrupt" {
+					// These recipes draw from the algorithm's enumerated state
+					// space and hence also apply to non-composed algorithms.
+					if enum, ok := alg.(sim.Enumerable); !ok || !enumerates(enum, net) {
+						return nil, fmt.Errorf("scenario: fault %q requires algorithm %s to enumerate its states", s.Name, alg.Name())
+					}
+				}
+				return s.Build(alg, inner, net, rng), nil
+			},
+		})
+	}
+}
+
+// enumerates reports whether the algorithm actually enumerates a non-empty
+// state space for process 0 (interface assertions alone are not enough:
+// wrappers implement Enumerable but may return nil for non-enumerable
+// inners).
+func enumerates(enum sim.Enumerable, net *sim.Network) bool {
+	return len(enum.EnumerateStates(0, net)) > 0
+}

@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// registry is an ordered name → entry table. Registration order is preserved
+// so that listings group entries logically (e.g. an algorithm next to its
+// standalone variant).
+type registry[E any] struct {
+	kind    string
+	names   []string
+	entries map[string]E
+}
+
+func newRegistry[E any](kind string) *registry[E] {
+	return &registry[E]{kind: kind, entries: make(map[string]E)}
+}
+
+// add registers an entry; duplicate names are programming errors.
+func (r *registry[E]) add(name string, e E) {
+	if name == "" {
+		panic(fmt.Sprintf("scenario: empty %s name", r.kind))
+	}
+	if _, dup := r.entries[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate %s %q", r.kind, name))
+	}
+	r.names = append(r.names, name)
+	r.entries[name] = e
+}
+
+// lookup returns the entry with the given name or an ErrUnknown-wrapped
+// error listing the registered names.
+func (r *registry[E]) lookup(name string) (E, error) {
+	if e, ok := r.entries[name]; ok {
+		return e, nil
+	}
+	var zero E
+	return zero, fmt.Errorf("%w: %s %q (known: %s)", ErrUnknown, r.kind, name, strings.Join(r.names, ", "))
+}
+
+// list returns the registered names in registration order.
+func (r *registry[E]) list() []string {
+	return append([]string(nil), r.names...)
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sdr/internal/sim"
+)
+
+func TestResolveEveryAlgorithm(t *testing.T) {
+	// Every registered algorithm must resolve and execute on a small ring
+	// (degree 2 satisfies every Section 6.1 alliance requirement) from both
+	// a clean and a fully random start.
+	for _, name := range Algorithms() {
+		for _, fault := range []string{"none", "random-all"} {
+			sp := Spec{
+				Algorithm: name,
+				Topology:  "ring",
+				N:         6,
+				Daemon:    "distributed-random",
+				Fault:     fault,
+				Seed:      5,
+				MaxSteps:  50_000,
+			}
+			run, err := sp.Resolve()
+			if err != nil {
+				t.Errorf("Resolve(%s, %s): %v", name, fault, err)
+				continue
+			}
+			if run.Alg == nil || run.Engine == nil || run.Start == nil || run.Daemon == nil {
+				t.Errorf("Resolve(%s, %s): incomplete run %+v", name, fault, run)
+				continue
+			}
+			entry, _ := AlgorithmByName(name)
+			if entry.Composed != (run.Inner != nil) {
+				t.Errorf("%s: Composed=%v but Inner=%v", name, entry.Composed, run.Inner)
+			}
+			res := run.Execute()
+			// A run must either make progress, terminate, or stop because
+			// its clean start is already legitimate.
+			if res.Steps == 0 && !res.Terminated && !res.LegitimateReached {
+				t.Errorf("%s/%s: execution made no progress", name, fault)
+			}
+			// The report must render without panicking even on truncated runs.
+			_ = run.Report(res)
+		}
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	sp := Spec{Algorithm: "unison", Topology: "random", N: 10, Daemon: "distributed-random", Fault: "random-all", Seed: 42, MaxSteps: 100_000}
+	a := sp.MustResolve()
+	b := sp.MustResolve()
+	if !a.Start.Equal(b.Start) {
+		t.Fatal("equal specs resolved to different starting configurations")
+	}
+	ra, rb := a.Execute(), b.Execute()
+	ra.Final, rb.Final = nil, nil // pointer-carrying field compared separately
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("equal specs produced different results:\n%+v\n%+v", ra, rb)
+	}
+}
+
+func TestResolveUnknownNames(t *testing.T) {
+	base := Spec{Algorithm: "unison", Topology: "ring", N: 6, Daemon: "synchronous", Seed: 1}
+	cases := []Spec{
+		func() Spec { s := base; s.Algorithm = "nope"; return s }(),
+		func() Spec { s := base; s.Topology = "nope"; return s }(),
+		func() Spec { s := base; s.Daemon = "nope"; return s }(),
+		func() Spec { s := base; s.Fault = "nope"; return s }(),
+		func() Spec { s := base; s.Algorithm = "alliance"; s.Params.AllianceSpec = "nope"; return s }(),
+	}
+	for i, sp := range cases {
+		if _, err := sp.Resolve(); !errors.Is(err, ErrUnknown) {
+			t.Errorf("case %d: got %v, want ErrUnknown", i, err)
+		}
+	}
+}
+
+func TestResolveUnsatisfiableSpec(t *testing.T) {
+	// A path's endpoints have degree 1 < the 2-tuple-domination requirement.
+	sp := Spec{Algorithm: "2-tuple-domination", Topology: "path", N: 6, Daemon: "synchronous", Seed: 1}
+	if _, err := sp.Resolve(); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("got %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestResolveComposedOnlyFault(t *testing.T) {
+	sp := Spec{Algorithm: "bpv", Topology: "ring", N: 6, Daemon: "synchronous", Fault: "fake-wave", Seed: 1}
+	if _, err := sp.Resolve(); err == nil {
+		t.Fatal("a composed-only fault on a non-composed algorithm must be rejected")
+	}
+}
+
+func TestExecuteStopsNonTerminatingAtLegitimate(t *testing.T) {
+	sp := Spec{Algorithm: "unison", Topology: "ring", N: 8, Daemon: "synchronous", Fault: "random-all", Seed: 3, MaxSteps: 100_000}
+	run := sp.MustResolve()
+	if run.Terminating {
+		t.Fatal("U∘SDR is not a terminating algorithm")
+	}
+	res := run.Execute()
+	if !res.LegitimateReached {
+		t.Fatal("the run did not stabilize")
+	}
+	if res.HitStepLimit {
+		t.Fatal("a stabilizing run must not hit the step bound")
+	}
+
+	// Terminating compositions run to termination instead.
+	bsp := sp
+	bsp.Algorithm = "bfstree"
+	brun := bsp.MustResolve()
+	if !brun.Terminating {
+		t.Fatal("B∘SDR is a terminating algorithm")
+	}
+	bres := brun.Execute()
+	if !bres.Terminated {
+		t.Fatal("B∘SDR did not terminate")
+	}
+	if !bres.LegitimateReached || bres.StabilizationMoves > bres.Moves {
+		t.Fatalf("stabilization accounting looks wrong: %+v", bres)
+	}
+}
+
+func TestObserverTracksCompositions(t *testing.T) {
+	sp := Spec{Algorithm: "unison", Topology: "ring", N: 8, Daemon: "synchronous", Fault: "random-all", Seed: 9, MaxSteps: 100_000}
+	run := sp.MustResolve()
+	obs := run.Observer()
+	if obs == nil {
+		t.Fatal("compositions must expose an observer")
+	}
+	run.Execute(sim.WithStepHook(obs.Hook()))
+	if obs.Segments() < 0 || obs.MaxSDRMoves() < 0 {
+		t.Fatalf("observer returned nonsense: segments=%d moves=%d", obs.Segments(), obs.MaxSDRMoves())
+	}
+
+	bsp := sp
+	bsp.Algorithm = "bpv"
+	if brun := bsp.MustResolve(); brun.Observer() != nil {
+		t.Fatal("non-composed algorithms must not expose an observer")
+	}
+}
+
+func TestParamsKnobs(t *testing.T) {
+	// Params.K overrides the unison period.
+	sp := Spec{Algorithm: "unison", Topology: "ring", N: 6, Daemon: "synchronous", Seed: 1, Params: Params{K: 19}}
+	run := sp.MustResolve()
+	if got := run.Alg.Name(); got != "U(K=19)∘SDR" {
+		t.Errorf("Params.K ignored: algorithm name %q", got)
+	}
+	// Params.EdgeProb steers the random topology density.
+	dense := Spec{Algorithm: "unison", Topology: "random", N: 12, Daemon: "synchronous", Seed: 1, Params: Params{EdgeProb: 0.9}}.MustResolve()
+	sparse := Spec{Algorithm: "unison", Topology: "random", N: 12, Daemon: "synchronous", Seed: 1, Params: Params{EdgeProb: 0.05}}.MustResolve()
+	if dense.Graph.M() <= sparse.Graph.M() {
+		t.Errorf("EdgeProb ignored: dense m=%d, sparse m=%d", dense.Graph.M(), sparse.Graph.M())
+	}
+}

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"fmt"
+)
+
+// TrialSeedStride separates the derived seeds of consecutive trials of a
+// sweep cell. A large prime keeps the per-trial RNG streams disjoint from
+// the small seed offsets users typically pick.
+const TrialSeedStride = 1_000_003
+
+// Sweep is a declarative cross-product of Spec axes. Expanding it yields one
+// cell per (algorithm × topology × size × daemon × fault) combination, in
+// that nesting order; each cell runs Trials seeded executions. The
+// (cell × trial) grid is what the internal/bench parallel worker pool
+// consumes.
+type Sweep struct {
+	// Algorithms, Topologies, Daemons and Faults name registry entries.
+	// Empty Faults defaults to {"none"}.
+	Algorithms []string
+	Topologies []string
+	Daemons    []string
+	Faults     []string
+	// Sizes is the sweep of network sizes n.
+	Sizes []int
+	// Trials is the number of seeded repetitions per cell (≤ 0 means 1).
+	Trials int
+	// Seed is the base seed; trial t of every cell derives seed
+	// Seed + t·SeedStride.
+	Seed int64
+	// SeedStride separates the seeds of consecutive trials; 0 means
+	// TrialSeedStride.
+	SeedStride int64
+	// MaxSteps bounds each execution; 0 means sim.DefaultMaxSteps.
+	MaxSteps int
+	// Params carries the entry-specific knobs shared by every cell.
+	Params Params
+}
+
+// Cell is one point of an expanded sweep.
+type Cell struct {
+	Algorithm string
+	Topology  string
+	N         int
+	Daemon    string
+	Fault     string
+}
+
+// Cells expands the cross-product in table order: algorithms outermost, then
+// topologies, sizes, daemons and faults.
+func (s Sweep) Cells() []Cell {
+	faultAxis := s.Faults
+	if len(faultAxis) == 0 {
+		faultAxis = []string{"none"}
+	}
+	var cells []Cell
+	for _, alg := range s.Algorithms {
+		for _, top := range s.Topologies {
+			for _, n := range s.Sizes {
+				for _, d := range s.Daemons {
+					for _, f := range faultAxis {
+						cells = append(cells, Cell{Algorithm: alg, Topology: top, N: n, Daemon: d, Fault: f})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Trial returns the Spec of the given cell's trial-th repetition.
+func (s Sweep) Trial(c Cell, trial int) Spec {
+	stride := s.SeedStride
+	if stride == 0 {
+		stride = TrialSeedStride
+	}
+	return Spec{
+		Algorithm: c.Algorithm,
+		Topology:  c.Topology,
+		N:         c.N,
+		Daemon:    c.Daemon,
+		Fault:     c.Fault,
+		Seed:      s.Seed + int64(trial)*stride,
+		MaxSteps:  s.MaxSteps,
+		Params:    s.Params,
+	}
+}
+
+// Validate checks that every axis resolves to a registry entry and that the
+// sweep is non-empty, without building any topology.
+func (s Sweep) Validate() error {
+	if len(s.Algorithms) == 0 || len(s.Topologies) == 0 || len(s.Daemons) == 0 || len(s.Sizes) == 0 {
+		return fmt.Errorf("scenario: sweep needs at least one algorithm, topology, daemon and size")
+	}
+	for _, name := range s.Algorithms {
+		if _, err := AlgorithmByName(name); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.Topologies {
+		if _, err := TopologyByName(name); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.Daemons {
+		if _, err := DaemonByName(name); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.Faults {
+		if _, err := FaultByName(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -190,46 +190,28 @@ func InitialConfiguration(a Algorithm, net *Network) *Configuration {
 }
 
 // EnabledRules returns the indices of the rules of a enabled at process u in
-// configuration c.
+// configuration c. Callers that ask repeatedly about the same algorithm
+// should hold an Evaluator instead.
 func EnabledRules(a Algorithm, net *Network, c *Configuration, u int) []int {
-	v := net.View(c, u)
-	var enabled []int
-	for i, r := range a.Rules() {
-		if r.Guard(v) {
-			enabled = append(enabled, i)
-		}
-	}
-	return enabled
+	return NewEvaluator(a, net).AppendEnabledRules(nil, c, u)
 }
 
-// Enabled reports whether process u has at least one enabled rule.
+// Enabled reports whether process u has at least one enabled rule. Callers
+// that ask repeatedly about the same algorithm should hold an Evaluator
+// instead.
 func Enabled(a Algorithm, net *Network, c *Configuration, u int) bool {
-	v := net.View(c, u)
-	for _, r := range a.Rules() {
-		if r.Guard(v) {
-			return true
-		}
-	}
-	return false
+	return NewEvaluator(a, net).Enabled(c, u)
 }
 
-// EnabledSet returns the sorted set of enabled processes in c.
+// EnabledSet returns the sorted set of enabled processes in c. Callers that
+// ask repeatedly about the same algorithm should hold an Evaluator instead.
 func EnabledSet(a Algorithm, net *Network, c *Configuration) []int {
-	var out []int
-	for u := 0; u < net.N(); u++ {
-		if Enabled(a, net, c, u) {
-			out = append(out, u)
-		}
-	}
-	return out
+	return NewEvaluator(a, net).AppendEnabled(nil, c)
 }
 
-// Terminal reports whether c is a terminal configuration (no process enabled).
+// Terminal reports whether c is a terminal configuration (no process
+// enabled). Callers that ask repeatedly about the same algorithm should hold
+// an Evaluator instead.
 func Terminal(a Algorithm, net *Network, c *Configuration) bool {
-	for u := 0; u < net.N(); u++ {
-		if Enabled(a, net, c, u) {
-			return false
-		}
-	}
-	return true
+	return NewEvaluator(a, net).Terminal(c)
 }

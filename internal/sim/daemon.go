@@ -185,6 +185,7 @@ type GreedyAdversarialDaemon struct {
 	rng     *rand.Rand
 	scratch []State
 	best    []int
+	ev      *Evaluator
 }
 
 var _ Daemon = (*GreedyAdversarialDaemon)(nil)
@@ -207,6 +208,9 @@ func (d *GreedyAdversarialDaemon) Select(sel Selection) []int {
 	if cap(d.scratch) < n {
 		d.scratch = make([]State, n)
 	}
+	if d.ev == nil || d.ev.Algorithm() != sel.Alg || d.ev.Network() != sel.Net {
+		d.ev = NewEvaluator(sel.Alg, sel.Net)
+	}
 	states := d.scratch[:n]
 	for u := 0; u < n; u++ {
 		states[u] = sel.Config.State(u)
@@ -218,7 +222,7 @@ func (d *GreedyAdversarialDaemon) Select(sel Selection) []int {
 	for _, u := range sel.Enabled {
 		v := sel.Net.View(sel.Config, u)
 		moved := false
-		for _, r := range sel.Alg.Rules() {
+		for _, r := range d.ev.Rules() {
 			if r.Guard(v) {
 				states[u] = r.Action(v)
 				moved = true
@@ -228,12 +232,12 @@ func (d *GreedyAdversarialDaemon) Select(sel Selection) []int {
 		score := base
 		if moved {
 			// u was enabled before the move by construction.
-			if !Enabled(sel.Alg, sel.Net, patched, u) {
+			if !d.ev.Enabled(patched, u) {
 				score--
 			}
 			for _, w := range sel.Net.Neighbors(u) {
 				_, before := slices.BinarySearch(sel.Enabled, w)
-				after := Enabled(sel.Alg, sel.Net, patched, w)
+				after := d.ev.Enabled(patched, w)
 				if after && !before {
 					score++
 				} else if !after && before {

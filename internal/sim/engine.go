@@ -233,7 +233,8 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 	e.checkStart(start)
 
 	n := e.net.N()
-	rules := e.alg.Rules()
+	ev := NewEvaluator(e.alg, e.net)
+	rules := ev.Rules()
 
 	// Double-buffered state vectors: guards and the daemon read cur, the
 	// step's writes land in next, and the two swap after every step.
@@ -260,7 +261,7 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 	// materialisation handed to daemons.
 	enabledBits := newBitset(n)
 	for u := 0; u < n; u++ {
-		if Enabled(e.alg, e.net, curCfg, u) {
+		if ev.Enabled(curCfg, u) {
 			enabledBits.set(u)
 		}
 	}
@@ -342,7 +343,7 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 			for word != 0 {
 				u := base + bits.TrailingZeros64(word)
 				word &= word - 1
-				if Enabled(e.alg, e.net, curCfg, u) {
+				if ev.Enabled(curCfg, u) {
 					enabledBits.set(u)
 				} else {
 					enabledBits.clear(u)

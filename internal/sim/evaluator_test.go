@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sdr/internal/graph"
+)
+
+// evaluatorTestSetup builds the max-propagation test algorithm on a ring in
+// a random configuration, so that enabledness varies across processes.
+func evaluatorTestSetup(t *testing.T) (*Network, Algorithm, *Configuration) {
+	t.Helper()
+	net := NewNetwork(graph.Ring(6))
+	alg := maxPropagation{}
+	states := make([]State, net.N())
+	rng := rand.New(rand.NewSource(7))
+	for u := range states {
+		states[u] = intState{v: rng.Intn(4)}
+	}
+	return net, alg, NewConfiguration(states)
+}
+
+// TestEvaluatorMatchesHelpers is the shared-guard-path contract: the
+// Evaluator answers exactly what the package-level helpers answer, and the
+// helpers are now defined through it.
+func TestEvaluatorMatchesHelpers(t *testing.T) {
+	net, alg, c := evaluatorTestSetup(t)
+	ev := NewEvaluator(alg, net)
+	for u := 0; u < net.N(); u++ {
+		if got, want := ev.Enabled(c, u), Enabled(alg, net, c, u); got != want {
+			t.Errorf("Enabled(%d) = %v, helper says %v", u, got, want)
+		}
+		got := ev.AppendEnabledRules(nil, c, u)
+		want := EnabledRules(alg, net, c, u)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("EnabledRules(%d) = %v, helper says %v", u, got, want)
+		}
+	}
+	if got, want := ev.AppendEnabled(nil, c), EnabledSet(alg, net, c); !reflect.DeepEqual(got, want) {
+		t.Errorf("AppendEnabled = %v, helper says %v", got, want)
+	}
+	if got, want := ev.Terminal(c), Terminal(alg, net, c); got != want {
+		t.Errorf("Terminal = %v, helper says %v", got, want)
+	}
+}
+
+func TestEvaluatorReusesBuffers(t *testing.T) {
+	net, alg, c := evaluatorTestSetup(t)
+	ev := NewEvaluator(alg, net)
+	buf := make([]int, 0, net.N())
+	out := ev.AppendEnabled(buf, c)
+	if len(out) > 0 && &out[0] != &buf[:1][0] {
+		t.Error("AppendEnabled reallocated despite sufficient capacity")
+	}
+}
+
+// TestKeyInternerEquivalence pins the interner to the deprecated
+// Configuration.Key: within one interner, two configurations get equal keys
+// exactly when their Key() strings are equal.
+func TestKeyInternerEquivalence(t *testing.T) {
+	net, alg, _ := evaluatorTestSetup(t)
+	_ = alg
+	rng := rand.New(rand.NewSource(3))
+	var configs []*Configuration
+	for i := 0; i < 64; i++ {
+		states := make([]State, net.N())
+		for u := range states {
+			states[u] = intState{v: rng.Intn(3)}
+		}
+		configs = append(configs, NewConfiguration(states))
+	}
+	ki := NewKeyInterner()
+	interned := make([]string, len(configs))
+	for i, c := range configs {
+		interned[i] = ki.Key(c)
+	}
+	for i, a := range configs {
+		for j, b := range configs {
+			keyEqual := a.Key() == b.Key()
+			internEqual := interned[i] == interned[j]
+			if keyEqual != internEqual {
+				t.Fatalf("configs %d and %d: Key equality %v but interned equality %v", i, j, keyEqual, internEqual)
+			}
+		}
+	}
+	if ki.States() == 0 || ki.States() > 3 {
+		t.Errorf("interner tracked %d distinct local states, want 1..3", ki.States())
+	}
+	// Interned keys must be stable: re-keying returns the same bytes.
+	for i, c := range configs {
+		if ki.Key(c) != interned[i] {
+			t.Fatalf("re-keying config %d changed the key", i)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import "encoding/binary"
+
+// KeyInterner builds compact map keys for configurations: every distinct
+// local state (by its canonical String rendering) is assigned a small
+// integer id once, and a configuration's key is the varint encoding of its
+// per-process ids. On the product state spaces that exploration and cycle
+// detection visit, the number of distinct local states is tiny compared to
+// the number of configurations, so interning shrinks both the bytes hashed
+// per lookup and the resident key set compared to the deprecated
+// Configuration.Key strings.
+//
+// Keys from the same interner are equal exactly when the configurations
+// render equal per-process states, i.e. exactly when the deprecated
+// Configuration.Key values are equal; keys from different interners are not
+// comparable.
+type KeyInterner struct {
+	ids map[string]uint64
+	buf []byte
+}
+
+// NewKeyInterner returns an empty interner.
+func NewKeyInterner() *KeyInterner {
+	return &KeyInterner{ids: make(map[string]uint64)}
+}
+
+// Key returns the compact key of c. The returned string is freshly
+// allocated and safe to retain as a map key.
+func (ki *KeyInterner) Key(c *Configuration) string {
+	ki.buf = ki.buf[:0]
+	n := c.N()
+	for u := 0; u < n; u++ {
+		s := c.State(u).String()
+		id, ok := ki.ids[s]
+		if !ok {
+			id = uint64(len(ki.ids))
+			ki.ids[s] = id
+		}
+		ki.buf = binary.AppendUvarint(ki.buf, id)
+	}
+	return string(ki.buf)
+}
+
+// States returns the number of distinct local states interned so far.
+func (ki *KeyInterner) States() int { return len(ki.ids) }

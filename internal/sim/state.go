@@ -83,8 +83,12 @@ func (c *Configuration) String() string {
 	return "[" + strings.Join(parts, " | ") + "]"
 }
 
-// Key returns a canonical string usable as a map key, for state-space
-// exploration and cycle detection.
+// Key returns a canonical string usable as a map key.
+//
+// Deprecated: Key renders every local state to a string on every call,
+// which dominates the cost of state-space exploration and cycle detection.
+// Hold a KeyInterner instead: its varint keys have the same equality
+// semantics at a fraction of the bytes hashed and retained.
 func (c *Configuration) Key() string {
 	var b strings.Builder
 	for i, s := range c.states {
