@@ -4,14 +4,17 @@
 // use -experiment to run a single one and -quick for a fast, smaller sweep.
 //
 // Beyond the paper's tables, -sweep runs an arbitrary algorithm × topology ×
-// daemon × fault grid through the scenario registries, and -json writes
-// every rendered table as machine-readable BENCH_<id>.json so the benchmark
-// trajectory can be tracked across revisions.
+// daemon × fault grid through the scenario registries, -verify sweeps
+// exhaustive convergence certification (model checking every daemon choice,
+// small n only) over the same grid, and -json writes every rendered table as
+// machine-readable BENCH_<id>.json so the benchmark trajectory can be
+// tracked across revisions.
 //
 // Usage:
 //
 //	sdrbench [-experiment E5] [-quick] [-markdown] [-sizes 8,16,32] [-trials 5] [-seed 1] [-parallel 8] [-json] [-json-dir out]
 //	sdrbench -sweep -algorithms unison,bfstree -topologies ring,tree,grid -daemons synchronous,distributed-random -sizes 8
+//	sdrbench -verify -algorithms unison,dominating-set -topologies ring,tree -sizes 4,5,6 -json
 //	sdrbench -list
 package main
 
@@ -50,10 +53,14 @@ func run(args []string, out io.Writer) error {
 		jsonOut    = fs.Bool("json", false, "additionally write each table as machine-readable BENCH_<id>.json")
 		jsonDir    = fs.String("json-dir", ".", "directory the -json files are written to")
 		sweep      = fs.Bool("sweep", false, "run a custom algorithm×topology×daemon×fault grid instead of the paper's tables")
-		algorithms = fs.String("algorithms", "unison", "comma-separated algorithm registry entries for -sweep")
-		topologies = fs.String("topologies", "ring", "comma-separated topology registry entries for -sweep")
+		algorithms = fs.String("algorithms", "unison", "comma-separated algorithm registry entries for -sweep/-verify")
+		topologies = fs.String("topologies", "ring", "comma-separated topology registry entries for -sweep/-verify")
 		daemons    = fs.String("daemons", "distributed-random", "comma-separated daemon registry entries for -sweep")
-		faultList  = fs.String("faults", "random-all", "comma-separated fault-model registry entries for -sweep")
+		faultList  = fs.String("faults", "random-all", "comma-separated fault-model registry entries for -sweep/-verify")
+		verify     = fs.Bool("verify", false, "exhaustively certify convergence over the -algorithms × -topologies × -sizes grid (model checking, small n only)")
+		vStarts    = fs.Int("verify-starts", 4, "number of seeded corrupted starts per -verify cell")
+		vMaxConfig = fs.Int("verify-max-configs", 0, "configuration cap per -verify exploration (0 = checker default)")
+		vMaxSel    = fs.Int("verify-max-selection", 1, "daemon selection size cap for -verify: k certifies daemons activating ≤ k processes per step; 0 is exact but exponential")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +116,36 @@ func run(args []string, out io.Writer) error {
 			if err := writeTableJSON(*jsonDir, table); err != nil {
 				return err
 			}
+		}
+		return nil
+	}
+
+	if *verify {
+		if *sizes == "" {
+			// Exhaustive exploration is exponential in n; default to the
+			// certifiable sizes instead of the sampling sweep's n ≤ 64.
+			cfg.Sizes = []int{4, 5, 6}
+		}
+		sw := scenario.Sweep{
+			Algorithms: splitNames(*algorithms),
+			Topologies: splitNames(*topologies),
+			Faults:     splitNames(*faultList),
+			Sizes:      cfg.Sizes,
+			Seed:       cfg.Seed,
+		}
+		table, err := bench.RunVerify(sw, bench.VerifyConfig{
+			Starts:            *vStarts,
+			MaxConfigurations: *vMaxConfig,
+			MaxSelectionSize:  *vMaxSel,
+		}, cfg.Parallel)
+		if err != nil {
+			return err
+		}
+		if err := emit(table); err != nil {
+			return err
+		}
+		if table.Violations > 0 {
+			return fmt.Errorf("%d verification cell(s) were refuted or incomplete", table.Violations)
 		}
 		return nil
 	}

@@ -116,6 +116,49 @@ func TestSweepMode(t *testing.T) {
 	}
 }
 
+func TestVerifyMode(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{
+		"-verify",
+		"-algorithms", "unison,dominating-set",
+		"-topologies", "ring",
+		"-sizes", "4,5", "-seed", "1",
+		"-verify-starts", "3",
+		"-json", "-json-dir", dir,
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run -verify: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "VERIFY") || strings.Count(text, "certified") != 4 {
+		t.Errorf("verify output looks wrong:\n%s", text)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_VERIFY.json"))
+	if err != nil {
+		t.Fatalf("BENCH_VERIFY.json not written: %v", err)
+	}
+	var table struct {
+		ID         string
+		Rows       [][]string
+		Violations int
+	}
+	if err := json.Unmarshal(data, &table); err != nil {
+		t.Fatalf("BENCH_VERIFY.json is not valid JSON: %v", err)
+	}
+	if table.ID != "VERIFY" || len(table.Rows) != 4 || table.Violations != 0 {
+		t.Errorf("unexpected verification table: %+v", table)
+	}
+
+	// A truncated exploration must fail the command (non-zero exit), so CI
+	// cannot silently pass an uncovered space.
+	var truncated bytes.Buffer
+	err = run([]string{"-verify", "-algorithms", "unison", "-topologies", "ring", "-sizes", "5", "-verify-max-configs", "20"}, &truncated)
+	if err == nil {
+		t.Error("an incomplete verification must fail the command")
+	}
+}
+
 func TestListIncludesRegistries(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-list"}, &out); err != nil {

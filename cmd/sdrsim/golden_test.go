@@ -24,6 +24,8 @@ var goldenCases = []struct {
 	{"alliance_generic_spec", []string{"-algorithm", "alliance", "-spec", "2-domination", "-topology", "random", "-n", "10", "-seed", "4"}},
 	{"bfstree_grid", []string{"-algorithm", "bfstree", "-topology", "grid", "-n", "9", "-scenario", "fake-wave", "-seed", "5"}},
 	{"bpv_ring", []string{"-algorithm", "bpv", "-topology", "ring", "-n", "8", "-scenario", "random-all", "-seed", "6"}},
+	{"verify_unison_ring", []string{"-algorithm", "unison", "-topology", "ring", "-n", "4", "-verify", "-verify-starts", "4", "-seed", "2"}},
+	{"verify_alliance_ring", []string{"-algorithm", "dominating-set", "-topology", "ring", "-n", "5", "-verify", "-verify-starts", "3", "-verify-max-selection", "0", "-seed", "2"}},
 	{"trace_text", []string{"-algorithm", "unison", "-topology", "ring", "-n", "5", "-seed", "7", "-trace", "-format", "text", "-max-steps", "100000"}},
 	{"trace_json", []string{"-algorithm", "unison", "-topology", "ring", "-n", "5", "-seed", "7", "-trace", "-format", "json", "-max-steps", "100000"}},
 	{"list", []string{"-list"}},

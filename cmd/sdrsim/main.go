@@ -5,11 +5,17 @@
 // registries: every combination it can run is a scenario.Spec, and -list
 // shows everything the registries know.
 //
+// Beyond simulation, -verify switches to exhaustive certification: instead
+// of sampling one daemon schedule, every daemon choice (up to the selection
+// cap) is explored from a set of seeded corrupted starts and the run's
+// convergence property is model-checked on the reachable space.
+//
 // Usage examples:
 //
 //	sdrsim -algorithm unison -topology ring -n 16 -daemon distributed-random -scenario random-all
 //	sdrsim -algorithm alliance -spec dominating-set -topology random -n 12 -trace
 //	sdrsim -algorithm bpv -topology ring -n 10 -scenario random-all
+//	sdrsim -algorithm unison -topology ring -n 5 -verify -verify-starts 8
 //	sdrsim -list
 package main
 
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"sdr/internal/core"
 	"sdr/internal/scenario"
@@ -36,10 +43,16 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sdrsim", flag.ContinueOnError)
 	var (
 		sp        scenario.Spec
+		vo        scenario.VerifyOptions
 		list      = fs.Bool("list", false, "list the registered algorithms, topologies, daemons and fault models, then exit")
 		showTrace = fs.Bool("trace", false, "print the full step-by-step trace")
 		format    = fs.String("format", "text", "trace format when -trace is set: text, csv, json")
+		verify    = fs.Bool("verify", false, "exhaustively certify the run's convergence property instead of simulating one schedule (small n only)")
 	)
+	fs.IntVar(&vo.Starts, "verify-starts", 4, "number of seeded corrupted starts the verification explores from")
+	fs.IntVar(&vo.MaxConfigurations, "verify-max-configs", 0, "configuration cap of the exploration (0 = checker default)")
+	fs.IntVar(&vo.MaxSelectionSize, "verify-max-selection", 1, "daemon selection size cap: k certifies daemons activating ≤ k processes per step; 0 is exact but exponential in the enabled-set size")
+	fs.IntVar(&vo.Workers, "verify-workers", 0, "exploration worker pool size (0 = one per CPU); verdicts are identical for every value")
 	fs.StringVar(&sp.Algorithm, "algorithm", "unison", "algorithm registry entry (see -list)")
 	fs.StringVar(&sp.Params.AllianceSpec, "spec", "dominating-set", "alliance spec for the generic alliance entries (see -list)")
 	fs.StringVar(&sp.Topology, "topology", "ring", "topology registry entry (see -list)")
@@ -57,7 +70,53 @@ func run(args []string, out io.Writer) error {
 		printRegistries(out)
 		return nil
 	}
+	if *verify {
+		if vo.Workers <= 0 {
+			vo.Workers = runtime.NumCPU()
+		}
+		return certify(sp, vo, out)
+	}
 	return simulate(sp, *showTrace, *format, out)
+}
+
+// certify resolves the Spec and model-checks its convergence property on the
+// space reachable from the seeded starts, under every daemon choice up to
+// the selection cap.
+func certify(sp scenario.Spec, vo scenario.VerifyOptions, out io.Writer) error {
+	run, err := sp.Resolve()
+	if err != nil {
+		return err
+	}
+	g := run.Graph
+	fmt.Fprintf(out, "algorithm : %s\n", run.Alg.Name())
+	fmt.Fprintf(out, "topology  : %s (n=%d m=%d Δ=%d D=%d)\n", run.Spec.Topology, g.N(), g.M(), g.MaxDegree(), g.Diameter())
+	daemons := "every daemon"
+	if vo.MaxSelectionSize > 0 {
+		daemons = fmt.Sprintf("every daemon activating ≤%d process(es) per step", vo.MaxSelectionSize)
+	}
+	fmt.Fprintf(out, "verify    : scenario %s, seed %d, %d start(s), %s\n", run.Spec.Fault, run.Spec.Seed, max(vo.Starts, 1), daemons)
+
+	report, verr := run.Verify(vo)
+	if verr != nil && report.Configurations == 0 {
+		// The verification never started (no legitimacy predicate, start
+		// construction failed): a setup error, not a refuted property.
+		return verr
+	}
+	fmt.Fprintf(out, "explored  : %d configurations, %d transitions, depth %d, complete=%v\n",
+		report.Configurations, report.Transitions, report.Depth, report.Complete)
+	fmt.Fprintf(out, "coverage  : %d terminal, %d legitimate, %d selection-capped, %d distinct local states\n",
+		report.TerminalConfigurations, report.LegitimateConfigurations, report.CappedSelections, report.DistinctLocalStates)
+	switch {
+	case verr != nil:
+		fmt.Fprintf(out, "verdict   : REFUTED — %v\n", verr)
+		return fmt.Errorf("verification refuted the convergence property")
+	case !report.Complete:
+		fmt.Fprintln(out, "verdict   : INCOMPLETE — the configuration cap was hit before the reachable space was covered; raise -verify-max-configs")
+		return fmt.Errorf("verification incomplete: explored %d configurations", report.Configurations)
+	default:
+		fmt.Fprintln(out, "verdict   : CERTIFIED — every execution from the explored starts reaches the legitimate set")
+		return nil
+	}
 }
 
 // printRegistries renders the scenario registries, one section per axis.

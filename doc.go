@@ -13,13 +13,15 @@
 //     Villain baseline (Section 5);
 //   - internal/alliance — Algorithm FGA, FGA ∘ SDR, and the (f,g)-alliance
 //     verifiers (Section 6);
-//   - internal/checker  — closure/convergence checkers and bounded-exhaustive
-//     state-space exploration;
+//   - internal/checker  — closure/convergence checkers and the parallel
+//     bounded-exhaustive state-space exploration behind the -verify modes
+//     (model checking convergence under every daemon choice on small n);
 //   - internal/faults   — transient-fault injection;
 //   - internal/scenario — the declarative experiment layer: named registries
 //     for algorithms, topologies, daemons and fault models, the Spec type
-//     that resolves a description into a ready-to-run engine, and Sweep
-//     cross-products;
+//     that resolves a description into a ready-to-run engine, Sweep
+//     cross-products, and Run.Verify, the exhaustive-certification
+//     counterpart of Run.Execute;
 //   - internal/trace    — execution recording and export;
 //   - internal/stats    — summaries and growth fits for the reports;
 //   - internal/bench    — the experiment harness (E1-E10, A1-A3), built on

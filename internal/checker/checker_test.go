@@ -275,7 +275,9 @@ func TestExploreSelectionCapAndConfigCap(t *testing.T) {
 		t.Error("capped exploration should still visit configurations")
 	}
 
-	// A tiny configuration cap marks the exploration incomplete.
+	// A tiny configuration cap marks the exploration incomplete and is never
+	// overshot: the explored set stays within the cap even though a frontier
+	// of successors was pending.
 	report2, err := Explore(net, alg, starts, ExploreOptions{MaxConfigurations: 2})
 	if err != nil {
 		t.Fatalf("bounded exploration failed: %v", err)
@@ -283,15 +285,110 @@ func TestExploreSelectionCapAndConfigCap(t *testing.T) {
 	if report2.Complete {
 		t.Error("hitting the configuration cap must mark the exploration incomplete")
 	}
+	if report2.Configurations > 2 {
+		t.Errorf("explored %d configurations, cap was 2", report2.Configurations)
+	}
 }
 
-func TestEnumerateSelections(t *testing.T) {
-	sels := enumerateSelections([]int{1, 2, 3}, 0)
+// TestExploreSequentialParallelIdentical asserts the level-parallel
+// exploration produces reports (and error outcomes) bit-identical to the
+// sequential one, on a convergent space, a diverging space, and a truncated
+// space.
+func TestExploreSequentialParallelIdentical(t *testing.T) {
+	g := graph.Ring(5)
+	net := sim.NewNetwork(g)
+	alg := counterAlg{cap: 3}
+	var starts []*sim.Configuration
+	for a := 0; a <= 2; a++ {
+		states := make([]sim.State, g.N())
+		for u := range states {
+			states[u] = counterState{V: (a + u) % 3}
+		}
+		starts = append(starts, sim.NewConfiguration(states))
+	}
+	cases := []struct {
+		name string
+		opts ExploreOptions
+	}{
+		{"exact", ExploreOptions{Legitimate: allAtCap(3, g.N())}},
+		{"capped-selections", ExploreOptions{Legitimate: allAtCap(3, g.N()), MaxSelectionSize: 2}},
+		{"truncated", ExploreOptions{MaxConfigurations: 40}},
+	}
+	for _, tc := range cases {
+		seq := tc.opts
+		seq.Workers = 1
+		par := tc.opts
+		par.Workers = 8
+		seqReport, seqErr := Explore(net, alg, starts, seq)
+		parReport, parErr := Explore(net, alg, starts, par)
+		if seqReport != parReport {
+			t.Errorf("%s: parallel report %+v != sequential %+v", tc.name, parReport, seqReport)
+		}
+		if (seqErr == nil) != (parErr == nil) || (seqErr != nil && seqErr.Error() != parErr.Error()) {
+			t.Errorf("%s: parallel error %v != sequential %v", tc.name, parErr, seqErr)
+		}
+	}
+
+	// A diverging algorithm must yield the same error either way.
+	flip := flipFlopAlg{}
+	fstarts := []*sim.Configuration{sim.NewConfiguration([]sim.State{counterState{V: 0}, counterState{V: 0}})}
+	fnet := sim.NewNetwork(graph.Path(2))
+	never := func(*sim.Configuration) bool { return false }
+	_, seqErr := Explore(fnet, flip, fstarts, ExploreOptions{Legitimate: never, Workers: 1})
+	_, parErr := Explore(fnet, flip, fstarts, ExploreOptions{Legitimate: never, Workers: 4})
+	if seqErr == nil || parErr == nil || seqErr.Error() != parErr.Error() {
+		t.Errorf("divergence errors differ: sequential %v, parallel %v", seqErr, parErr)
+	}
+}
+
+// collectSelections materialises forEachSelection's output for assertions.
+func collectSelections(enabled []int, maxSize int) [][]int {
+	var out [][]int
+	forEachSelection(enabled, maxSize, nil, func(sel []int) {
+		out = append(out, append([]int(nil), sel...))
+	})
+	return out
+}
+
+func TestForEachSelection(t *testing.T) {
+	sels := collectSelections([]int{1, 2, 3}, 0)
 	if len(sels) != 7 {
 		t.Errorf("3 enabled processes have 7 non-empty subsets, got %d", len(sels))
 	}
-	capped := enumerateSelections([]int{1, 2, 3}, 1)
+	capped := collectSelections([]int{1, 2, 3}, 1)
 	if len(capped) != 3 {
 		t.Errorf("size-1 selections of 3 processes: want 3, got %d", len(capped))
+	}
+	// Canonical order: by size, then lexicographic by positions.
+	want := [][]int{{1}, {2}, {3}, {1, 2}, {1, 3}, {2, 3}}
+	got := collectSelections([]int{1, 2, 3}, 2)
+	if len(got) != len(want) {
+		t.Fatalf("selections = %v, want %v", got, want)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("selections = %v, want %v", got, want)
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("selections = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+// TestForEachSelectionNoExponentialWork pins the tentpole property: a capped
+// enumeration over a large enabled set emits exactly the capped subsets
+// without iterating the 2^n masks (with 60 enabled processes the old
+// mask-filter loop would spin through 2^60 iterations and never return).
+func TestForEachSelectionNoExponentialWork(t *testing.T) {
+	enabled := make([]int, 60)
+	for i := range enabled {
+		enabled[i] = i
+	}
+	count := 0
+	forEachSelection(enabled, 2, nil, func(sel []int) { count++ })
+	if want := 60 + 60*59/2; count != want {
+		t.Errorf("capped enumeration emitted %d selections, want %d", count, want)
 	}
 }

@@ -75,8 +75,14 @@ func WithStepHook(h StepHook) Option {
 	return func(o *Options) { o.hooks = append(o.hooks, h) }
 }
 
-// WithRuleChoice sets the rule-choice policy (default FirstEnabledRule).
+// WithRuleChoice sets the rule-choice policy (default FirstEnabledRule). The
+// RandomEnabledRule policy requires a non-nil rng and panics otherwise: a nil
+// rng would silently degrade the policy to deterministic first-rule choice,
+// losing the nondeterminism the caller asked for.
 func WithRuleChoice(p RuleChoicePolicy, rng *rand.Rand) Option {
+	if p == RandomEnabledRule && rng == nil {
+		panic("sim: WithRuleChoice(RandomEnabledRule, nil): the random policy requires a non-nil rng")
+	}
 	return func(o *Options) {
 		o.ruleChoice = p
 		o.rng = rng
@@ -122,7 +128,10 @@ type Result struct {
 	// StabilizationMoves, StabilizationRounds and StabilizationSteps are the
 	// costs incurred strictly before the first legitimate configuration
 	// (0 if the initial configuration is already legitimate, -1 when the
-	// predicate never held or was not supplied).
+	// predicate never held or was not supplied). StabilizationRounds follows
+	// the same conservative-upper-estimate convention as Rounds: a round
+	// still in progress when legitimacy is first reached counts as one full
+	// round.
 	StabilizationMoves  int
 	StabilizationRounds int
 	StabilizationSteps  int
@@ -155,12 +164,17 @@ func (r *Result) recordMove(u int, rule string) {
 }
 
 // markLegitimate records the costs incurred up to the first legitimate
-// configuration.
-func (r *Result) markLegitimate() {
+// configuration. partialRound reports whether a round was still in progress
+// when the configuration was reached; it counts as one round, matching the
+// conservative convention of the final Rounds count.
+func (r *Result) markLegitimate(partialRound bool) {
 	r.LegitimateReached = true
 	r.StabilizationMoves = r.Moves
 	r.StabilizationSteps = r.Steps
 	r.StabilizationRounds = r.Rounds
+	if partialRound {
+		r.StabilizationRounds++
+	}
 	maxMoves := 0
 	for _, m := range r.MovesPerProcess {
 		if m > maxMoves {
@@ -170,15 +184,14 @@ func (r *Result) markLegitimate() {
 	r.StabilizationMovesPerProcessMax = maxMoves
 }
 
-// finish computes the derived fields once the run has ended.
+// finish computes the derived fields once the run has ended. Both round
+// counts share the partial-round convention, so StabilizationRounds never
+// exceeds the final Rounds.
 func (r *Result) finish() {
 	for _, m := range r.MovesPerProcess {
 		if m > r.MaxMovesPerProcess {
 			r.MaxMovesPerProcess = m
 		}
-	}
-	if r.LegitimateReached && r.StabilizationRounds > r.Rounds {
-		r.StabilizationRounds = r.Rounds
 	}
 }
 
@@ -248,12 +261,12 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 
 	res := newResult(n)
 
-	recordLegit := func() {
+	recordLegit := func(partialRound bool) {
 		if res.LegitimateReached || o.legitimate == nil {
 			return
 		}
 		if o.legitimate(curCfg) {
-			res.markLegitimate()
+			res.markLegitimate(partialRound)
 		}
 	}
 
@@ -284,7 +297,7 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 	ruleIdx := make([]int, 0, len(rules))
 	dedup := newBitset(n)
 
-	recordLegit()
+	recordLegit(false)
 
 	for len(enabledList) > 0 {
 		if res.Steps >= o.maxSteps {
@@ -377,7 +390,7 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 			pending.copyFrom(enabledBits)
 		}
 
-		recordLegit()
+		recordLegit(roundProgress)
 	}
 
 	if roundProgress {
@@ -432,8 +445,7 @@ func chooseRule(rules []Rule, v View, o Options, scratch []int) int {
 	if len(enabled) == 0 {
 		return -1
 	}
-	if o.rng == nil {
-		return enabled[0]
-	}
+	// WithRuleChoice rejects a nil rng for RandomEnabledRule, so o.rng is
+	// always set here.
 	return enabled[o.rng.Intn(len(enabled))]
 }

@@ -22,12 +22,12 @@ func (e *Engine) RunReference(start *Configuration, opts ...Option) Result {
 	cur := start.Clone()
 	res := newResult(n)
 
-	recordLegit := func() {
+	recordLegit := func(partialRound bool) {
 		if res.LegitimateReached || o.legitimate == nil {
 			return
 		}
 		if o.legitimate(cur) {
-			res.markLegitimate()
+			res.markLegitimate(partialRound)
 		}
 	}
 
@@ -42,7 +42,7 @@ func (e *Engine) RunReference(start *Configuration, opts ...Option) Result {
 	}
 	roundProgress := false
 
-	recordLegit()
+	recordLegit(false)
 
 	rules := e.alg.Rules()
 	for len(enabled) > 0 {
@@ -133,7 +133,7 @@ func (e *Engine) RunReference(start *Configuration, opts ...Option) Result {
 			}
 		}
 
-		recordLegit()
+		recordLegit(roundProgress)
 	}
 
 	if roundProgress {
@@ -195,8 +195,7 @@ func referenceChooseRule(rules []Rule, v View, o Options) int {
 	if len(enabled) == 0 {
 		return -1
 	}
-	if o.rng == nil {
-		return enabled[0]
-	}
+	// WithRuleChoice rejects a nil rng for RandomEnabledRule, so o.rng is
+	// always set here.
 	return enabled[o.rng.Intn(len(enabled))]
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync"
+)
 
 // KeyInterner builds compact map keys for configurations: every distinct
 // local state (by its canonical String rendering) is assigned a small
@@ -14,8 +17,16 @@ import "encoding/binary"
 // Keys from the same interner are equal exactly when the configurations
 // render equal per-process states, i.e. exactly when the deprecated
 // Configuration.Key values are equal; keys from different interners are not
-// comparable.
+// comparable. Ids depend on discovery order, but equal states always receive
+// equal ids, so key equality is order-independent even under concurrent
+// interning.
+//
+// The id table is internally synchronised: AppendKey may be called from
+// many goroutines (each with its own scratch buffer), which is how the
+// checker's parallel exploration interns frontier successors. Key reuses one
+// internal buffer and is therefore not safe for concurrent use.
 type KeyInterner struct {
+	mu  sync.RWMutex
 	ids map[string]uint64
 	buf []byte
 }
@@ -25,22 +36,50 @@ func NewKeyInterner() *KeyInterner {
 	return &KeyInterner{ids: make(map[string]uint64)}
 }
 
-// Key returns the compact key of c. The returned string is freshly
-// allocated and safe to retain as a map key.
-func (ki *KeyInterner) Key(c *Configuration) string {
-	ki.buf = ki.buf[:0]
+// id returns the interned id of the rendered state s, assigning the next
+// free id on first sight. Reads take the shared lock; only a miss upgrades.
+func (ki *KeyInterner) id(s string) uint64 {
+	ki.mu.RLock()
+	id, ok := ki.ids[s]
+	ki.mu.RUnlock()
+	if ok {
+		return id
+	}
+	ki.mu.Lock()
+	defer ki.mu.Unlock()
+	if id, ok := ki.ids[s]; ok {
+		return id
+	}
+	id = uint64(len(ki.ids))
+	ki.ids[s] = id
+	return id
+}
+
+// AppendKey renders the compact key of c into buf and returns it as a
+// freshly allocated string safe to retain as a map key, together with the
+// grown scratch buffer for the next call. It is safe for concurrent use as
+// long as every goroutine passes its own buffer.
+func (ki *KeyInterner) AppendKey(buf []byte, c *Configuration) (string, []byte) {
+	buf = buf[:0]
 	n := c.N()
 	for u := 0; u < n; u++ {
-		s := c.State(u).String()
-		id, ok := ki.ids[s]
-		if !ok {
-			id = uint64(len(ki.ids))
-			ki.ids[s] = id
-		}
-		ki.buf = binary.AppendUvarint(ki.buf, id)
+		buf = binary.AppendUvarint(buf, ki.id(c.State(u).String()))
 	}
-	return string(ki.buf)
+	return string(buf), buf
+}
+
+// Key returns the compact key of c using the interner's internal scratch
+// buffer. The returned string is freshly allocated and safe to retain as a
+// map key. Not safe for concurrent use; concurrent callers use AppendKey.
+func (ki *KeyInterner) Key(c *Configuration) string {
+	key, buf := ki.AppendKey(ki.buf, c)
+	ki.buf = buf
+	return key
 }
 
 // States returns the number of distinct local states interned so far.
-func (ki *KeyInterner) States() int { return len(ki.ids) }
+func (ki *KeyInterner) States() int {
+	ki.mu.RLock()
+	defer ki.mu.RUnlock()
+	return len(ki.ids)
+}

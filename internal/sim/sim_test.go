@@ -575,3 +575,57 @@ func TestQuickMaxPropagationCorrect(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestStabilizationRoundsCountsPartialRound pins the round-accounting
+// convention shared by Rounds and StabilizationRounds: legitimacy reached
+// while a round is still in progress counts that round, so both are
+// conservative upper estimates. Run and RunReference must agree.
+func TestStabilizationRoundsCountsPartialRound(t *testing.T) {
+	net := NewNetwork(graph.Ring(3))
+	legit := func(c *Configuration) bool { return c.State(0).(intState).v >= 1 }
+	opts := func() []Option {
+		return []Option{WithLegitimate(legit), WithStopWhenLegitimate(), WithMaxSteps(100)}
+	}
+	// Round-robin activates exactly one process per step, so after the first
+	// step (process 0 moves) the predicate holds while processes 1 and 2 are
+	// still pending in the first round: the round in progress counts.
+	res := NewEngine(net, ticker{}, NewRoundRobinDaemon()).Run(
+		InitialConfiguration(ticker{}, net), opts()...)
+	if !res.LegitimateReached || res.StabilizationSteps != 1 {
+		t.Fatalf("expected legitimacy after exactly one step, got %+v", res)
+	}
+	if res.StabilizationRounds != 1 {
+		t.Errorf("StabilizationRounds = %d, want 1 (mid-round legitimacy counts the round in progress)",
+			res.StabilizationRounds)
+	}
+	if res.StabilizationRounds > res.Rounds {
+		t.Errorf("StabilizationRounds %d exceeds Rounds %d", res.StabilizationRounds, res.Rounds)
+	}
+	ref := NewEngine(net, ticker{}, NewRoundRobinDaemon()).RunReference(
+		InitialConfiguration(ticker{}, net), opts()...)
+	if ref.StabilizationRounds != res.StabilizationRounds || ref.Rounds != res.Rounds {
+		t.Errorf("RunReference rounds %d/%d diverge from Run %d/%d",
+			ref.StabilizationRounds, ref.Rounds, res.StabilizationRounds, res.Rounds)
+	}
+
+	// At a round boundary the count is exact: under the synchronous daemon
+	// every round is one step, and legitimacy at the end of round 1 must not
+	// be inflated by a phantom partial round.
+	sync := NewEngine(net, ticker{}, SynchronousDaemon{}).Run(
+		InitialConfiguration(ticker{}, net), opts()...)
+	if !sync.LegitimateReached || sync.StabilizationRounds != 1 || sync.Rounds != 1 {
+		t.Errorf("synchronous stabilization = %d rounds (total %d), want exactly 1",
+			sync.StabilizationRounds, sync.Rounds)
+	}
+}
+
+// TestWithRuleChoiceRejectsNilRNG pins that the random rule-choice policy can
+// never silently degrade to deterministic first-rule choice.
+func TestWithRuleChoiceRejectsNilRNG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithRuleChoice(RandomEnabledRule, nil) must panic")
+		}
+	}()
+	WithRuleChoice(RandomEnabledRule, nil)
+}
