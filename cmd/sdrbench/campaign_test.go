@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdr/internal/campaign"
+)
+
+// writeSpec writes a small campaign spec file and returns its path.
+func writeSpec(t *testing.T, dir string) string {
+	t.Helper()
+	spec := campaign.Spec{
+		ID:         "gate",
+		Algorithms: []string{"unison", "bfstree"},
+		Topologies: []string{"ring", "tree"},
+		Daemons:    []string{"synchronous"},
+		Faults:     []string{"random-all"},
+		Sizes:      []int{8},
+		Seed:       1,
+		MinTrials:  8,
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "gate.campaign.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCampaignMode(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", spec, "-json-dir", dir, "-parallel", "2"}, &out); err != nil {
+		t.Fatalf("run -campaign: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"campaign gate", "GATE", "trials=8", "baseline:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("campaign output missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "CAMPAIGN_gate.jsonl")); err != nil {
+		t.Errorf("JSONL stream not written: %v", err)
+	}
+	b, err := campaign.LoadBaseline(filepath.Join(dir, "BENCH_GATE.json"))
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	if b.ID != "gate" || b.Metric != "moves" || len(b.Cells) != 4 {
+		t.Errorf("unexpected baseline: id=%q metric=%q cells=%d", b.ID, b.Metric, len(b.Cells))
+	}
+	if b.Meta.GoVersion == "" || b.Meta.Host == "" {
+		t.Errorf("baseline meta not fingerprinted: %+v", b.Meta)
+	}
+
+	// Re-running without -resume must refuse the existing JSONL stream.
+	if err := run([]string{"-campaign", spec, "-json-dir", dir}, &out); err == nil {
+		t.Error("rerunning onto an existing stream without -resume must fail")
+	}
+	// With -resume the completed campaign is a no-op that re-renders and
+	// rotates the baseline instead of overwriting it.
+	out.Reset()
+	if err := run([]string{"-campaign", spec, "-json-dir", dir, "-resume"}, &out); err != nil {
+		t.Fatalf("resume of a completed campaign: %v", err)
+	}
+	if !strings.Contains(out.String(), "rotated existing") {
+		t.Errorf("expected a rotation note:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_GATE.json.1")); err != nil {
+		t.Errorf("previous baseline not rotated: %v", err)
+	}
+}
+
+func TestCompareModeToleratesRerunAndFlagsSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	oldDir, newDir := filepath.Join(dir, "old"), filepath.Join(dir, "new")
+	os.MkdirAll(oldDir, 0o755)
+	os.MkdirAll(newDir, 0o755)
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", spec, "-json-dir", oldDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-campaign", spec, "-json-dir", newDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	oldPath := filepath.Join(oldDir, "BENCH_GATE.json")
+	newPath := filepath.Join(newDir, "BENCH_GATE.json")
+
+	// Seeded re-runs of the same binary must pass the gate.
+	out.Reset()
+	if err := run([]string{"-compare", oldPath, newPath}, &out); err != nil {
+		t.Fatalf("comparing two seeded re-runs must pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 regression(s)") {
+		t.Errorf("expected a clean comparison:\n%s", out.String())
+	}
+
+	// Injecting a ≥20% slowdown into one cell must fail the gate.
+	b, err := campaign.LoadBaseline(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := b.Cells[0].Metrics["moves"]
+	slow.Mean *= 1.25
+	slow.CILow *= 1.25
+	slow.CIHigh *= 1.25
+	b.Cells[0].Metrics["moves"] = slow
+	var buf bytes.Buffer
+	if err := campaign.WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	slowPath := filepath.Join(dir, "BENCH_SLOW.json")
+	if err := os.WriteFile(slowPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"-compare", oldPath, slowPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("a 25%% injected slowdown must fail the gate, got err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("comparison table should flag the regression:\n%s", out.String())
+	}
+
+	// A custom threshold above the injected delta passes.
+	out.Reset()
+	if err := run([]string{"-compare", "-threshold", "0.5", oldPath, slowPath}, &out); err != nil {
+		t.Fatalf("a +50%% threshold must tolerate a +25%% delta: %v", err)
+	}
+
+	// A comparison that matches zero cells (here: a metric the baselines
+	// never recorded) must fail rather than vacuously pass the gate.
+	out.Reset()
+	err = run([]string{"-compare", "-metric", "duration_ns", oldPath, newPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no comparable cells") {
+		t.Fatalf("a vacuous comparison must fail the gate, got %v", err)
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-compare", "only-one.json"}, &out); err == nil {
+		t.Error("-compare with one file must fail")
+	}
+	if err := run([]string{"-compare", "a.json", "b.json"}, &out); err == nil {
+		t.Error("-compare with missing files must fail")
+	}
+}
+
+func TestCampaignBadSpec(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"id":"x","algorithms":["nope"],"topologies":["ring"],"daemons":["synchronous"],"sizes":[6]}`), 0o644)
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", bad, "-json-dir", dir}, &out); err == nil {
+		t.Error("a spec naming an unknown algorithm must fail")
+	}
+	if err := run([]string{"-campaign", filepath.Join(dir, "missing.json")}, &out); err == nil {
+		t.Error("a missing spec file must fail")
+	}
+}
+
+// TestJSONDirRotatesExistingTables pins the -json-dir overwrite bugfix:
+// rerunning into the same directory rotates BENCH_<id>.json to a numbered
+// backup instead of silently clobbering it.
+func TestJSONDirRotatesExistingTables(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-experiment", "E8", "-sizes", "6", "-trials", "1", "-seed", "5", "-json", "-json-dir", dir}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(filepath.Join(dir, "BENCH_E8.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rotated existing") {
+		t.Errorf("rerun should note the rotation:\n%s", out.String())
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	backup1, err := os.ReadFile(filepath.Join(dir, "BENCH_E8.json.1"))
+	if err != nil {
+		t.Fatalf("first run's table was not rotated: %v", err)
+	}
+	if !bytes.Equal(first, backup1) {
+		t.Error("rotation must preserve the previous table bytes")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_E8.json.2")); err != nil {
+		t.Errorf("second backup missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_E8.json")); err != nil {
+		t.Errorf("current table missing: %v", err)
+	}
+}

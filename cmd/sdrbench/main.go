@@ -10,15 +10,25 @@
 // machine-readable BENCH_<id>.json so the benchmark trajectory can be
 // tracked across revisions.
 //
+// -campaign runs a JSON campaign spec (internal/campaign): trials stream to
+// CAMPAIGN_<id>.jsonl as they complete (resumable with -resume after an
+// interruption), and the per-cell aggregates snapshot to a versioned
+// baseline BENCH_<ID>.json. -compare diffs two baselines benchstat-style
+// with noise-aware thresholds and exits non-zero on significant regression —
+// the CI bench gate.
+//
 // Usage:
 //
 //	sdrbench [-experiment E5] [-quick] [-markdown] [-sizes 8,16,32] [-trials 5] [-seed 1] [-parallel 8] [-json] [-json-dir out]
 //	sdrbench -sweep -algorithms unison,bfstree -topologies ring,tree,grid -daemons synchronous,distributed-random -sizes 8
 //	sdrbench -verify -algorithms unison,dominating-set -topologies ring,tree -sizes 4,5,6 -json
+//	sdrbench -campaign spec.json [-resume] [-json-dir out] [-parallel 8]
+//	sdrbench -compare [-metric moves] [-threshold 0.1] baselines/BENCH_GATE.json out/BENCH_GATE.json
 //	sdrbench -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +39,7 @@ import (
 	"strings"
 
 	"sdr/internal/bench"
+	"sdr/internal/campaign"
 	"sdr/internal/scenario"
 )
 
@@ -42,25 +53,30 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sdrbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "", "run only the experiment with this id (E1..E10, A1..A3); empty runs all")
-		quick      = fs.Bool("quick", false, "use the quick configuration (small sizes, few trials)")
-		markdown   = fs.Bool("markdown", false, "emit GitHub-flavoured markdown tables instead of aligned text")
-		sizes      = fs.String("sizes", "", "comma-separated list of network sizes overriding the configuration")
-		trials     = fs.Int("trials", 0, "number of trials per point (0 keeps the configuration default)")
-		seed       = fs.Int64("seed", 0, "base random seed (0 keeps the configuration default)")
-		parallel   = fs.Int("parallel", 0, "max number of concurrently executed trials (0 = one per CPU, 1 = sequential); tables are identical for every value")
-		list       = fs.Bool("list", false, "list the experiments and the scenario registries, then exit")
-		jsonOut    = fs.Bool("json", false, "additionally write each table as machine-readable BENCH_<id>.json")
-		jsonDir    = fs.String("json-dir", ".", "directory the -json files are written to")
-		sweep      = fs.Bool("sweep", false, "run a custom algorithm×topology×daemon×fault grid instead of the paper's tables")
-		algorithms = fs.String("algorithms", "unison", "comma-separated algorithm registry entries for -sweep/-verify")
-		topologies = fs.String("topologies", "ring", "comma-separated topology registry entries for -sweep/-verify")
-		daemons    = fs.String("daemons", "distributed-random", "comma-separated daemon registry entries for -sweep")
-		faultList  = fs.String("faults", "random-all", "comma-separated fault-model registry entries for -sweep/-verify")
-		verify     = fs.Bool("verify", false, "exhaustively certify convergence over the -algorithms × -topologies × -sizes grid (model checking, small n only)")
-		vStarts    = fs.Int("verify-starts", 4, "number of seeded corrupted starts per -verify cell")
-		vMaxConfig = fs.Int("verify-max-configs", 0, "configuration cap per -verify exploration (0 = checker default)")
-		vMaxSel    = fs.Int("verify-max-selection", 1, "daemon selection size cap for -verify: k certifies daemons activating ≤ k processes per step; 0 is exact but exponential")
+		experiment   = fs.String("experiment", "", "run only the experiment with this id (E1..E10, A1..A3); empty runs all")
+		quick        = fs.Bool("quick", false, "use the quick configuration (small sizes, few trials)")
+		markdown     = fs.Bool("markdown", false, "emit GitHub-flavoured markdown tables instead of aligned text")
+		sizes        = fs.String("sizes", "", "comma-separated list of network sizes overriding the configuration")
+		trials       = fs.Int("trials", 0, "number of trials per point (0 keeps the configuration default)")
+		seed         = fs.Int64("seed", 0, "base random seed (0 keeps the configuration default)")
+		parallel     = fs.Int("parallel", 0, "max number of concurrently executed trials (0 = one per CPU, 1 = sequential); tables are identical for every value")
+		list         = fs.Bool("list", false, "list the experiments and the scenario registries, then exit")
+		jsonOut      = fs.Bool("json", false, "additionally write each table as machine-readable BENCH_<id>.json")
+		jsonDir      = fs.String("json-dir", ".", "directory the -json files are written to")
+		sweep        = fs.Bool("sweep", false, "run a custom algorithm×topology×daemon×fault grid instead of the paper's tables")
+		algorithms   = fs.String("algorithms", "unison", "comma-separated algorithm registry entries for -sweep/-verify")
+		topologies   = fs.String("topologies", "ring", "comma-separated topology registry entries for -sweep/-verify")
+		daemons      = fs.String("daemons", "distributed-random", "comma-separated daemon registry entries for -sweep")
+		faultList    = fs.String("faults", "random-all", "comma-separated fault-model registry entries for -sweep/-verify")
+		campaignPath = fs.String("campaign", "", "run the JSON campaign spec at this path: stream trials to CAMPAIGN_<id>.jsonl and snapshot a baseline BENCH_<ID>.json in -json-dir")
+		resume       = fs.Bool("resume", false, "continue an interrupted -campaign from its JSONL checkpoint")
+		compare      = fs.Bool("compare", false, "compare two baseline files (old new) and exit non-zero on significant regression")
+		metric       = fs.String("metric", "", "metric compared by -compare (default: the old baseline's primary metric)")
+		threshold    = fs.Float64("threshold", 0, "relative mean regression -compare flags (0 = the default 0.10 = +10%)")
+		verify       = fs.Bool("verify", false, "exhaustively certify convergence over the -algorithms × -topologies × -sizes grid (model checking, small n only)")
+		vStarts      = fs.Int("verify-starts", 4, "number of seeded corrupted starts per -verify cell")
+		vMaxConfig   = fs.Int("verify-max-configs", 0, "configuration cap per -verify exploration (0 = checker default)")
+		vMaxSel      = fs.Int("verify-max-selection", 1, "daemon selection size cap for -verify: k certifies daemons activating ≤ k processes per step; 0 is exact but exponential")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +93,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "sweep daemons    : %s\n", strings.Join(scenario.Daemons(), ", "))
 		fmt.Fprintf(out, "sweep faults     : %s\n", strings.Join(scenario.FaultModels(), ", "))
 		return nil
+	}
+
+	if *compare {
+		return runCompare(fs.Args(), *metric, *threshold, out)
 	}
 
 	cfg := bench.FullConfig()
@@ -113,11 +133,15 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out)
 		}
 		if *jsonOut {
-			if err := writeTableJSON(*jsonDir, table); err != nil {
+			if err := writeTableJSON(*jsonDir, table, out); err != nil {
 				return err
 			}
 		}
 		return nil
+	}
+
+	if *campaignPath != "" {
+		return runCampaign(*campaignPath, *jsonDir, *resume, *markdown, cfg.Parallel, out)
 	}
 
 	if *verify {
@@ -197,18 +221,127 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// writeTableJSON writes the table as BENCH_<id>.json in dir.
-func writeTableJSON(dir string, table bench.Table) error {
+// runCampaign executes the campaign spec file: trial records stream to
+// <jsonDir>/CAMPAIGN_<id>.jsonl, the aggregate table renders to out, and the
+// baseline snapshot is written as <jsonDir>/BENCH_<ID>.json (rotating any
+// previous snapshot).
+func runCampaign(specPath, jsonDir string, resume, markdown bool, parallel int, out io.Writer) error {
+	spec, err := campaign.LoadSpec(specPath)
+	if err != nil {
+		return err
+	}
+	jsonlPath := filepath.Join(jsonDir, fmt.Sprintf("CAMPAIGN_%s.jsonl", spec.ID))
+	fmt.Fprintf(out, "campaign %s → %s\n", spec.ID, jsonlPath)
+	res, err := campaign.Run(spec, jsonlPath, campaign.Options{
+		Parallel: parallel,
+		Resume:   resume,
+		Progress: out,
+	})
+	if err != nil {
+		return err
+	}
+	table := res.Table()
+	if markdown {
+		if err := table.Markdown(out); err != nil {
+			return err
+		}
+	} else {
+		if err := table.Render(out); err != nil {
+			return err
+		}
+	}
+	baselinePath := filepath.Join(jsonDir, fmt.Sprintf("BENCH_%s.json", table.ID))
+	if err := writeJSONFile(baselinePath, out, func(f io.Writer) error {
+		return campaign.WriteBaseline(f, res.Snapshot(campaign.CollectMeta()))
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "baseline: %s\n", baselinePath)
+	if table.Violations > 0 {
+		return fmt.Errorf("%d campaign cell(s) failed their correctness check", table.Violations)
+	}
+	return nil
+}
+
+// runCompare diffs two baseline files and fails on significant regression.
+func runCompare(paths []string, metric string, threshold float64, out io.Writer) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("-compare needs exactly two baseline files (old new), got %d", len(paths))
+	}
+	old, err := campaign.LoadBaseline(paths[0])
+	if err != nil {
+		return err
+	}
+	cur, err := campaign.LoadBaseline(paths[1])
+	if err != nil {
+		return err
+	}
+	comparison, err := campaign.Compare(old, cur, campaign.CompareOptions{Metric: metric, Threshold: threshold})
+	if err != nil {
+		return err
+	}
+	if err := comparison.Render(out); err != nil {
+		return err
+	}
+	if comparison.Compared == 0 {
+		// Zero matched cells means the gate checked nothing (wrong artifact,
+		// renamed campaign, unrecorded metric) — that must not pass.
+		return fmt.Errorf("no comparable cells between %s and %s on %s", paths[0], paths[1], comparison.Metric)
+	}
+	if comparison.Regressions > 0 {
+		return fmt.Errorf("%d cell(s) regressed significantly on %s", comparison.Regressions, comparison.Metric)
+	}
+	return nil
+}
+
+// writeTableJSON writes the table as BENCH_<id>.json in dir, noting any
+// rotation of an earlier table on out.
+func writeTableJSON(dir string, table bench.Table, out io.Writer) error {
 	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", table.ID))
+	return writeJSONFile(path, out, func(f io.Writer) error {
+		return table.JSON(f)
+	})
+}
+
+// writeJSONFile writes a JSON artifact at path via write, first rotating any
+// existing file to a numbered backup (path.1, path.2, ...) instead of
+// silently overwriting earlier results; rotations are noted on out.
+func writeJSONFile(path string, out io.Writer, write func(io.Writer) error) error {
+	if backup, err := rotateExisting(path); err != nil {
+		return err
+	} else if backup != "" {
+		fmt.Fprintf(out, "note: rotated existing %s to %s\n", path, backup)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
-	if err := table.JSON(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// rotateExisting moves an existing file at path to the first free numbered
+// backup and returns the backup name ("" when path did not exist).
+func rotateExisting(path string) (string, error) {
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		return "", nil
+	} else if err != nil {
+		return "", fmt.Errorf("stat %s: %w", path, err)
+	}
+	for k := 1; ; k++ {
+		backup := fmt.Sprintf("%s.%d", path, k)
+		if _, err := os.Stat(backup); errors.Is(err, os.ErrNotExist) {
+			if err := os.Rename(path, backup); err != nil {
+				return "", fmt.Errorf("rotate %s: %w", path, err)
+			}
+			return backup, nil
+		} else if err != nil {
+			return "", fmt.Errorf("stat %s: %w", backup, err)
+		}
+	}
 }
 
 // splitNames parses a comma-separated name list, dropping empty parts.

@@ -23,9 +23,15 @@
 //     cross-products, and Run.Verify, the exhaustive-certification
 //     counterpart of Run.Execute;
 //   - internal/trace    — execution recording and export;
-//   - internal/stats    — summaries and growth fits for the reports;
+//   - internal/stats    — summaries, percentiles, Student-t confidence
+//     intervals and growth fits for the reports;
 //   - internal/bench    — the experiment harness (E1-E10, A1-A3), built on
-//     scenario sweeps.
+//     scenario sweeps;
+//   - internal/campaign — the experiment frame: streaming multi-trial
+//     campaigns over scenario sweeps with a resumable JSONL sink, adaptive
+//     trial counts, versioned baseline snapshots and the noise-aware
+//     baseline comparison behind the CI regression gate
+//     (sdrbench -campaign / -compare).
 //
 // The executables cmd/sdrsim and cmd/sdrbench and the runnable examples under
 // examples/ are the entry points; all of them construct their runs through

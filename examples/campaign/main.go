@@ -1,0 +1,104 @@
+// Campaign: a streaming multi-trial experiment with confidence intervals,
+// a resumable JSONL stream, a baseline snapshot and a regression check.
+//
+// A campaign.Spec is an experiment frame over the scenario registries: which
+// algorithm × topology × daemon × fault grid to cover, and a per-cell trial
+// policy (fixed or adaptive — stop once the 95% confidence interval of the
+// primary metric is tight enough). Trials stream to a JSONL sink as they
+// complete, so an interrupted campaign resumes from its last completed trial
+// and reproduces an uninterrupted run byte for byte. Aggregates snapshot
+// into versioned baselines that Compare diffs with noise-aware thresholds —
+// the machinery behind `sdrbench -campaign` / `-compare` and the CI bench
+// gate.
+//
+// Run with:
+//
+//	go run ./examples/campaign
+package main
+
+import (
+	"fmt"
+	"maps"
+	"os"
+	"path/filepath"
+
+	"sdr/internal/campaign"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "sdr-campaign")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Describe the experiment frame: a 2×2 scenario grid, and an adaptive
+	//    trial policy — every cell runs at least 4 seeded trials and keeps
+	//    going (up to 16) until the 95% CI of its mean move count is within
+	//    ±10%.
+	spec := campaign.Spec{
+		ID:         "demo",
+		Algorithms: []string{"unison", "bfstree"},
+		Topologies: []string{"ring", "tree"},
+		Daemons:    []string{"distributed-random"},
+		Faults:     []string{"random-all"},
+		Sizes:      []int{12},
+		Seed:       2024,
+		MinTrials:  4,
+		MaxTrials:  16,
+		CITarget:   0.10,
+		Metric:     campaign.MetricMoves,
+	}
+
+	// 2. Run it. Every completed trial is appended to the JSONL stream
+	//    immediately; re-running with Resume after an interruption would
+	//    continue from the last recorded trial.
+	stream := filepath.Join(dir, "CAMPAIGN_demo.jsonl")
+	res, err := campaign.Run(spec, stream, campaign.Options{Parallel: 4, Progress: os.Stdout})
+	if err != nil {
+		return err
+	}
+	table := res.Table()
+	fmt.Println()
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// 3. Snapshot the aggregates as a versioned baseline — the artifact a CI
+	//    gate commits and later compares against.
+	baseline := res.Snapshot(campaign.CollectMeta())
+	fmt.Printf("\nbaseline %s: %d cells at commit %.12s (%s)\n",
+		baseline.ID, len(baseline.Cells), baseline.Meta.Commit, baseline.Meta.GoVersion)
+
+	// 4. Compare the baseline against a doctored copy with a 25% slowdown
+	//    injected into one cell: the delta clears the combined CI
+	//    half-widths and the +10% threshold, so it is flagged as a
+	//    regression (a plain re-run of the same binary compares clean).
+	slowed := res.Snapshot(campaign.Meta{})
+	slowed.Cells = append([]campaign.CellAggregate(nil), slowed.Cells...)
+	slowed.Cells[0].Metrics = maps.Clone(slowed.Cells[0].Metrics)
+	m := slowed.Cells[0].Metrics[campaign.MetricMoves]
+	m.Mean *= 1.25
+	m.CILow *= 1.25
+	m.CIHigh *= 1.25
+	slowed.Cells[0].Metrics[campaign.MetricMoves] = m
+
+	fmt.Println()
+	comparison, err := campaign.Compare(baseline, slowed, campaign.CompareOptions{})
+	if err != nil {
+		return err
+	}
+	if err := comparison.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\ngate verdict: %d regression(s) — a CI job would %s\n",
+		comparison.Regressions, map[bool]string{true: "fail", false: "pass"}[comparison.Regressions > 0])
+	return nil
+}

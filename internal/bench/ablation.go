@@ -35,7 +35,7 @@ func RunA1NoCooperation(cfg Config) Table {
 		bound                            int
 		coopStabilized, uncoopStabilized bool
 	}
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		coopSpec := sweep.Trial(cells[ci], tr)
 		m := runObserved(coopSpec)
 
@@ -114,7 +114,7 @@ func RunA2Daemons(cfg Config) Table {
 	sweep.Sizes = []int{n}
 	cells := sweep.Cells()
 	type trial struct{ rounds, moves, roundBound, moveBound int }
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		m := runObserved(sweep.Trial(cells[ci], tr))
 		return trial{
 			rounds:     m.result.StabilizationRounds,
@@ -158,7 +158,7 @@ func RunA3Period(cfg Config) Table {
 		}
 	}
 	type trial struct{ rounds, moves, bound, k int }
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		c := cells[ci]
 		// The ring topology has exactly n processes, so the period can be
 		// derived from the requested size.

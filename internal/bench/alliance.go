@@ -49,7 +49,7 @@ func RunE7FGAMoves(cfg Config) Table {
 		moves, bound, m, delta int
 		terminated             bool
 	}
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		m := runPlain(sweep.Trial(cells[ci], tr))
 		g := m.run.Graph
 		return trial{
@@ -90,7 +90,7 @@ func RunE8FGARounds(cfg Config) Table {
 	sweep := sweepFor(cfg, 8009, standaloneNames(allianceSpecNames()), DenseTopologies(), []string{"distributed-random"}, []string{"none"})
 	cells := sweep.Cells()
 	type trial struct{ rounds, bound int }
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		m := runPlain(sweep.Trial(cells[ci], tr))
 		return trial{rounds: m.result.Rounds, bound: alliance.MaxStandaloneRounds(m.run.Net.N())}
 	})
@@ -126,7 +126,7 @@ func RunE9AllianceStabilization(cfg Config) Table {
 		moves, rounds, moveBound, roundBound int
 		minimal                              bool
 	}
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		m := runPlain(sweep.Trial(cells[ci], tr))
 		g := m.run.Graph
 		return trial{

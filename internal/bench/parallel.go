@@ -14,12 +14,13 @@ import (
 // gridJob addresses one (cell, trial) pair.
 type gridJob struct{ cell, trial int }
 
-// mapGrid runs fn(cell, trial) for every pair in [0,cells) × [0,trials) and
+// MapGrid runs fn(cell, trial) for every pair in [0,cells) × [0,trials) and
 // returns the results indexed [cell][trial]. With workers ≤ 1 the grid runs
 // sequentially in order; otherwise the pairs are fanned out over a bounded
 // worker pool. fn must not touch shared mutable state (trials derive
-// everything from their seeds).
-func mapGrid[T any](workers, cells, trials int, fn func(cell, trial int) T) [][]T {
+// everything from their seeds). Exported for internal/campaign, which fans
+// its per-cell trial batches out over the same pool.
+func MapGrid[T any](workers, cells, trials int, fn func(cell, trial int) T) [][]T {
 	out := make([][]T, cells)
 	for c := range out {
 		out[c] = make([]T, trials)

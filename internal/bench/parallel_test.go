@@ -10,7 +10,7 @@ func TestMapGridOrderAndCoverage(t *testing.T) {
 	var calls atomic.Int64
 	for _, workers := range []int{0, 1, 3, 16} {
 		calls.Store(0)
-		got := mapGrid(workers, 4, 3, func(cell, trial int) [2]int {
+		got := MapGrid(workers, 4, 3, func(cell, trial int) [2]int {
 			calls.Add(1)
 			return [2]int{cell, trial}
 		})
@@ -28,7 +28,7 @@ func TestMapGridOrderAndCoverage(t *testing.T) {
 }
 
 func TestMapGridEmptyGrid(t *testing.T) {
-	got := mapGrid(8, 0, 5, func(cell, trial int) int { t.Fatal("must not be called"); return 0 })
+	got := MapGrid(8, 0, 5, func(cell, trial int) int { t.Fatal("must not be called"); return 0 })
 	if len(got) != 0 {
 		t.Fatalf("empty grid returned %v", got)
 	}

@@ -24,7 +24,7 @@ func RunE1ResetRounds(cfg Config) Table {
 	sweep := sweepFor(cfg, 1001, []string{"unison"}, StandardTopologies(), defaultDaemons(), []string{"random-all"})
 	cells := sweep.Cells()
 	type trial struct{ rounds, bound int }
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		m := runObserved(sweep.Trial(cells[ci], tr))
 		return trial{rounds: m.result.StabilizationRounds, bound: core.MaxResetRounds(m.run.Net.N())}
 	})
@@ -59,7 +59,7 @@ func RunE2ResetMovesPerProcess(cfg Config) Table {
 	sweep := sweepFor(cfg, 2003, []string{"unison"}, StandardTopologies(), defaultDaemons(), []string{"random-all", "fake-wave"})
 	cells := sweep.Cells()
 	type trial struct{ maxMoves, bound int }
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		m := runObserved(sweep.Trial(cells[ci], tr))
 		return trial{maxMoves: m.observer.MaxSDRMoves(), bound: core.MaxSDRMovesPerProcess(m.run.Net.N())}
 	})
@@ -94,7 +94,7 @@ func RunE3Segments(cfg Config) Table {
 		segments, bound, rootCreations int
 		languageOK                     bool
 	}
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		m := runObserved(sweep.Trial(cells[ci], tr))
 		return trial{
 			segments:      m.observer.Segments(),

@@ -24,7 +24,7 @@ func RunX1SpanningTree(cfg Config) Table {
 		moves, rounds, sdrMoves, sdrBound, rootCreations int
 		normalRoundsOK, treeExact                        bool
 	}
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		m := runObserved(sweep.Trial(cells[ci], tr))
 		n := m.run.Net.N()
 		return trial{

@@ -35,7 +35,7 @@ func RunSweep(sw scenario.Sweep, parallel int) (Table, error) {
 		ok, skipped   bool
 		err           error
 	}
-	results := mapGrid(parallel, len(cells), trials, func(ci, tr int) trial {
+	results := MapGrid(parallel, len(cells), trials, func(ci, tr int) trial {
 		run, err := sw.Trial(cells[ci], tr).Resolve()
 		if err != nil {
 			return trial{skipped: errors.Is(err, scenario.ErrUnsatisfiable), err: err}

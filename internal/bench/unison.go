@@ -21,7 +21,7 @@ func RunE4UnisonRounds(cfg Config) Table {
 	sweep := sweepFor(cfg, 4001, []string{"unison"}, StandardTopologies(), defaultDaemons(), []string{"inner-only"})
 	cells := sweep.Cells()
 	type trial struct{ rounds, bound int }
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		m := runObserved(sweep.Trial(cells[ci], tr))
 		return trial{rounds: m.result.StabilizationRounds, bound: unison.MaxStabilizationRounds(m.run.Net.N())}
 	})
@@ -56,7 +56,7 @@ func RunE5UnisonMoves(cfg Config) Table {
 	sweep := sweepFor(cfg, 5003, []string{"unison"}, StandardTopologies(), defaultDaemons(), []string{"random-all"})
 	cells := sweep.Cells()
 	type trial struct{ moves, bound, diameter int }
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		m := runObserved(sweep.Trial(cells[ci], tr))
 		diameter := m.run.Graph.Diameter()
 		return trial{
@@ -114,7 +114,7 @@ func RunE6UnisonVsBPV(cfg Config) Table {
 	sweep := sweepFor(cfg, 6007, []string{"unison"}, StandardTopologies(), []string{"distributed-random"}, []string{"random-all"})
 	cells := sweep.Cells()
 	type trial struct{ sdrMoves, bpvMoves int }
-	results := mapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		sdrSpec := sweep.Trial(cells[ci], tr)
 		m := runObserved(sdrSpec)
 

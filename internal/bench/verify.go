@@ -77,7 +77,7 @@ func RunVerify(sw scenario.Sweep, vc VerifyConfig, parallel int) (Table, error) 
 		skipped bool
 		err     error
 	}
-	results := mapGrid(parallel, len(cells), 1, func(ci, _ int) cellResult {
+	results := MapGrid(parallel, len(cells), 1, func(ci, _ int) cellResult {
 		run, err := sw.Trial(cells[ci], 0).Resolve()
 		if err != nil {
 			return cellResult{skipped: errors.Is(err, scenario.ErrUnsatisfiable), err: err}

@@ -1,0 +1,145 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"sdr/internal/bench"
+)
+
+// BaselineSchemaVersion versions the on-disk baseline format; Compare
+// refuses to diff baselines written by an incompatible schema.
+const BaselineSchemaVersion = 1
+
+// Meta fingerprints the environment a baseline was measured in. It is
+// informational: Compare prints differing fingerprints but never fails on
+// them (seeded move/round metrics are deterministic across hosts; only
+// duration_ns is hardware-bound).
+type Meta struct {
+	// Commit is the VCS revision the campaign ran at.
+	Commit string `json:"commit,omitempty"`
+	// GoVersion is the runtime.Version() of the campaign binary.
+	GoVersion string `json:"go_version,omitempty"`
+	// Host is the machine fingerprint (hostname, OS and architecture).
+	Host string `json:"host,omitempty"`
+	// CreatedAt is the RFC 3339 UTC snapshot time.
+	CreatedAt string `json:"created_at,omitempty"`
+}
+
+// CollectMeta fingerprints the current environment, best-effort: a missing
+// git binary or repository simply leaves Commit empty.
+func CollectMeta() Meta {
+	m := Meta{
+		GoVersion: runtime.Version(),
+		Host:      runtime.GOOS + "/" + runtime.GOARCH,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	if host, err := os.Hostname(); err == nil {
+		m.Host = host + " " + m.Host
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		m.Commit = strings.TrimSpace(string(out))
+	}
+	return m
+}
+
+// Baseline is a versioned snapshot of a campaign's aggregates: the artifact
+// committed under baselines/ and diffed by Compare.
+type Baseline struct {
+	SchemaVersion int `json:"schema_version"`
+	// ID is the campaign id the snapshot came from.
+	ID string `json:"id"`
+	// Metric is the campaign's primary metric, the default Compare axis.
+	Metric string `json:"metric"`
+	// Meta fingerprints the measuring environment.
+	Meta Meta `json:"meta,omitzero"`
+	// Cells are the per-cell aggregates in sweep order.
+	Cells []CellAggregate `json:"cells"`
+}
+
+// Snapshot captures the campaign result as a baseline stamped with meta.
+// Pass a zero Meta to keep the snapshot byte-reproducible.
+func (r *Result) Snapshot(meta Meta) Baseline {
+	return Baseline{
+		SchemaVersion: BaselineSchemaVersion,
+		ID:            r.Spec.ID,
+		Metric:        r.Spec.PrimaryMetric(),
+		Meta:          meta,
+		Cells:         r.Cells,
+	}
+}
+
+// WriteBaseline writes the baseline as indented JSON.
+func WriteBaseline(w io.Writer, b Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return fmt.Errorf("campaign: encode baseline: %w", err)
+	}
+	return nil
+}
+
+// LoadBaseline reads a baseline file and checks its schema version.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, fmt.Errorf("campaign: read baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("campaign: parse baseline %s: %w", path, err)
+	}
+	if b.SchemaVersion != BaselineSchemaVersion {
+		return Baseline{}, fmt.Errorf("campaign: baseline %s has schema version %d, this binary writes %d",
+			path, b.SchemaVersion, BaselineSchemaVersion)
+	}
+	return b, nil
+}
+
+// Table renders the campaign aggregates as a bench table (one row per cell),
+// so -campaign output slots into the same text/markdown/JSON pipeline as the
+// experiment tables. The table id is the upper-cased campaign id.
+func (r *Result) Table() bench.Table {
+	metric := r.Spec.PrimaryMetric()
+	minTrials, maxTrials := r.Spec.trialBounds()
+	policy := fmt.Sprintf("%d trials per cell", minTrials)
+	if r.Spec.CITarget > 0 {
+		policy = fmt.Sprintf("%d-%d trials per cell, stop at CI ±%.1f%%", minTrials, maxTrials, r.Spec.CITarget*100)
+	}
+	t := bench.Table{
+		ID:    strings.ToUpper(r.Spec.ID),
+		Title: fmt.Sprintf("campaign %s (%s, base seed %d)", r.Spec.ID, policy, r.Spec.Seed),
+		Columns: []string{"algorithm", "topology", "n", "daemon", "fault", "trials",
+			metric + "(mean±ci95)", metric + "(p50)", metric + "(p95)", metric + "(p99)", "ok"},
+	}
+	for _, c := range r.Cells {
+		if c.Skipped {
+			t.AddRow(c.Cell.Algorithm, c.Cell.Topology, fmt.Sprintf("%d", c.Cell.N), c.Cell.Daemon, c.Cell.Fault,
+				fmt.Sprintf("%d", c.Trials), "skipped", "-", "-", "-", "yes")
+			continue
+		}
+		ok := "yes"
+		if !c.OK {
+			ok = "no"
+			t.Violations++
+		}
+		// Cells whose runs never produced the metric (e.g. stab_* when no
+		// run reached legitimacy) render as unmeasured, not as zero cost.
+		mean, p50, p95, p99 := "unmeasured", "-", "-", "-"
+		if m, measured := c.Metrics[metric]; measured {
+			mean = fmt.Sprintf("%.1f±%.1f", m.Mean, m.CIHalfWidth())
+			p50 = fmt.Sprintf("%.1f", m.P50)
+			p95 = fmt.Sprintf("%.1f", m.P95)
+			p99 = fmt.Sprintf("%.1f", m.P99)
+		}
+		t.AddRow(c.Cell.Algorithm, c.Cell.Topology, fmt.Sprintf("%d", c.Cell.N), c.Cell.Daemon, c.Cell.Fault,
+			fmt.Sprintf("%d", c.Trials), mean, p50, p95, p99, ok)
+	}
+	return t
+}

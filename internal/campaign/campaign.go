@@ -1,0 +1,301 @@
+// Package campaign is the experiment-frame layer of the reproduction: it
+// separates *what* to measure (a Spec: a scenario sweep plus a trial policy)
+// from the machinery that runs it, the same split DEVS-style simulation
+// frameworks make between model and experiment frame.
+//
+// A campaign streams every completed trial to a JSONL sink as it finishes,
+// so cells can run thousands of trials in bounded memory; the sink doubles
+// as a checkpoint, and an interrupted campaign resumed from it produces
+// byte-identical output to an uninterrupted run (per-trial seeds are derived
+// deterministically, and adaptive stopping decisions depend only on recorded
+// metric values). Per-cell aggregation goes through internal/stats
+// (mean, sample stddev, p50/p95/p99, Student-t 95% confidence intervals);
+// cells with a CI precision target stop early once the relative CI
+// half-width of the primary metric falls under it. Aggregates snapshot into
+// versioned Baselines (commit, Go version, host fingerprint) that Compare
+// diffs with noise-aware thresholds — the regression gate cmd/sdrbench
+// -campaign / -compare and the CI workflows are built on.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+
+	"sdr/internal/scenario"
+	"sdr/internal/stats"
+)
+
+// Metric names a per-trial measurement recorded by every campaign trial.
+// The stabilization metrics are only present on trials whose run reached a
+// legitimate configuration under an algorithm that defines legitimacy.
+const (
+	MetricMoves      = "moves"
+	MetricRounds     = "rounds"
+	MetricSteps      = "steps"
+	MetricStabMoves  = "stab_moves"
+	MetricStabRounds = "stab_rounds"
+	MetricStabSteps  = "stab_steps"
+	// MetricDuration is the wall-clock nanoseconds of the trial, recorded
+	// only when Spec.RecordTime is set (it makes resumed output differ from
+	// uninterrupted output byte-for-byte).
+	MetricDuration = "duration_ns"
+)
+
+// Metrics lists every metric name a campaign can aggregate, in render order.
+func Metrics() []string {
+	return []string{MetricMoves, MetricRounds, MetricSteps,
+		MetricStabMoves, MetricStabRounds, MetricStabSteps, MetricDuration}
+}
+
+// DefaultMinTrials is the per-cell trial count used when a Spec leaves
+// MinTrials at zero.
+const DefaultMinTrials = 4
+
+// adaptiveMinTrials is the floor on MinTrials when a CI precision target is
+// set: a confidence interval needs at least two samples, and three keeps the
+// t-multiplier out of its df=1 blow-up.
+const adaptiveMinTrials = 3
+
+var specIDPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_-]*$`)
+
+// Spec declaratively describes one campaign: the scenario sweep to cover and
+// the per-cell trial policy. It is the schema of the JSON campaign files
+// cmd/sdrbench -campaign runs.
+type Spec struct {
+	// ID names the campaign; it becomes the CAMPAIGN_<ID>.jsonl /
+	// BENCH_<ID>.json file stem and must match [A-Za-z0-9][A-Za-z0-9_-]*.
+	ID string `json:"id"`
+	// Algorithms, Topologies, Daemons and Faults name scenario registry
+	// entries; empty Faults defaults to {"none"}.
+	Algorithms []string `json:"algorithms"`
+	Topologies []string `json:"topologies"`
+	Daemons    []string `json:"daemons"`
+	Faults     []string `json:"faults,omitempty"`
+	// Sizes is the sweep of network sizes n.
+	Sizes []int `json:"sizes"`
+	// Seed is the base seed; trial t of every cell derives seed
+	// Seed + t·SeedStride (scenario.TrialSeedStride when SeedStride is 0).
+	Seed       int64 `json:"seed"`
+	SeedStride int64 `json:"seed_stride,omitempty"`
+	// MaxSteps bounds each execution; 0 means sim.DefaultMaxSteps.
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Params carries the entry-specific scenario knobs shared by every cell.
+	Params scenario.Params `json:"params,omitzero"`
+	// MinTrials is the number of trials every cell always runs
+	// (0 means DefaultMinTrials; a CI target raises it to at least 3).
+	MinTrials int `json:"min_trials,omitempty"`
+	// MaxTrials caps adaptive cells; it must be ≥ the effective MinTrials
+	// when CITarget is set and is ignored otherwise.
+	MaxTrials int `json:"max_trials,omitempty"`
+	// CITarget, when positive, stops a cell as soon as at least MinTrials
+	// trials ran and the relative 95% CI half-width of the primary metric is
+	// ≤ CITarget (e.g. 0.05 = ±5% of the mean). 0 runs exactly MinTrials.
+	// Cells that never record the metric (e.g. stab_* when no run reaches
+	// legitimacy) cannot be assessed and run to MaxTrials.
+	CITarget float64 `json:"ci_target,omitempty"`
+	// Metric is the primary metric driving CITarget and the default Compare
+	// axis; "" means moves.
+	Metric string `json:"metric,omitempty"`
+	// RecordTime adds wall-clock duration_ns to every trial record. It is
+	// off by default because timings are non-deterministic: a resumed
+	// campaign no longer reproduces an uninterrupted one byte-for-byte.
+	RecordTime bool `json:"record_time,omitempty"`
+}
+
+// LoadSpec reads and validates a JSON campaign spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("campaign: read spec: %w", err)
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("campaign: parse spec %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("campaign: spec %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate checks the trial policy and that every axis resolves to a
+// scenario registry entry.
+func (s Spec) Validate() error {
+	if !specIDPattern.MatchString(s.ID) {
+		return fmt.Errorf("campaign: invalid id %q (want %s)", s.ID, specIDPattern)
+	}
+	if s.Metric != "" && !validMetric(s.Metric) {
+		return fmt.Errorf("campaign: unknown metric %q (known: %v)", s.Metric, Metrics())
+	}
+	if s.Metric == MetricDuration && !s.RecordTime {
+		return fmt.Errorf("campaign: metric %q needs record_time", MetricDuration)
+	}
+	if s.MinTrials < 0 || s.MaxTrials < 0 {
+		return fmt.Errorf("campaign: negative trial counts")
+	}
+	if s.CITarget < 0 {
+		return fmt.Errorf("campaign: negative ci_target")
+	}
+	if s.CITarget > 0 {
+		if s.MaxTrials == 0 {
+			return fmt.Errorf("campaign: ci_target needs max_trials")
+		}
+		if min, _ := s.trialBounds(); s.MaxTrials < min {
+			return fmt.Errorf("campaign: max_trials %d below the effective min_trials %d", s.MaxTrials, min)
+		}
+	}
+	return s.sweep().Validate()
+}
+
+// sweep maps the Spec axes onto the scenario cross-product it covers.
+func (s Spec) sweep() scenario.Sweep {
+	return scenario.Sweep{
+		Algorithms: s.Algorithms,
+		Topologies: s.Topologies,
+		Daemons:    s.Daemons,
+		Faults:     s.Faults,
+		Sizes:      s.Sizes,
+		Seed:       s.Seed,
+		SeedStride: s.SeedStride,
+		MaxSteps:   s.MaxSteps,
+		Params:     s.Params,
+		Trials:     1, // trials are driven per cell by the campaign runner
+	}
+}
+
+// PrimaryMetric returns the metric driving adaptive stopping and the default
+// Compare axis.
+func (s Spec) PrimaryMetric() string {
+	if s.Metric == "" {
+		return MetricMoves
+	}
+	return s.Metric
+}
+
+// trialBounds returns the effective [min, max] trial counts of every cell.
+func (s Spec) trialBounds() (min, max int) {
+	min = s.MinTrials
+	if min <= 0 {
+		min = DefaultMinTrials
+	}
+	if s.CITarget > 0 && min < adaptiveMinTrials {
+		min = adaptiveMinTrials
+	}
+	max = s.MaxTrials
+	if s.CITarget <= 0 || max < min {
+		max = min
+	}
+	return min, max
+}
+
+func validMetric(name string) bool {
+	for _, m := range Metrics() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CellKey identifies one cell of a campaign: one point of the sweep
+// cross-product.
+type CellKey struct {
+	Algorithm string `json:"algorithm"`
+	Topology  string `json:"topology"`
+	N         int    `json:"n"`
+	Daemon    string `json:"daemon"`
+	Fault     string `json:"fault"`
+}
+
+func cellKey(c scenario.Cell) CellKey {
+	return CellKey{Algorithm: c.Algorithm, Topology: c.Topology, N: c.N, Daemon: c.Daemon, Fault: c.Fault}
+}
+
+// String renders the key compactly ("unison/ring n=8 synchronous none").
+func (k CellKey) String() string {
+	return fmt.Sprintf("%s/%s n=%d %s %s", k.Algorithm, k.Topology, k.N, k.Daemon, k.Fault)
+}
+
+// TrialRecord is one line of a campaign's JSONL stream: the outcome of one
+// seeded execution of one cell. Records are written in (cell, trial) order
+// as trials complete; map keys marshal sorted, so the bytes of a record are
+// a pure function of the trial's seed and the binary.
+type TrialRecord struct {
+	// Type is "trial"; the first line of a stream is a "campaign" header.
+	Type string `json:"type"`
+	CellKey
+	// Trial is the repetition index within the cell; Seed is the derived
+	// seed the trial ran under.
+	Trial int   `json:"trial"`
+	Seed  int64 `json:"seed"`
+	// Skipped reports a cell unsatisfiable on its resolved topology for this
+	// seed (e.g. an alliance requirement exceeding a node degree); skipped
+	// trials carry no metrics and never count as violations.
+	Skipped bool `json:"skipped,omitempty"`
+	// OK is the correctness verdict of the algorithm's own output check.
+	OK bool `json:"ok"`
+	// Metrics holds the per-trial measurements by metric name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// CellAggregate is the aggregated outcome of one cell: the per-metric
+// statistics over its recorded (non-skipped) trials.
+type CellAggregate struct {
+	Cell CellKey `json:"cell"`
+	// Trials counts the recorded trials, including skipped ones.
+	Trials int `json:"trials"`
+	// Skipped reports a cell all of whose trials were unsatisfiable.
+	Skipped bool `json:"skipped,omitempty"`
+	// OK reports that every non-skipped trial passed its correctness check.
+	OK bool `json:"ok"`
+	// Metrics aggregates each recorded metric over the non-skipped trials.
+	Metrics map[string]stats.Aggregate `json:"metrics,omitempty"`
+}
+
+// aggregateCell reduces a cell's trial records to their aggregate.
+func aggregateCell(key CellKey, recs []TrialRecord) CellAggregate {
+	agg := CellAggregate{Cell: key, Trials: len(recs), OK: true}
+	samples := make(map[string][]float64)
+	measured := 0
+	for _, r := range recs {
+		if r.Skipped {
+			continue
+		}
+		measured++
+		agg.OK = agg.OK && r.OK
+		for name, v := range r.Metrics {
+			samples[name] = append(samples[name], v)
+		}
+	}
+	if measured == 0 {
+		agg.Skipped = true
+		return agg
+	}
+	agg.Metrics = make(map[string]stats.Aggregate, len(samples))
+	for name, xs := range samples {
+		agg.Metrics[name] = stats.AggregateSamples(xs)
+	}
+	return agg
+}
+
+// metricNames returns the aggregated metric names in render order: the
+// canonical Metrics() order first, then any unknown names sorted.
+func (a CellAggregate) metricNames() []string {
+	var names []string
+	for _, m := range Metrics() {
+		if _, ok := a.Metrics[m]; ok {
+			names = append(names, m)
+		}
+	}
+	var extra []string
+	for name := range a.Metrics {
+		if !validMetric(name) {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}

@@ -1,0 +1,246 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"sdr/internal/stats"
+)
+
+// DefaultThreshold is the relative mean regression a comparison flags when
+// no explicit threshold is given: +10% on the compared metric.
+const DefaultThreshold = 0.10
+
+// CompareOptions configures a baseline comparison.
+type CompareOptions struct {
+	// Metric selects the compared metric; "" uses the old baseline's primary
+	// metric (falling back to moves).
+	Metric string
+	// Threshold is the relative mean increase flagged as a regression
+	// (0.10 = +10%); ≤ 0 means DefaultThreshold. All campaign metrics are
+	// costs, so higher is always worse.
+	Threshold float64
+}
+
+// Delta is the per-cell outcome of a comparison.
+type Delta struct {
+	Cell CellKey
+	// Old and New are the compared aggregates (zero when Missing is set).
+	Old, New stats.Aggregate
+	// Delta is the relative mean change (new-old)/old; +Inf when a zero mean
+	// became non-zero.
+	Delta float64
+	// Significant reports that the means differ by more than the sum of the
+	// two 95% CI half-widths — the noise gate: zero-variance seeded reruns
+	// of the same binary are never significant, and noisy cells need a mean
+	// shift that clears their own spread.
+	Significant bool
+	// Regression and Improvement flag significant changes beyond the
+	// threshold, in either direction.
+	Regression  bool
+	Improvement bool
+	// Missing marks a cell present on only one side ("old" or "new"), and
+	// Skipped one without measurements on a side; such cells carry no delta.
+	Missing string
+	Skipped bool
+}
+
+// Comparison is the outcome of diffing two baselines on one metric.
+type Comparison struct {
+	Metric    string
+	Threshold float64
+	OldID     string
+	NewID     string
+	OldMeta   Meta
+	NewMeta   Meta
+	Deltas    []Delta
+	// Compared counts the cells that actually produced a delta (matched on
+	// both sides with the metric measured). A gate must treat Compared == 0
+	// as a failure: zero matched cells means nothing was checked, not that
+	// nothing regressed (wrong artifact path, renamed campaign, metric
+	// never recorded).
+	Compared int
+	// Regressions counts cells flagged as significant regressions; a gate
+	// fails when it is non-zero. Improvements counts the opposite direction.
+	Regressions  int
+	Improvements int
+}
+
+// Compare diffs two baselines cell by cell on one metric. Cells are matched
+// by key; old-side order is kept, new-only cells are appended. It never
+// fails on metadata differences — only measured values matter.
+func Compare(old, cur Baseline, opts CompareOptions) (Comparison, error) {
+	metric := opts.Metric
+	if metric == "" {
+		metric = old.Metric
+	}
+	if metric == "" {
+		metric = MetricMoves
+	}
+	if !validMetric(metric) {
+		return Comparison{}, fmt.Errorf("campaign: unknown metric %q (known: %v)", metric, Metrics())
+	}
+	threshold := opts.Threshold
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	c := Comparison{Metric: metric, Threshold: threshold,
+		OldID: old.ID, NewID: cur.ID, OldMeta: old.Meta, NewMeta: cur.Meta}
+
+	curIndex := make(map[CellKey]CellAggregate, len(cur.Cells))
+	for _, cell := range cur.Cells {
+		curIndex[cell.Cell] = cell
+	}
+	seen := make(map[CellKey]bool, len(old.Cells))
+	for _, o := range old.Cells {
+		seen[o.Cell] = true
+		n, ok := curIndex[o.Cell]
+		if !ok {
+			c.Deltas = append(c.Deltas, Delta{Cell: o.Cell, Missing: "new"})
+			continue
+		}
+		c.Deltas = append(c.Deltas, compareCell(o, n, metric, threshold))
+	}
+	for _, n := range cur.Cells {
+		if !seen[n.Cell] {
+			c.Deltas = append(c.Deltas, Delta{Cell: n.Cell, Missing: "old"})
+		}
+	}
+	for _, d := range c.Deltas {
+		if d.Missing == "" && !d.Skipped {
+			c.Compared++
+		}
+		if d.Regression {
+			c.Regressions++
+		}
+		if d.Improvement {
+			c.Improvements++
+		}
+	}
+	return c, nil
+}
+
+// compareCell diffs one matched cell pair on the metric.
+func compareCell(o, n CellAggregate, metric string, threshold float64) Delta {
+	d := Delta{Cell: o.Cell}
+	oldAgg, oldOK := o.Metrics[metric]
+	newAgg, newOK := n.Metrics[metric]
+	if !oldOK || !newOK {
+		d.Skipped = true
+		return d
+	}
+	d.Old, d.New = oldAgg, newAgg
+	diff := newAgg.Mean - oldAgg.Mean
+	switch {
+	case oldAgg.Mean != 0:
+		d.Delta = diff / oldAgg.Mean
+	case diff != 0:
+		d.Delta = math.Inf(1)
+		if diff < 0 {
+			d.Delta = math.Inf(-1)
+		}
+	}
+	// Noise gate: the mean shift must clear the combined 95% CI half-widths
+	// before a delta counts as a real change rather than trial noise.
+	d.Significant = math.Abs(diff) > oldAgg.CIHalfWidth()+newAgg.CIHalfWidth()
+	d.Regression = d.Significant && d.Delta > threshold
+	d.Improvement = d.Significant && d.Delta < -threshold
+	return d
+}
+
+// Render writes the comparison as a benchstat-style aligned table with a
+// one-line summary.
+func (c Comparison) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "compare on %s (regression threshold +%.1f%%)\n", c.Metric, c.Threshold*100); err != nil {
+		return fmt.Errorf("campaign: render comparison: %w", err)
+	}
+	if c.OldID != c.NewID {
+		if _, err := fmt.Fprintf(w, "  warning: comparing different campaigns (%q vs %q)\n", c.OldID, c.NewID); err != nil {
+			return fmt.Errorf("campaign: render comparison: %w", err)
+		}
+	}
+	if c.OldMeta.Commit != "" || c.NewMeta.Commit != "" {
+		if _, err := fmt.Fprintf(w, "  old: %s\n  new: %s\n", describeMeta(c.OldMeta), describeMeta(c.NewMeta)); err != nil {
+			return fmt.Errorf("campaign: render comparison: %w", err)
+		}
+	}
+	rows := [][]string{{"cell", "old " + c.Metric, "new " + c.Metric, "delta", "verdict"}}
+	for _, d := range c.Deltas {
+		rows = append(rows, d.row())
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		line := "  "
+		for i, cell := range row {
+			line += fmt.Sprintf("%-*s  ", widths[i], cell)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return fmt.Errorf("campaign: render comparison: %w", err)
+		}
+	}
+	summary := fmt.Sprintf("%d cell(s), %d compared: %d regression(s), %d improvement(s)",
+		len(c.Deltas), c.Compared, c.Regressions, c.Improvements)
+	if _, err := fmt.Fprintf(w, "  %s\n", summary); err != nil {
+		return fmt.Errorf("campaign: render comparison: %w", err)
+	}
+	return nil
+}
+
+// row renders one delta as table cells.
+func (d Delta) row() []string {
+	name := d.Cell.String()
+	switch {
+	case d.Missing != "":
+		return []string{name, "-", "-", "-", "missing in " + d.Missing}
+	case d.Skipped:
+		return []string{name, "-", "-", "-", "skipped"}
+	}
+	deltaCell := "~"
+	if d.Significant {
+		deltaCell = fmt.Sprintf("%+.1f%%", d.Delta*100)
+		if math.IsInf(d.Delta, 1) {
+			deltaCell = "+∞"
+		}
+	}
+	verdict := "ok"
+	switch {
+	case d.Regression:
+		verdict = "REGRESSION"
+	case d.Improvement:
+		verdict = "improvement"
+	}
+	return []string{name,
+		fmt.Sprintf("%.1f ±%.1f", d.Old.Mean, d.Old.CIHalfWidth()),
+		fmt.Sprintf("%.1f ±%.1f", d.New.Mean, d.New.CIHalfWidth()),
+		deltaCell, verdict}
+}
+
+// describeMeta renders a one-line environment fingerprint.
+func describeMeta(m Meta) string {
+	commit := m.Commit
+	if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	if commit == "" {
+		commit = "unknown-commit"
+	}
+	parts := commit
+	if m.GoVersion != "" {
+		parts += " " + m.GoVersion
+	}
+	if m.Host != "" {
+		parts += " " + m.Host
+	}
+	if m.CreatedAt != "" {
+		parts += " " + m.CreatedAt
+	}
+	return parts
+}

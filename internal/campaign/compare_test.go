@@ -1,0 +1,287 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"sdr/internal/stats"
+)
+
+// baselineOf builds a baseline with one cell per sample set on the moves
+// metric.
+func baselineOf(id string, samples ...[]int) Baseline {
+	b := Baseline{SchemaVersion: BaselineSchemaVersion, ID: id, Metric: MetricMoves}
+	for i, xs := range samples {
+		b.Cells = append(b.Cells, CellAggregate{
+			Cell:    CellKey{Algorithm: "unison", Topology: "ring", N: 6 + 2*i, Daemon: "synchronous", Fault: "none"},
+			Trials:  len(xs),
+			OK:      true,
+			Metrics: map[string]stats.Aggregate{MetricMoves: stats.AggregateInts(xs)},
+		})
+	}
+	return b
+}
+
+func TestCompareIdenticalBaselines(t *testing.T) {
+	// Seeded re-runs of the same binary reproduce the same samples exactly;
+	// the gate must tolerate them.
+	old := baselineOf("gate", []int{100, 100, 100}, []int{240, 250, 260})
+	cur := baselineOf("gate", []int{100, 100, 100}, []int{240, 250, 260})
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressions != 0 || c.Improvements != 0 {
+		t.Fatalf("identical baselines must compare clean: %+v", c)
+	}
+	for _, d := range c.Deltas {
+		if d.Significant || d.Regression {
+			t.Errorf("identical cell flagged: %+v", d)
+		}
+	}
+}
+
+func TestCompareFlagsInjectedSlowdown(t *testing.T) {
+	// A deterministic (zero-variance) cell slowed down by 25% is a
+	// significant regression under the default +10% threshold.
+	old := baselineOf("gate", []int{100, 100, 100})
+	cur := baselineOf("gate", []int{125, 125, 125})
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressions != 1 || !c.Deltas[0].Regression || !c.Deltas[0].Significant {
+		t.Fatalf("a 25%% zero-variance slowdown must regress: %+v", c.Deltas[0])
+	}
+	// The same delta in the other direction is an improvement, not a gate
+	// failure.
+	c, err = Compare(cur, old, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressions != 0 || c.Improvements != 1 {
+		t.Fatalf("a 20%% speedup must count as an improvement: %+v", c)
+	}
+}
+
+func TestCompareNoiseGate(t *testing.T) {
+	// A +15% mean shift buried under wide CIs is not significant: the means
+	// differ by less than the combined CI half-widths.
+	old := baselineOf("gate", []int{100, 120, 140})
+	cur := baselineOf("gate", []int{115, 138, 161})
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Deltas[0]
+	if d.Significant || d.Regression || c.Regressions != 0 {
+		t.Fatalf("a shift within the noise must not regress: %+v", d)
+	}
+	// The same relative shift with tight CIs is significant.
+	old = baselineOf("gate", []int{100, 101, 100, 101})
+	cur = baselineOf("gate", []int{115, 116, 115, 116})
+	c, err = Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Deltas[0].Significant || c.Regressions != 1 {
+		t.Fatalf("a tight-CI +15%% shift must regress: %+v", c.Deltas[0])
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	old := baselineOf("gate", []int{100, 100, 100})
+	cur := baselineOf("gate", []int{115, 115, 115})
+	// +15% passes a +20% threshold but fails the default +10%.
+	c, err := Compare(old, cur, CompareOptions{Threshold: 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressions != 0 || !c.Deltas[0].Significant {
+		t.Fatalf("+15%% under a +20%% threshold must pass (but stay significant): %+v", c.Deltas[0])
+	}
+	if c, _ = Compare(old, cur, CompareOptions{}); c.Regressions != 1 {
+		t.Fatalf("+15%% under the default threshold must fail: %+v", c)
+	}
+}
+
+func TestCompareMissingAndSkippedCells(t *testing.T) {
+	old := baselineOf("gate", []int{100}, []int{200})
+	cur := baselineOf("gate", []int{100})
+	cur.Cells = append(cur.Cells, CellAggregate{
+		Cell: CellKey{Algorithm: "bfstree", Topology: "tree", N: 8, Daemon: "synchronous", Fault: "none"},
+	})
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Deltas) != 3 {
+		t.Fatalf("expected 3 deltas (matched, missing-new, missing-old): %+v", c.Deltas)
+	}
+	if c.Deltas[1].Missing != "new" || c.Deltas[2].Missing != "old" {
+		t.Errorf("missing sides wrong: %+v", c.Deltas[1:])
+	}
+	if c.Regressions != 0 {
+		t.Errorf("missing cells must not count as regressions: %+v", c)
+	}
+	if c.Compared != 1 {
+		t.Errorf("only the matched cell counts as compared: %+v", c)
+	}
+
+	// A cell without the compared metric on one side is skipped.
+	old = baselineOf("gate", []int{100})
+	cur = baselineOf("gate", []int{100})
+	cur.Cells[0].Metrics = nil
+	if c, _ = Compare(old, cur, CompareOptions{}); !c.Deltas[0].Skipped || c.Compared != 0 {
+		t.Errorf("metric-less cell should be skipped and not compared: %+v", c.Deltas[0])
+	}
+}
+
+func TestCompareCountsNothingOnDisjointBaselines(t *testing.T) {
+	// Two baselines without a single shared cell (e.g. the wrong artifact
+	// path fed to the gate) compare with Compared == 0 — the caller must
+	// treat that as a gate failure, and Render warns about the id mismatch.
+	old := baselineOf("gate", []int{100})
+	cur := baselineOf("nightly", []int{100})
+	cur.Cells[0].Cell.Algorithm = "bfstree"
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Compared != 0 || c.Regressions != 0 {
+		t.Fatalf("disjoint baselines must compare nothing: %+v", c)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`warning: comparing different campaigns ("gate" vs "nightly")`, "0 compared"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestCompareZeroMeanTransitions(t *testing.T) {
+	old := baselineOf("gate", []int{0, 0, 0})
+	cur := baselineOf("gate", []int{50, 50, 50})
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressions != 1 {
+		t.Fatalf("a zero mean becoming non-zero must regress: %+v", c.Deltas[0])
+	}
+	if c, _ = Compare(old, old, CompareOptions{}); c.Regressions != 0 {
+		t.Fatalf("identical zero means must pass: %+v", c)
+	}
+}
+
+func TestCompareMetricSelection(t *testing.T) {
+	old := baselineOf("gate", []int{100})
+	cur := baselineOf("gate", []int{100})
+	if _, err := Compare(old, cur, CompareOptions{Metric: "nope"}); err == nil {
+		t.Error("an unknown metric must be rejected")
+	}
+	c, err := Compare(old, cur, CompareOptions{Metric: MetricRounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baselines only aggregate moves, so the rounds comparison skips.
+	if c.Metric != MetricRounds || !c.Deltas[0].Skipped {
+		t.Errorf("explicit metric not honoured: %+v", c)
+	}
+	// An old baseline without a primary metric falls back to moves.
+	old.Metric = ""
+	if c, _ = Compare(old, cur, CompareOptions{}); c.Metric != MetricMoves {
+		t.Errorf("default metric = %q, want moves", c.Metric)
+	}
+}
+
+func TestComparisonRender(t *testing.T) {
+	old := baselineOf("gate", []int{100, 100}, []int{200, 200})
+	old.Meta = Meta{Commit: "0123456789abcdef", GoVersion: "go1.24.0"}
+	cur := baselineOf("gate", []int{130, 130}, []int{200, 200})
+	c, err := Compare(old, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"compare on moves", "+10.0%", "0123456789ab", "REGRESSION", "+30.0%", "~",
+		"2 cell(s), 2 compared: 1 regression(s), 0 improvement(s)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered comparison missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTableRendersUnmeasuredMetric(t *testing.T) {
+	// A cell whose runs never produced the primary metric must not render
+	// as a measured zero cost.
+	res := &Result{
+		Spec: Spec{ID: "x", Metric: MetricStabMoves, MinTrials: 2},
+		Cells: []CellAggregate{{
+			Cell:    CellKey{Algorithm: "bfstree", Topology: "ring", N: 6, Daemon: "synchronous", Fault: "none"},
+			Trials:  2,
+			OK:      true,
+			Metrics: map[string]stats.Aggregate{MetricMoves: stats.AggregateInts([]int{3, 5})},
+		}},
+	}
+	var buf bytes.Buffer
+	table := res.Table()
+	if err := table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "unmeasured") || strings.Contains(buf.String(), "0.0±0.0") {
+		t.Errorf("unmeasured metric rendered as a value:\n%s", buf.String())
+	}
+}
+
+func TestSnapshotAndBaselineRoundTrip(t *testing.T) {
+	res, _ := runInto(t, testSpec(), Options{})
+	meta := Meta{Commit: "abc", GoVersion: "go1.24.0", Host: "ci"}
+	b := res.Snapshot(meta)
+	if b.SchemaVersion != BaselineSchemaVersion || b.ID != "test" || b.Metric != MetricMoves || len(b.Cells) != 2 {
+		t.Fatalf("unexpected snapshot: %+v", b)
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/BENCH_TEST.json"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ID != b.ID || loaded.Meta != b.Meta || len(loaded.Cells) != len(b.Cells) {
+		t.Errorf("round trip changed the baseline: %+v vs %+v", loaded, b)
+	}
+	// A future schema version is refused.
+	loaded.SchemaVersion = BaselineSchemaVersion + 1
+	buf.Reset()
+	WriteBaseline(&buf, loaded)
+	os.WriteFile(path, buf.Bytes(), 0o644)
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("a foreign schema version must be refused")
+	}
+	// The comparison of a baseline against itself is clean.
+	c, err := Compare(b, b, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressions != 0 || c.Improvements != 0 {
+		t.Errorf("self-comparison must be clean: %+v", c)
+	}
+}

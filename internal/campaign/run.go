@@ -1,0 +1,304 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"sdr/internal/bench"
+	"sdr/internal/scenario"
+	"sdr/internal/stats"
+)
+
+// Options configures one campaign execution.
+type Options struct {
+	// Parallel bounds the number of concurrently executed trials; ≤ 1 runs
+	// sequentially. It changes wall-clock time only: the JSONL stream and
+	// the aggregates are identical for every value.
+	Parallel int
+	// Resume permits continuing an existing JSONL stream from its last
+	// completed trial. Without it an existing output file is an error.
+	Resume bool
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+// Result is a finished campaign: the spec and the per-cell aggregates, in
+// sweep cell order.
+type Result struct {
+	Spec  Spec
+	Cells []CellAggregate
+}
+
+// Run executes the campaign described by spec, streaming every trial record
+// to the JSONL file at path, and returns the per-cell aggregates. Cells run
+// in sweep order; within a cell, trials are fanned out in waves over the
+// bench worker pool but recorded strictly in trial order, and — when the
+// spec sets a CI target — the stopping rule is re-evaluated after every
+// recorded trial, so the stream is independent of Parallel and of any
+// interruption/resume history.
+func Run(spec Spec, path string, opts Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sw := spec.sweep()
+	cells := sw.Cells()
+
+	existing := make([][]TrialRecord, len(cells))
+	var out *sink
+	if _, err := os.Stat(path); err == nil && opts.Resume {
+		recs, goodSize, err := readStream(path, spec)
+		if err != nil {
+			return nil, err
+		}
+		if existing, err = groupRecords(spec, cells, recs); err != nil {
+			return nil, err
+		}
+		if out, err = resumeSink(path, goodSize); err != nil {
+			return nil, err
+		}
+	} else {
+		// A resume of a not-yet-started campaign starts it; an existing file
+		// without Resume is refused by newSink.
+		var err error
+		if out, err = newSink(path, spec); err != nil {
+			return nil, err
+		}
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			out.Close()
+		}
+	}()
+
+	_, maxTrials := spec.trialBounds()
+	result := &Result{Spec: spec, Cells: make([]CellAggregate, 0, len(cells))}
+	for ci, cell := range cells {
+		recs := existing[ci]
+		// Replay the resumed prefix into the accumulator; groupRecords has
+		// already rejected prefixes that overshoot the stopping rule, so the
+		// cell is complete iff the rule fires at the last record.
+		var acc stopAccum
+		done := false
+		for i, r := range recs {
+			acc.observe(spec, r)
+			done = spec.stopAfter(i+1, &acc)
+		}
+		for !done {
+			// One wave of trials: sized by the worker budget (bounded
+			// memory), recorded in trial order, cut short the moment the
+			// stopping rule fires so the stream never depends on Parallel.
+			wave := opts.Parallel
+			if wave < 1 {
+				wave = 1
+			}
+			if rest := maxTrials - len(recs); wave > rest {
+				wave = rest
+			}
+			first := len(recs)
+			batch := bench.MapGrid(opts.Parallel, 1, wave, func(_, k int) trialOutcome {
+				return runTrial(sw, cells[ci], first+k, spec.RecordTime)
+			})
+			for _, tr := range batch[0] {
+				if tr.err != nil {
+					return nil, tr.err
+				}
+				recs = append(recs, tr.rec)
+				acc.observe(spec, tr.rec)
+				if err := out.writeLine(tr.rec); err != nil {
+					return nil, err
+				}
+				if spec.stopAfter(len(recs), &acc) {
+					done = true
+					break // discard speculative trials beyond the stop point
+				}
+			}
+		}
+		agg := aggregateCell(cellKey(cell), recs)
+		result.Cells = append(result.Cells, agg)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "  %-44s %s\n", agg.Cell, progressSummary(spec, agg))
+		}
+	}
+	closed = true
+	if err := out.Close(); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// trialOutcome carries one executed trial through the worker pool.
+type trialOutcome struct {
+	rec TrialRecord
+	err error
+}
+
+// runTrial resolves and executes one (cell, trial) point and extracts its
+// metric record. Unsatisfiable cells record a skipped trial; any other
+// resolution error aborts the campaign.
+func runTrial(sw scenario.Sweep, cell scenario.Cell, trial int, recordTime bool) trialOutcome {
+	sp := sw.Trial(cell, trial)
+	rec := TrialRecord{Type: "trial", CellKey: cellKey(cell), Trial: trial, Seed: sp.Seed}
+	run, err := sp.Resolve()
+	if err != nil {
+		if errors.Is(err, scenario.ErrUnsatisfiable) {
+			rec.Skipped = true
+			rec.OK = true
+			return trialOutcome{rec: rec}
+		}
+		return trialOutcome{err: err}
+	}
+	start := time.Now()
+	res := run.Execute()
+	elapsed := time.Since(start)
+	rec.OK = run.Report(res).OK
+	rec.Metrics = map[string]float64{
+		MetricMoves:  float64(res.Moves),
+		MetricRounds: float64(res.Rounds),
+		MetricSteps:  float64(res.Steps),
+	}
+	if res.StabilizationMoves >= 0 {
+		rec.Metrics[MetricStabMoves] = float64(res.StabilizationMoves)
+		rec.Metrics[MetricStabRounds] = float64(res.StabilizationRounds)
+		rec.Metrics[MetricStabSteps] = float64(res.StabilizationSteps)
+	}
+	if recordTime {
+		rec.Metrics[MetricDuration] = float64(elapsed.Nanoseconds())
+	}
+	return trialOutcome{rec: rec}
+}
+
+// stopAccum incrementally accumulates the primary-metric samples of one
+// cell in record order. The streaming writer and the resume validator share
+// it (and stopAfter), so the adaptive stopping rule costs O(1) per recorded
+// trial and — crucially — both paths run the identical floating-point
+// arithmetic: a resumed campaign makes exactly the decisions the
+// uninterrupted one would.
+type stopAccum struct {
+	n          int
+	sum, sumSq float64
+}
+
+// observe accounts one record's primary metric (skipped trials and trials
+// without the metric contribute nothing).
+func (a *stopAccum) observe(s Spec, r TrialRecord) {
+	if r.Skipped {
+		return
+	}
+	if v, ok := r.Metrics[s.PrimaryMetric()]; ok {
+		a.n++
+		a.sum += v
+		a.sumSq += v * v
+	}
+}
+
+// relHalfWidthLE reports whether the relative Student-t 95% CI half-width of
+// the accumulated samples is within target. A zero mean stops only when the
+// interval is exactly degenerate (all samples zero).
+func (a *stopAccum) relHalfWidthLE(target float64) bool {
+	if a.n < 2 {
+		return false
+	}
+	n := float64(a.n)
+	mean := a.sum / n
+	variance := (a.sumSq - a.sum*a.sum/n) / (n - 1)
+	if variance < 0 {
+		variance = 0 // guard the one-pass formula against rounding
+	}
+	half := stats.TQuantile975(a.n-1) * math.Sqrt(variance/n)
+	if mean == 0 {
+		return half == 0
+	}
+	return half/math.Abs(mean) <= target
+}
+
+// stopAfter reports whether a cell is complete after count recorded trials
+// whose primary metric accumulated into acc.
+func (s Spec) stopAfter(count int, acc *stopAccum) bool {
+	minTrials, maxTrials := s.trialBounds()
+	if count >= maxTrials {
+		return true
+	}
+	if count < minTrials {
+		return false
+	}
+	if s.CITarget <= 0 {
+		return true // fixed trial count: stop exactly at the minimum
+	}
+	return acc.relHalfWidthLE(s.CITarget)
+}
+
+// stopIndex returns the index of the recorded trial after which the cell is
+// complete, or -1 while more trials are needed. A well-formed stream stops a
+// cell exactly at its stop index, which depends only on the spec and the
+// recorded metric values — the property resume correctness rests on.
+func (s Spec) stopIndex(recs []TrialRecord) int {
+	var acc stopAccum
+	for t, r := range recs {
+		acc.observe(s, r)
+		if s.stopAfter(t+1, &acc) {
+			return t
+		}
+	}
+	return -1
+}
+
+// groupRecords maps a resumed stream's records onto cell indices and checks
+// that they form a resumable prefix: records arrive in sweep cell order with
+// consecutive trial indices, and every recorded cell except the last is
+// complete under the stopping rule (a well-formed writer never produces
+// anything else).
+func groupRecords(spec Spec, cells []scenario.Cell, recs []TrialRecord) ([][]TrialRecord, error) {
+	index := make(map[CellKey]int, len(cells))
+	for i, c := range cells {
+		index[cellKey(c)] = i
+	}
+	grouped := make([][]TrialRecord, len(cells))
+	current := 0
+	for _, rec := range recs {
+		ci, ok := index[rec.CellKey]
+		if !ok {
+			return nil, fmt.Errorf("campaign: resumed stream contains cell %s outside the spec", rec.CellKey)
+		}
+		if ci != current {
+			if ci != current+1 {
+				return nil, fmt.Errorf("campaign: resumed stream jumps from cell %s to %s", cellKey(cells[current]), rec.CellKey)
+			}
+			if stop := spec.stopIndex(grouped[current]); stop < 0 {
+				return nil, fmt.Errorf("campaign: resumed stream advances past incomplete cell %s", cellKey(cells[current]))
+			}
+			current = ci
+		}
+		if rec.Trial != len(grouped[ci]) {
+			return nil, fmt.Errorf("campaign: resumed stream has trial %d of %s where trial %d was expected",
+				rec.Trial, rec.CellKey, len(grouped[ci]))
+		}
+		grouped[ci] = append(grouped[ci], rec)
+	}
+	for ci, g := range grouped {
+		if stop := spec.stopIndex(g); stop >= 0 && stop < len(g)-1 {
+			return nil, fmt.Errorf("campaign: resumed stream overshoots the stopping rule in cell %s", cellKey(cells[ci]))
+		}
+	}
+	return grouped, nil
+}
+
+// progressSummary renders one cell's outcome for the progress stream.
+func progressSummary(spec Spec, agg CellAggregate) string {
+	if agg.Skipped {
+		return fmt.Sprintf("skipped (%d unsatisfiable trials)", agg.Trials)
+	}
+	verdict := "ok"
+	if !agg.OK {
+		verdict = "FAILED"
+	}
+	m, measured := agg.Metrics[spec.PrimaryMetric()]
+	if !measured {
+		return fmt.Sprintf("trials=%d %s=unmeasured %s", agg.Trials, spec.PrimaryMetric(), verdict)
+	}
+	return fmt.Sprintf("trials=%d %s=%.1f±%.1f %s", agg.Trials, spec.PrimaryMetric(), m.Mean, m.CIHalfWidth(), verdict)
+}

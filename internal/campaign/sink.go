@@ -1,0 +1,163 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The JSONL stream is both the campaign's raw-result artifact and its
+// checkpoint. Line one is a header carrying the full Spec; every further
+// line is one TrialRecord, appended in (cell, trial) order as trials
+// complete. Because per-trial seeds and adaptive stopping decisions are pure
+// functions of the spec and the recorded values, resuming from any prefix of
+// the stream reproduces the uninterrupted stream byte-for-byte (unless
+// RecordTime injects wall-clock noise).
+
+// fileHeader is the first line of a campaign JSONL stream.
+type fileHeader struct {
+	Type string `json:"type"`
+	Spec Spec   `json:"spec"`
+}
+
+// ErrExists reports an existing JSONL sink opened without resume permission.
+var ErrExists = errors.New("campaign: output exists (resume it or remove it)")
+
+// sink appends JSONL lines to the campaign stream.
+type sink struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// newSink creates the stream file and writes the header. It refuses to
+// overwrite an existing file: interrupted campaigns are resumed, not
+// silently restarted.
+func newSink(path string, spec Spec) (*sink, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("%w: %s", ErrExists, path)
+		}
+		return nil, fmt.Errorf("campaign: create %s: %w", path, err)
+	}
+	s := &sink{f: f, w: bufio.NewWriter(f)}
+	if err := s.writeLine(fileHeader{Type: "campaign", Spec: spec}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// resumeSink reopens an existing stream for appending, discarding a trailing
+// partially written line (goodSize is the validated prefix length returned
+// by readStream).
+func resumeSink(path string, goodSize int64) (*sink, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: reopen %s: %w", path, err)
+	}
+	if err := f.Truncate(goodSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: truncate partial line of %s: %w", path, err)
+	}
+	if _, err := f.Seek(goodSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: seek %s: %w", path, err)
+	}
+	return &sink{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// writeLine appends one JSON value as a line and flushes it, so every
+// completed trial is durable as soon as it is recorded.
+func (s *sink) writeLine(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("campaign: encode record: %w", err)
+	}
+	if _, err := s.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("campaign: write record: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("campaign: flush record: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the stream.
+func (s *sink) Close() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("campaign: flush stream: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("campaign: close stream: %w", err)
+	}
+	return nil
+}
+
+// readStream parses an existing campaign stream, validating its header
+// against the spec, and returns the trial records in file order plus the
+// byte length of the validated prefix (a trailing line interrupted mid-write
+// is excluded; anything else malformed is an error).
+func readStream(path string, spec Spec) (recs []TrialRecord, goodSize int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("campaign: open %s: %w", path, err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	sawHeader := false
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A non-terminated trailing line was cut off mid-write; the
+			// resumed run rewrites it.
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("campaign: read %s: %w", path, err)
+		}
+		if !sawHeader {
+			var h fileHeader
+			if err := json.Unmarshal(line, &h); err != nil || h.Type != "campaign" {
+				return nil, 0, fmt.Errorf("campaign: %s does not start with a campaign header", path)
+			}
+			if !specsEqual(h.Spec, spec) {
+				return nil, 0, fmt.Errorf("campaign: %s was produced by a different spec; refusing to mix campaigns", path)
+			}
+			sawHeader = true
+			goodSize += int64(len(line))
+			continue
+		}
+		var rec TrialRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A corrupt line followed by further lines is not a clean
+			// interruption; only a trailing partial line is recoverable.
+			if _, peekErr := r.Peek(1); peekErr == io.EOF {
+				break
+			}
+			return nil, 0, fmt.Errorf("campaign: corrupt record in %s: %w", path, err)
+		}
+		if rec.Type != "trial" {
+			return nil, 0, fmt.Errorf("campaign: unexpected %q record in %s", rec.Type, path)
+		}
+		recs = append(recs, rec)
+		goodSize += int64(len(line))
+	}
+	if !sawHeader {
+		return nil, 0, fmt.Errorf("campaign: %s has no complete campaign header", path)
+	}
+	return recs, goodSize, nil
+}
+
+// specsEqual compares two specs via their canonical JSON encoding.
+func specsEqual(a, b Spec) bool {
+	ja, errA := json.Marshal(a)
+	jb, errB := json.Marshal(b)
+	return errA == nil && errB == nil && bytes.Equal(ja, jb)
+}
