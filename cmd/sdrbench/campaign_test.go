@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"sdr/internal/campaign"
@@ -77,6 +78,77 @@ func TestCampaignMode(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "BENCH_GATE.json.1")); err != nil {
 		t.Errorf("previous baseline not rotated: %v", err)
+	}
+}
+
+// interruptingWriter closes stop the first time a per-cell progress line
+// passes through it, simulating a SIGINT arriving after the first completed
+// cell — a deterministic cut point.
+type interruptingWriter struct {
+	stop chan struct{}
+	once sync.Once
+	buf  bytes.Buffer
+}
+
+func (w *interruptingWriter) Write(p []byte) (int, error) {
+	w.buf.Write(p)
+	if bytes.Contains(p, []byte("trials=")) {
+		w.once.Do(func() { close(w.stop) })
+	}
+	return len(p), nil
+}
+
+// TestCampaignInterruptCheckpointsAndHintsResume pins the signal-handling
+// contract of -campaign: an interrupt mid-campaign flushes the JSONL
+// checkpoint, fails the run (main exits non-zero) with a "resume with
+// -resume" hint, and a later -resume completes the byte-identical stream.
+func TestCampaignInterruptCheckpointsAndHintsResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+
+	// Uninterrupted reference stream.
+	refDir := filepath.Join(dir, "ref")
+	os.MkdirAll(refDir, 0o755)
+	var refOut bytes.Buffer
+	if err := run([]string{"-campaign", spec, "-json-dir", refDir}, &refOut); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(filepath.Join(refDir, "CAMPAIGN_gate.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: the override stands in for the SIGINT/SIGTERM notifier
+	// and fires after the first completed cell.
+	orig := campaignInterrupt
+	defer func() { campaignInterrupt = orig }()
+	w := &interruptingWriter{stop: make(chan struct{})}
+	campaignInterrupt = func() (<-chan struct{}, func()) { return w.stop, func() {} }
+	err = run([]string{"-campaign", spec, "-json-dir", dir}, w)
+	if err == nil || !strings.Contains(err.Error(), "resume with -resume") {
+		t.Fatalf("interrupted campaign must fail with a resume hint, got %v\n%s", err, w.buf.String())
+	}
+	jsonlPath := filepath.Join(dir, "CAMPAIGN_gate.jsonl")
+	partial, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatalf("interrupted campaign left no checkpoint: %v", err)
+	}
+	if !bytes.HasPrefix(whole, partial) || len(partial) == len(whole) {
+		t.Fatalf("checkpoint is not a strict prefix of the uninterrupted stream:\n%q", partial)
+	}
+
+	// Resuming completes the stream byte-identically.
+	campaignInterrupt = func() (<-chan struct{}, func()) { return make(chan struct{}), func() {} }
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", spec, "-json-dir", dir, "-resume"}, &out); err != nil {
+		t.Fatalf("resume after interrupt: %v\n%s", err, out.String())
+	}
+	resumed, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, whole) {
+		t.Errorf("resumed stream diverged from the uninterrupted one:\n%q\nvs\n%q", resumed, whole)
 	}
 }
 

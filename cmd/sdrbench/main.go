@@ -21,6 +21,7 @@
 //
 //	sdrbench [-experiment E5] [-quick] [-markdown] [-sizes 8,16,32] [-trials 5] [-seed 1] [-parallel 8] [-json] [-json-dir out]
 //	sdrbench -sweep -algorithms unison,bfstree -topologies ring,tree,grid -daemons synchronous,distributed-random -sizes 8
+//	sdrbench -churn "periodic-corrupt;poisson-mixed" -algorithms unison -topologies ring,torus -sizes 8,16
 //	sdrbench -verify -algorithms unison,dominating-set -topologies ring,tree -sizes 4,5,6 -json
 //	sdrbench -campaign spec.json [-resume] [-json-dir out] [-parallel 8]
 //	sdrbench -compare [-metric moves] [-threshold 0.1] baselines/BENCH_GATE.json out/BENCH_GATE.json
@@ -33,10 +34,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"sdr/internal/bench"
 	"sdr/internal/campaign"
@@ -68,6 +71,7 @@ func run(args []string, out io.Writer) error {
 		topologies   = fs.String("topologies", "ring", "comma-separated topology registry entries for -sweep/-verify")
 		daemons      = fs.String("daemons", "distributed-random", "comma-separated daemon registry entries for -sweep")
 		faultList    = fs.String("faults", "random-all", "comma-separated fault-model registry entries for -sweep/-verify")
+		churnList    = fs.String("churn", "", "semicolon-separated churn schedules (names or grammar forms, whose options contain commas); runs the RECOVERY sweep: per-event re-stabilization costs over the -algorithms × -topologies × ... grid")
 		campaignPath = fs.String("campaign", "", "run the JSON campaign spec at this path: stream trials to CAMPAIGN_<id>.jsonl and snapshot a baseline BENCH_<ID>.json in -json-dir")
 		resume       = fs.Bool("resume", false, "continue an interrupted -campaign from its JSONL checkpoint")
 		compare      = fs.Bool("compare", false, "compare two baseline files (old new) and exit non-zero on significant regression")
@@ -92,6 +96,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "sweep topologies : %s\n", strings.Join(scenario.Topologies(), ", "))
 		fmt.Fprintf(out, "sweep daemons    : %s\n", strings.Join(scenario.Daemons(), ", "))
 		fmt.Fprintf(out, "sweep faults     : %s\n", strings.Join(scenario.FaultModels(), ", "))
+		fmt.Fprintf(out, "churn schedules  : %s\n", strings.Join(scenario.ChurnSchedules(), ", "))
 		return nil
 	}
 
@@ -174,6 +179,31 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	if *churnList != "" {
+		sw := scenario.Sweep{
+			Algorithms: splitNames(*algorithms),
+			Topologies: splitNames(*topologies),
+			Daemons:    splitNames(*daemons),
+			Faults:     splitNames(*faultList),
+			Churns:     splitNamesOn(*churnList, ";"),
+			Sizes:      cfg.Sizes,
+			Trials:     cfg.Trials,
+			Seed:       cfg.Seed,
+			MaxSteps:   cfg.MaxSteps,
+		}
+		table, err := bench.RunRecovery(sw, cfg.Parallel)
+		if err != nil {
+			return err
+		}
+		if err := emit(table); err != nil {
+			return err
+		}
+		if table.Violations > 0 {
+			return fmt.Errorf("%d churn cell(s) had unrecovered events or failed their correctness check", table.Violations)
+		}
+		return nil
+	}
+
 	if *sweep {
 		sw := scenario.Sweep{
 			Algorithms: splitNames(*algorithms),
@@ -221,10 +251,28 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// campaignInterrupt returns the channel campaign.Run polls for a graceful
+// stop — closed on the first SIGINT/SIGTERM — plus a cleanup restoring the
+// default signal disposition (so a second signal kills the process outright).
+// Tests override the variable to trigger deterministic interrupts.
+var campaignInterrupt = func() (<-chan struct{}, func()) {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		if _, ok := <-sigs; ok {
+			signal.Stop(sigs)
+			close(stop)
+		}
+	}()
+	return stop, func() { signal.Stop(sigs); close(sigs) }
+}
+
 // runCampaign executes the campaign spec file: trial records stream to
 // <jsonDir>/CAMPAIGN_<id>.jsonl, the aggregate table renders to out, and the
 // baseline snapshot is written as <jsonDir>/BENCH_<ID>.json (rotating any
-// previous snapshot).
+// previous snapshot). SIGINT/SIGTERM stop the campaign gracefully: the JSONL
+// checkpoint is flushed, and the run exits non-zero with a -resume hint.
 func runCampaign(specPath, jsonDir string, resume, markdown bool, parallel int, out io.Writer) error {
 	spec, err := campaign.LoadSpec(specPath)
 	if err != nil {
@@ -232,11 +280,17 @@ func runCampaign(specPath, jsonDir string, resume, markdown bool, parallel int, 
 	}
 	jsonlPath := filepath.Join(jsonDir, fmt.Sprintf("CAMPAIGN_%s.jsonl", spec.ID))
 	fmt.Fprintf(out, "campaign %s → %s\n", spec.ID, jsonlPath)
+	interrupt, stopNotify := campaignInterrupt()
+	defer stopNotify()
 	res, err := campaign.Run(spec, jsonlPath, campaign.Options{
-		Parallel: parallel,
-		Resume:   resume,
-		Progress: out,
+		Parallel:  parallel,
+		Resume:    resume,
+		Progress:  out,
+		Interrupt: interrupt,
 	})
+	if errors.Is(err, campaign.ErrInterrupted) {
+		return fmt.Errorf("%w; completed trials are checkpointed in %s — resume with -resume", err, jsonlPath)
+	}
 	if err != nil {
 		return err
 	}
@@ -345,9 +399,14 @@ func rotateExisting(path string) (string, error) {
 }
 
 // splitNames parses a comma-separated name list, dropping empty parts.
-func splitNames(s string) []string {
+func splitNames(s string) []string { return splitNamesOn(s, ",") }
+
+// splitNamesOn parses a name list on the given separator, dropping empty
+// parts. The churn flag separates on semicolons because churn grammar forms
+// contain commas.
+func splitNamesOn(s, sep string) []string {
 	var names []string
-	for _, part := range strings.Split(s, ",") {
+	for _, part := range strings.Split(s, sep) {
 		part = strings.TrimSpace(part)
 		if part != "" {
 			names = append(names, part)

@@ -116,6 +116,49 @@ func TestSweepMode(t *testing.T) {
 	}
 }
 
+func TestChurnMode(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{
+		"-churn", "periodic:events=2,every=100,kinds=corrupt-fraction+edge-drop",
+		"-algorithms", "unison",
+		"-topologies", "ring,torus",
+		"-daemons", "distributed-random",
+		"-sizes", "8", "-trials", "2", "-seed", "7",
+		"-json", "-json-dir", dir,
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run -churn: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"RECOVERY", "rec-rounds(p50)", "avail(mean)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("churn output missing %q:\n%s", want, text)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_RECOVERY.json"))
+	if err != nil {
+		t.Fatalf("BENCH_RECOVERY.json not written: %v", err)
+	}
+	var table struct {
+		ID         string
+		Rows       [][]string
+		Violations int
+	}
+	if err := json.Unmarshal(data, &table); err != nil {
+		t.Fatalf("BENCH_RECOVERY.json is not valid JSON: %v", err)
+	}
+	if table.ID != "RECOVERY" || len(table.Rows) != 2 || table.Violations != 0 {
+		t.Errorf("unexpected recovery table: %+v", table)
+	}
+
+	// An unparseable schedule must be rejected.
+	var errOut bytes.Buffer
+	if err := run([]string{"-churn", "no-such-schedule"}, &errOut); err == nil {
+		t.Error("an unknown churn schedule must fail")
+	}
+}
+
 func TestVerifyMode(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer

@@ -26,6 +26,7 @@ var goldenCases = []struct {
 	{"bpv_ring", []string{"-algorithm", "bpv", "-topology", "ring", "-n", "8", "-scenario", "random-all", "-seed", "6"}},
 	{"verify_unison_ring", []string{"-algorithm", "unison", "-topology", "ring", "-n", "4", "-verify", "-verify-starts", "4", "-seed", "2"}},
 	{"verify_alliance_ring", []string{"-algorithm", "dominating-set", "-topology", "ring", "-n", "5", "-verify", "-verify-starts", "3", "-verify-max-selection", "0", "-seed", "2"}},
+	{"churn_unison_ring", []string{"-algorithm", "unison", "-topology", "ring", "-n", "8", "-daemon", "distributed-random", "-scenario", "random-all", "-churn", "periodic:events=3,every=100,kinds=corrupt-fraction+node-crash+edge-drop", "-seed", "11"}},
 	{"trace_text", []string{"-algorithm", "unison", "-topology", "ring", "-n", "5", "-seed", "7", "-trace", "-format", "text", "-max-steps", "100000"}},
 	{"trace_json", []string{"-algorithm", "unison", "-topology", "ring", "-n", "5", "-seed", "7", "-trace", "-format", "json", "-max-steps", "100000"}},
 	{"list", []string{"-list"}},

@@ -16,6 +16,7 @@
 //	sdrsim -algorithm alliance -spec dominating-set -topology random -n 12 -trace
 //	sdrsim -algorithm bpv -topology ring -n 10 -scenario random-all
 //	sdrsim -algorithm unison -topology ring -n 5 -verify -verify-starts 8
+//	sdrsim -algorithm unison -topology torus -n 16 -churn poisson-mixed
 //	sdrsim -list
 package main
 
@@ -61,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&sp.Params.Root, "root", 0, "root process of the spanning-tree algorithms")
 	fs.StringVar(&sp.Daemon, "daemon", "distributed-random", "daemon registry entry (see -list)")
 	fs.StringVar(&sp.Fault, "scenario", "random-all", "fault-model registry entry (see -list)")
+	fs.StringVar(&sp.Churn, "churn", "", "mid-run churn schedule: a registered name or a grammar form like periodic:events=3,every=200 (see -list); empty runs statically")
 	fs.Int64Var(&sp.Seed, "seed", 1, "random seed")
 	fs.IntVar(&sp.MaxSteps, "max-steps", 2_000_000, "step bound")
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +73,9 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	if *verify {
+		if sp.Churn != "" {
+			return fmt.Errorf("-churn is not supported with -verify: exhaustive certification explores static runs only")
+		}
 		if vo.Workers <= 0 {
 			vo.Workers = runtime.NumCPU()
 		}
@@ -144,6 +149,10 @@ func printRegistries(out io.Writer) {
 		e, _ := scenario.FaultByName(name)
 		return e.Description
 	})
+	section("churn schedules", scenario.ChurnSchedules(), func(name string) string {
+		e, _ := scenario.ChurnByName(name)
+		return e.Description
+	})
 }
 
 func simulate(sp scenario.Spec, showTrace bool, format string, out io.Writer) error {
@@ -158,12 +167,18 @@ func simulate(sp scenario.Spec, showTrace bool, format string, out io.Writer) er
 	if observer != nil {
 		opts = append(opts, sim.WithStepHook(observer.Hook()))
 	}
+	// Topology stats are captured before the run: churn events mutate the
+	// graph in place, and the header should describe the starting topology.
+	g := run.Graph
+	topoLine := fmt.Sprintf("%s (n=%d m=%d Δ=%d D=%d)", run.Spec.Topology, g.N(), g.M(), g.MaxDegree(), g.Diameter())
 	res := run.Execute(opts...)
 
-	g := run.Graph
 	fmt.Fprintf(out, "algorithm : %s\n", run.Alg.Name())
-	fmt.Fprintf(out, "topology  : %s (n=%d m=%d Δ=%d D=%d)\n", run.Spec.Topology, g.N(), g.M(), g.MaxDegree(), g.Diameter())
+	fmt.Fprintf(out, "topology  : %s\n", topoLine)
 	fmt.Fprintf(out, "daemon    : %s, scenario: %s, seed: %d\n", run.Daemon.Name(), run.Spec.Fault, run.Spec.Seed)
+	if run.Churn != nil {
+		fmt.Fprintf(out, "churn     : %s, events at steps %v\n", run.Churn.Schedule(), run.Churn.Times())
+	}
 	fmt.Fprintf(out, "steps     : %d, moves: %d, rounds: %d, terminated: %v\n", res.Steps, res.Moves, res.Rounds, res.Terminated)
 	if run.Legitimate != nil {
 		if res.LegitimateReached {
@@ -171,6 +186,28 @@ func simulate(sp scenario.Spec, showTrace bool, format string, out io.Writer) er
 				res.StabilizationMoves, res.StabilizationRounds, res.StabilizationSteps)
 		} else {
 			fmt.Fprintln(out, "stabilized: NOT reached within the step bound")
+		}
+	}
+	if len(res.Events) > 0 {
+		recovered := 0
+		for _, ev := range res.Events {
+			if ev.Recovered {
+				recovered++
+			}
+		}
+		fmt.Fprintf(out, "recovery  : %d/%d events recovered, availability %.3f\n",
+			recovered, len(res.Events), res.Availability())
+		fmt.Fprintf(out, "  %-3s %-20s %-7s %-6s %-10s %-10s %-10s %s\n",
+			"#", "event", "step", "legit", "rec-steps", "rec-moves", "rec-rounds", "recovered")
+		for i, ev := range res.Events {
+			steps, moves, rounds := "-", "-", "-"
+			if ev.Recovered {
+				steps = fmt.Sprintf("%d", ev.RecoverySteps)
+				moves = fmt.Sprintf("%d", ev.RecoveryMoves)
+				rounds = fmt.Sprintf("%d", ev.RecoveryRounds)
+			}
+			fmt.Fprintf(out, "  %-3d %-20s %-7d %-6v %-10s %-10s %-10s %v\n",
+				i, ev.Label, ev.Step, ev.LegitimateBefore, steps, moves, rounds, ev.Recovered)
 		}
 	}
 	if observer != nil {

@@ -17,6 +17,9 @@
 //     bounded-exhaustive state-space exploration behind the -verify modes
 //     (model checking convergence under every daemon choice on small n);
 //   - internal/faults   — transient-fault injection;
+//   - internal/churn    — seeded mid-run perturbation schedules (state
+//     corruption, node crashes, edge churn, partitions) and the injector
+//     behind scenario Spec.Churn, with per-event re-stabilization metrics;
 //   - internal/scenario — the declarative experiment layer: named registries
 //     for algorithms, topologies, daemons and fault models, the Spec type
 //     that resolves a description into a ready-to-run engine, Sweep

@@ -98,7 +98,10 @@ func demo(name string, n int, seed int64) error {
 	// Phase 2: a transient fault corrupts half of the processes (application
 	// variables and reset machinery alike); the composition recovers. The
 	// corruption reuses the resolved run's engine on the converged state.
-	corrupted := faults.CorruptFraction(run.Alg, run.Net, res.Final, 0.5, rand.New(rand.NewSource(seed+1)))
+	corrupted, err := faults.CorruptFraction(run.Alg, run.Net, res.Final, 0.5, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return err
+	}
 	res2 := run.Engine.Run(corrupted, sim.WithMaxSteps(run.Spec.MaxSteps))
 	recovered := alliance.Members(res2.Final)
 	fmt.Printf("  after fault: recovered %v (size %d) in %d moves; 1-minimal: %v\n\n",

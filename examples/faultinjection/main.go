@@ -1,20 +1,24 @@
-// Repeated transient faults and cooperative recovery.
+// Mid-run fault injection and topology churn.
 //
-// The example resolves one scenario (U ∘ SDR on a torus) and then injects a
-// fresh transient fault from each registered fault model in turn, for a
-// configurable number of fault/recovery cycles. After each fault it reports
-// how many concurrent resets were initiated (the multi-initiator aspect of
-// the paper) and how the cooperative coordination kept the per-process reset
-// work within the 3n+3 bound of Corollary 4.
+// The example resolves one churn scenario — U ∘ SDR on a torus, perturbed
+// while it runs by a seeded churn schedule (see internal/churn) — executes
+// it, and prints the per-event recovery table: for every injected event, the
+// steps/moves/rounds the cooperative reset needed to bring the system back
+// to a legitimate configuration, plus the overall availability (the fraction
+// of steps spent legitimate despite the ongoing perturbation). The reset
+// observer runs alongside to show the per-process SDR work staying within
+// the 3n+3 bound of Corollary 4 across all recoveries.
 //
 // Run with:
 //
-//	go run ./examples/faultinjection [cycles] [seed]
+//	go run ./examples/faultinjection [churn-schedule] [seed]
+//
+// where churn-schedule is a registered name (sdrsim -list) or a grammar form
+// like "periodic:events=4,every=150,kinds=corrupt-fraction+edge-drop".
 package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 
@@ -31,13 +35,9 @@ func main() {
 }
 
 func run(args []string) error {
-	cycles, seed := 5, int64(3)
+	churn, seed := "poisson-mixed", int64(3)
 	if len(args) > 0 {
-		v, err := strconv.Atoi(args[0])
-		if err != nil || v < 1 {
-			return fmt.Errorf("invalid cycle count %q", args[0])
-		}
-		cycles = v
+		churn = args[0]
 	}
 	if len(args) > 1 {
 		v, err := strconv.ParseInt(args[1], 10, 64)
@@ -47,64 +47,53 @@ func run(args []string) error {
 		seed = v
 	}
 
-	// One resolved scenario provides the network, algorithm, daemon and
-	// engine for every cycle; only the fault model rotates.
-	base, err := scenario.Spec{
+	run, err := scenario.Spec{
 		Algorithm: "unison",
 		Topology:  "torus",
 		N:         20, // rounded up to the 5×5 torus
 		Daemon:    "distributed-random",
-		Fault:     "none",
+		Fault:     "random-all",
+		Churn:     churn,
 		Seed:      seed,
 	}.Resolve()
 	if err != nil {
 		return err
 	}
-	n := base.Net.N()
-	fmt.Printf("network: %s torus (n=%d, D=%d); algorithm %s\n", "5×5", n, base.Graph.Diameter(), base.Alg.Name())
+	n := run.Net.N()
+	fmt.Printf("network: 5×5 torus (n=%d, D=%d); algorithm %s\n", n, run.Graph.Diameter(), run.Alg.Name())
+	fmt.Printf("churn  : %s, events at steps %v\n", run.Churn.Schedule(), run.Churn.Times())
 	fmt.Printf("per-process SDR move bound (Corollary 4): %d\n\n", core.MaxSDRMovesPerProcess(n))
 
-	// The corrupting fault models, rotated across cycles.
-	var corruptions []scenario.FaultEntry
-	for _, name := range scenario.FaultModels() {
-		if name == "none" {
-			continue
-		}
-		entry, err := scenario.FaultByName(name)
-		if err != nil {
-			return err
-		}
-		corruptions = append(corruptions, entry)
+	observer := run.Observer()
+	res := run.Execute(sim.WithStepHook(observer.Hook()))
+	if !res.LegitimateReached {
+		return fmt.Errorf("the system never stabilized within the step bound")
 	}
+	fmt.Printf("first stabilization: %d moves / %d rounds / %d steps\n\n",
+		res.StabilizationMoves, res.StabilizationRounds, res.StabilizationSteps)
 
-	rng := rand.New(rand.NewSource(seed))
-	var current *sim.Configuration
-	for cycle := 1; cycle <= cycles; cycle++ {
-		fault := corruptions[(cycle-1)%len(corruptions)]
-		current, err = fault.Build(base.Alg, base.Inner, base.Net, rng)
-		if err != nil {
-			return err
+	fmt.Printf("%-3s %-20s %-7s %-12s %-10s %-10s %-10s\n",
+		"#", "event", "step", "legit-before", "rec-steps", "rec-moves", "rec-rounds")
+	recovered := 0
+	for i, ev := range res.Events {
+		steps, moves, rounds := "-", "-", "-"
+		if ev.Recovered {
+			recovered++
+			steps = strconv.Itoa(ev.RecoverySteps)
+			moves = strconv.Itoa(ev.RecoveryMoves)
+			rounds = strconv.Itoa(ev.RecoveryRounds)
 		}
-
-		// Count the resets initiated from this corrupted configuration: the
-		// processes that will act as roots (alive roots of Definition 1).
-		initiators := len(core.AliveRoots(base.Inner, base.Net, current))
-
-		observer := core.NewObserver(base.Inner, base.Net)
-		observer.Prime(current)
-		res := base.Engine.Run(current, append(base.Options(), sim.WithStepHook(observer.Hook()))...)
-		if !res.LegitimateReached {
-			return fmt.Errorf("cycle %d (%s): the system did not recover", cycle, fault.Name)
-		}
-		fmt.Printf("cycle %d: fault %-12s  initiators=%-3d recovered in %4d moves / %2d rounds  "+
-			"(segments=%d, max SDR moves/process=%d, alive-root creations=%d)\n",
-			cycle, fault.Name, initiators,
-			res.StabilizationMoves, res.StabilizationRounds,
-			observer.Segments(), observer.MaxSDRMoves(), observer.AliveRootViolations())
-		current = res.Final
+		fmt.Printf("%-3d %-20s %-7d %-12v %-10s %-10s %-10s\n",
+			i, ev.Label, ev.Step, ev.LegitimateBefore, steps, moves, rounds)
 	}
-
-	fmt.Println("\nall recoveries stayed within the paper's bounds; the clocks are synchronised again:")
-	fmt.Println(current)
+	fmt.Printf("\nrecovered from %d of %d events; availability %.3f over %d steps\n",
+		recovered, len(res.Events), res.Availability(), res.Steps)
+	fmt.Printf("reset work: segments=%d, max SDR moves/process=%d (bound %d), alive-root creations=%d\n",
+		observer.Segments(), observer.MaxSDRMoves(), core.MaxSDRMovesPerProcess(n), observer.AliveRootViolations())
+	if recovered < len(res.Events) {
+		return fmt.Errorf("%d event(s) were not recovered from within the step bound", len(res.Events)-recovered)
+	}
+	fmt.Println("\nthe clocks are synchronised again despite the mid-run churn:")
+	fmt.Println(res.Final)
 	return nil
 }

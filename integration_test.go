@@ -24,7 +24,7 @@ func TestEndToEndUnisonRecovery(t *testing.T) {
 	composed := core.Compose(u)
 	rng := rand.New(rand.NewSource(2024))
 
-	start := faults.RandomConfiguration(composed, net, rng)
+	start := faults.MustRandomConfiguration(composed, net, rng)
 	daemon := sim.NewDistributedRandomDaemon(rng, 0.5)
 	engine := sim.NewEngine(net, composed, daemon)
 	res := engine.Run(start,
@@ -84,7 +84,7 @@ func TestEndToEndAllianceRecovery(t *testing.T) {
 		t.Fatal("the converged alliance is not 1-minimal")
 	}
 
-	corrupted := faults.CorruptFraction(composed, net, res.Final, 0.5, rng)
+	corrupted := faults.MustCorruptFraction(composed, net, res.Final, 0.5, rng)
 	res2 := engine.Run(corrupted)
 	if !res2.Terminated {
 		t.Fatal("FGA ∘ SDR did not recover after the fault")
@@ -117,7 +117,7 @@ func TestEndToEndThreeInstantiationsShareTheReset(t *testing.T) {
 	for _, inst := range instantiations {
 		inst := inst
 		t.Run(inst.name, func(t *testing.T) {
-			start := faults.RandomConfiguration(inst.comp, net, rng)
+			start := faults.MustRandomConfiguration(inst.comp, net, rng)
 			observer := core.NewObserver(inst.comp.Inner(), net)
 			observer.Prime(start)
 			daemon := sim.NewDistributedRandomDaemon(rand.New(rand.NewSource(5)), 0.5)

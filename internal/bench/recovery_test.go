@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sdr/internal/scenario"
+)
+
+func recoveryTestSweep() scenario.Sweep {
+	return scenario.Sweep{
+		Algorithms: []string{"unison"},
+		Topologies: []string{"ring", "torus"},
+		Daemons:    []string{"distributed-random"},
+		Faults:     []string{"random-all"},
+		Churns:     []string{"periodic:events=2,every=100", "poisson:events=2,every=80,kinds=corrupt-fraction+edge-drop"},
+		Sizes:      []int{8},
+		Trials:     2,
+		Seed:       7,
+		MaxSteps:   300_000,
+	}
+}
+
+func TestRunRecoveryGrid(t *testing.T) {
+	table, err := RunRecovery(recoveryTestSweep(), 2)
+	if err != nil {
+		t.Fatalf("RunRecovery: %v", err)
+	}
+	if got, want := len(table.Rows), 4; got != want {
+		t.Fatalf("recovery sweep produced %d rows, want %d", got, want)
+	}
+	if table.Violations != 0 {
+		var buf bytes.Buffer
+		_ = table.Render(&buf)
+		t.Fatalf("recovery sweep reported violations:\n%s", buf.String())
+	}
+	for _, row := range table.Rows {
+		// events = trials × schedule events = 2 × 2.
+		if row[6] != "4" || row[7] != "4" {
+			t.Errorf("row %v: want 4 events, all recovered", row)
+		}
+	}
+}
+
+// TestRunRecoveryDeterministicAcrossParallelism pins the acceptance
+// criterion: the same sweep renders a bit-identical RECOVERY table at
+// -parallel 1 and -parallel 8.
+func TestRunRecoveryDeterministicAcrossParallelism(t *testing.T) {
+	seq, err := RunRecovery(recoveryTestSweep(), 1)
+	if err != nil {
+		t.Fatalf("RunRecovery(parallel=1): %v", err)
+	}
+	par, err := RunRecovery(recoveryTestSweep(), 8)
+	if err != nil {
+		t.Fatalf("RunRecovery(parallel=8): %v", err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("RECOVERY table differs across parallelism:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestRunRecoveryRequiresChurn(t *testing.T) {
+	sw := recoveryTestSweep()
+	sw.Churns = nil
+	if _, err := RunRecovery(sw, 1); err == nil {
+		t.Error("a recovery sweep without churn schedules must be rejected")
+	}
+	sw.Churns = []string{""}
+	if _, err := RunRecovery(sw, 1); err == nil {
+		t.Error("a recovery sweep with an empty churn schedule must be rejected")
+	}
+}

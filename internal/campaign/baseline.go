@@ -112,16 +112,27 @@ func (r *Result) Table() bench.Table {
 	if r.Spec.CITarget > 0 {
 		policy = fmt.Sprintf("%d-%d trials per cell, stop at CI ±%.1f%%", minTrials, maxTrials, r.Spec.CITarget*100)
 	}
+	// The churn column only appears when the campaign sweeps churn, so
+	// static campaigns render exactly as before.
+	hasChurn := len(r.Spec.Churns) > 0
+	cols := []string{"algorithm", "topology", "n", "daemon", "fault"}
+	if hasChurn {
+		cols = append(cols, "churn")
+	}
 	t := bench.Table{
 		ID:    strings.ToUpper(r.Spec.ID),
 		Title: fmt.Sprintf("campaign %s (%s, base seed %d)", r.Spec.ID, policy, r.Spec.Seed),
-		Columns: []string{"algorithm", "topology", "n", "daemon", "fault", "trials",
-			metric + "(mean±ci95)", metric + "(p50)", metric + "(p95)", metric + "(p99)", "ok"},
+		Columns: append(cols, "trials",
+			metric+"(mean±ci95)", metric+"(p50)", metric+"(p95)", metric+"(p99)", "ok"),
 	}
 	for _, c := range r.Cells {
+		row := []string{c.Cell.Algorithm, c.Cell.Topology, fmt.Sprintf("%d", c.Cell.N), c.Cell.Daemon, c.Cell.Fault}
+		if hasChurn {
+			row = append(row, c.Cell.Churn)
+		}
+		row = append(row, fmt.Sprintf("%d", c.Trials))
 		if c.Skipped {
-			t.AddRow(c.Cell.Algorithm, c.Cell.Topology, fmt.Sprintf("%d", c.Cell.N), c.Cell.Daemon, c.Cell.Fault,
-				fmt.Sprintf("%d", c.Trials), "skipped", "-", "-", "-", "yes")
+			t.AddRow(append(row, "skipped", "-", "-", "-", "yes")...)
 			continue
 		}
 		ok := "yes"
@@ -138,8 +149,7 @@ func (r *Result) Table() bench.Table {
 			p95 = fmt.Sprintf("%.1f", m.P95)
 			p99 = fmt.Sprintf("%.1f", m.P99)
 		}
-		t.AddRow(c.Cell.Algorithm, c.Cell.Topology, fmt.Sprintf("%d", c.Cell.N), c.Cell.Daemon, c.Cell.Fault,
-			fmt.Sprintf("%d", c.Trials), mean, p50, p95, p99, ok)
+		t.AddRow(append(row, mean, p50, p95, p99, ok)...)
 	}
 	return t
 }

@@ -38,6 +38,15 @@ const (
 	MetricStabMoves  = "stab_moves"
 	MetricStabRounds = "stab_rounds"
 	MetricStabSteps  = "stab_steps"
+	// The recovery metrics are only present on churn trials (cells with a
+	// Churns axis entry): the mean per-event recovery cost over the trial's
+	// recovered events, and the availability (fraction of executed steps
+	// spent in a legitimate configuration). Any of them can drive CITarget
+	// and the -compare regression gate like the built-in cost metrics.
+	MetricRecoveryRounds = "recovery_rounds"
+	MetricRecoveryMoves  = "recovery_moves"
+	MetricRecoverySteps  = "recovery_steps"
+	MetricAvailability   = "availability"
 	// MetricDuration is the wall-clock nanoseconds of the trial, recorded
 	// only when Spec.RecordTime is set (it makes resumed output differ from
 	// uninterrupted output byte-for-byte).
@@ -47,7 +56,9 @@ const (
 // Metrics lists every metric name a campaign can aggregate, in render order.
 func Metrics() []string {
 	return []string{MetricMoves, MetricRounds, MetricSteps,
-		MetricStabMoves, MetricStabRounds, MetricStabSteps, MetricDuration}
+		MetricStabMoves, MetricStabRounds, MetricStabSteps,
+		MetricRecoveryRounds, MetricRecoveryMoves, MetricRecoverySteps,
+		MetricAvailability, MetricDuration}
 }
 
 // DefaultMinTrials is the per-cell trial count used when a Spec leaves
@@ -74,6 +85,12 @@ type Spec struct {
 	Topologies []string `json:"topologies"`
 	Daemons    []string `json:"daemons"`
 	Faults     []string `json:"faults,omitempty"`
+	// Churns names churn schedules (registry entries or grammar forms, see
+	// scenario.ResolveChurn) swept as an additional axis; empty means no
+	// mid-run perturbation (static runs, the previous behaviour — the field
+	// marshals away entirely, so existing spec files and streams are
+	// unaffected).
+	Churns []string `json:"churns,omitempty"`
 	// Sizes is the sweep of network sizes n.
 	Sizes []int `json:"sizes"`
 	// Seed is the base seed; trial t of every cell derives seed
@@ -157,6 +174,7 @@ func (s Spec) sweep() scenario.Sweep {
 		Topologies: s.Topologies,
 		Daemons:    s.Daemons,
 		Faults:     s.Faults,
+		Churns:     s.Churns,
 		Sizes:      s.Sizes,
 		Seed:       s.Seed,
 		SeedStride: s.SeedStride,
@@ -208,15 +226,23 @@ type CellKey struct {
 	N         int    `json:"n"`
 	Daemon    string `json:"daemon"`
 	Fault     string `json:"fault"`
+	// Churn is the churn schedule of the cell; it marshals away for static
+	// cells, so streams and baselines from churn-free campaigns keep their
+	// pre-churn byte encoding.
+	Churn string `json:"churn,omitempty"`
 }
 
 func cellKey(c scenario.Cell) CellKey {
-	return CellKey{Algorithm: c.Algorithm, Topology: c.Topology, N: c.N, Daemon: c.Daemon, Fault: c.Fault}
+	return CellKey{Algorithm: c.Algorithm, Topology: c.Topology, N: c.N, Daemon: c.Daemon, Fault: c.Fault, Churn: c.Churn}
 }
 
 // String renders the key compactly ("unison/ring n=8 synchronous none").
 func (k CellKey) String() string {
-	return fmt.Sprintf("%s/%s n=%d %s %s", k.Algorithm, k.Topology, k.N, k.Daemon, k.Fault)
+	s := fmt.Sprintf("%s/%s n=%d %s %s", k.Algorithm, k.Topology, k.N, k.Daemon, k.Fault)
+	if k.Churn != "" {
+		s += " " + k.Churn
+	}
+	return s
 }
 
 // TrialRecord is one line of a campaign's JSONL stream: the outcome of one

@@ -83,6 +83,119 @@ func TestRunStreamsRecordsAndAggregates(t *testing.T) {
 	}
 }
 
+// churnSpec is testSpec with a churn axis and the recovery primary metric.
+func churnSpec() Spec {
+	s := testSpec()
+	s.ID = "churntest"
+	s.Daemons = []string{"distributed-random"}
+	s.Churns = []string{"periodic:events=2,every=100"}
+	s.Metric = MetricRecoveryRounds
+	s.MaxSteps = 300_000
+	return s
+}
+
+func TestChurnCampaignRecordsRecoveryMetrics(t *testing.T) {
+	res, path := runInto(t, churnSpec(), Options{})
+	lines := readLines(t, path)
+	for i, line := range lines[1:] {
+		var rec TrialRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trial line %d: %v", i, err)
+		}
+		if rec.Churn != "periodic:events=2,every=100" {
+			t.Errorf("trial %d misses the churn cell key: %+v", i, rec.CellKey)
+		}
+		if !rec.OK {
+			t.Errorf("trial %d failed (an event never recovered): %+v", i, rec)
+		}
+		for _, m := range []string{MetricRecoveryRounds, MetricRecoveryMoves, MetricRecoverySteps, MetricAvailability} {
+			if _, ok := rec.Metrics[m]; !ok {
+				t.Errorf("trial %d misses %s: %+v", i, m, rec.Metrics)
+			}
+		}
+	}
+	for _, c := range res.Cells {
+		agg, ok := c.Metrics[MetricRecoveryRounds]
+		if !ok || agg.Mean < 0 {
+			t.Errorf("cell %s has no recovery_rounds aggregate: %+v", c.Cell, c.Metrics)
+		}
+		avail := c.Metrics[MetricAvailability]
+		if avail.Mean <= 0 || avail.Mean >= 1 {
+			t.Errorf("cell %s availability %v outside (0,1)", c.Cell, avail.Mean)
+		}
+	}
+}
+
+func TestChurnCampaignAdaptiveOnRecoveryMetric(t *testing.T) {
+	// The recovery metric drives the CI stopping rule like any built-in one.
+	spec := churnSpec()
+	spec.CITarget = 2.0 // generous: stop as soon as the CI is assessable
+	spec.MinTrials = 3
+	spec.MaxTrials = 8
+	res, _ := runInto(t, spec, Options{Parallel: 4})
+	for _, c := range res.Cells {
+		if c.Trials < 3 || c.Trials > 8 {
+			t.Errorf("adaptive churn cell ran %d trials: %+v", c.Trials, c)
+		}
+	}
+}
+
+// TestInterruptFlushesAndResumes pins the graceful-interrupt contract: a
+// campaign stopped via Options.Interrupt leaves a clean resumable stream, and
+// resuming it produces the byte-identical uninterrupted stream.
+func TestInterruptFlushesAndResumes(t *testing.T) {
+	spec := testSpec()
+	_, wholePath := runInto(t, spec, Options{})
+	whole, err := os.ReadFile(wholePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The progress writer closes the interrupt channel after the first
+	// completed cell, so the interrupted run deterministically covers cell 1
+	// and stops before cell 2's first trial wave.
+	stop := make(chan struct{})
+	var once bool
+	progress := writerFunc(func(p []byte) (int, error) {
+		if !once {
+			once = true
+			close(stop)
+		}
+		return len(p), nil
+	})
+	path := filepath.Join(t.TempDir(), "CAMPAIGN_test.jsonl")
+	_, err = Run(spec, path, Options{Progress: progress, Interrupt: stop})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want ErrInterrupted", err)
+	}
+	partial, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(readLines(t, path)), 1+3; got != want {
+		t.Fatalf("interrupted stream has %d lines, want header + first cell's 3 trials:\n%s", got, partial)
+	}
+	if !bytes.HasPrefix(whole, partial) {
+		t.Fatalf("interrupted stream is not a prefix of the uninterrupted one:\n%q\nvs\n%q", partial, whole)
+	}
+
+	if _, err := Run(spec, path, Options{Resume: true}); err != nil {
+		t.Fatalf("resume after interrupt: %v", err)
+	}
+	resumed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, whole) {
+		t.Errorf("resume after interrupt diverged:\n%q\nvs\n%q", resumed, whole)
+	}
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
 func TestRunParallelByteIdentical(t *testing.T) {
 	spec := testSpec()
 	_, seq := runInto(t, spec, Options{Parallel: 1})

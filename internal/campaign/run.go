@@ -24,6 +24,26 @@ type Options struct {
 	Resume bool
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
+	// Interrupt, when non-nil, requests a graceful stop: the channel is
+	// polled synchronously before every trial wave, and once it is closed
+	// Run flushes the sink (every completed trial is already durable) and
+	// returns ErrInterrupted. The stream is a clean resumable prefix, so a
+	// later Run with Resume continues it to the byte-identical full stream.
+	Interrupt <-chan struct{}
+}
+
+// ErrInterrupted reports a campaign stopped by Options.Interrupt. The JSONL
+// stream holds every trial completed before the stop and can be resumed.
+var ErrInterrupted = errors.New("campaign: interrupted")
+
+// interrupted reports whether the interrupt channel is closed.
+func (o Options) interrupted() bool {
+	select {
+	case <-o.Interrupt:
+		return true
+	default:
+		return false
+	}
 }
 
 // Result is a finished campaign: the spec and the per-cell aggregates, in
@@ -89,6 +109,13 @@ func Run(spec Spec, path string, opts Options) (*Result, error) {
 			done = spec.stopAfter(i+1, &acc)
 		}
 		for !done {
+			if opts.interrupted() {
+				closed = true
+				if err := out.Close(); err != nil {
+					return nil, err
+				}
+				return nil, fmt.Errorf("%w before cell %s", ErrInterrupted, cellKey(cell))
+			}
 			// One wave of trials: sized by the worker budget (bounded
 			// memory), recorded in trial order, cut short the moment the
 			// stopping rule fires so the stream never depends on Parallel.
@@ -165,6 +192,31 @@ func runTrial(sw scenario.Sweep, cell scenario.Cell, trial int, recordTime bool)
 		rec.Metrics[MetricStabMoves] = float64(res.StabilizationMoves)
 		rec.Metrics[MetricStabRounds] = float64(res.StabilizationRounds)
 		rec.Metrics[MetricStabSteps] = float64(res.StabilizationSteps)
+	}
+	if run.Spec.Churn != "" {
+		rec.Metrics[MetricAvailability] = res.Availability()
+		var rounds, moves, steps, recovered float64
+		for _, ev := range res.Events {
+			if ev.Recovered {
+				recovered++
+				rounds += float64(ev.RecoveryRounds)
+				moves += float64(ev.RecoveryMoves)
+				steps += float64(ev.RecoverySteps)
+			}
+		}
+		// Per-trial recovery cost: the mean over the trial's recovered
+		// events. A trial none of whose events recovered within the step
+		// budget records no recovery metrics (and fails its check below).
+		if recovered > 0 {
+			rec.Metrics[MetricRecoveryRounds] = rounds / recovered
+			rec.Metrics[MetricRecoveryMoves] = moves / recovered
+			rec.Metrics[MetricRecoverySteps] = steps / recovered
+		}
+		for _, ev := range res.Events {
+			if !ev.Recovered {
+				rec.OK = false
+			}
+		}
 	}
 	if recordTime {
 		rec.Metrics[MetricDuration] = float64(elapsed.Nanoseconds())

@@ -1,0 +1,156 @@
+package churn
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Schedule from its textual form:
+//
+//	<pattern>[:key=value,...]
+//
+// where <pattern> is periodic, poisson, burst or adversarial, and the keys
+// are the schedule knobs: events, every, start, burst, fraction, count and
+// kinds (a "+"-separated list of event kinds). Examples:
+//
+//	periodic
+//	periodic:every=100,events=4,kinds=corrupt-fraction
+//	poisson:every=150,events=6,kinds=node-crash+edge-drop+edge-add
+//	burst:burst=3,every=400,kinds=corrupt-processes,count=2
+//	adversarial:every=250,kinds=node-crash
+//
+// Unset keys take the Schedule defaults. The scenario layer accepts either a
+// registered schedule name or this grammar wherever a churn schedule is
+// named.
+func Parse(spec string) (Schedule, error) {
+	pattern, rest, hasKeys := strings.Cut(spec, ":")
+	s := Schedule{Pattern: Pattern(pattern)}
+	if hasKeys {
+		for _, kv := range strings.Split(rest, ",") {
+			key, value, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Schedule{}, fmt.Errorf("churn: malformed schedule option %q (want key=value)", kv)
+			}
+			if err := s.setOption(key, value); err != nil {
+				return Schedule{}, err
+			}
+		}
+	}
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// setOption applies one key=value pair of the grammar.
+func (s *Schedule) setOption(key, value string) error {
+	// The zero value of every knob means "use the default", so an explicit
+	// zero (or worse) in the grammar would be silently replaced; reject it.
+	parseInt := func(min int) (int, error) {
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return 0, fmt.Errorf("churn: schedule option %s=%q is not an integer", key, value)
+		}
+		if v < min {
+			return 0, fmt.Errorf("churn: schedule option %s=%d must be at least %d", key, v, min)
+		}
+		return v, nil
+	}
+	switch key {
+	case "events":
+		v, err := parseInt(1)
+		if err != nil {
+			return err
+		}
+		s.Events = v
+	case "every":
+		v, err := parseInt(1)
+		if err != nil {
+			return err
+		}
+		s.Every = v
+	case "start":
+		v, err := parseInt(0)
+		if err != nil {
+			return err
+		}
+		s.Start = v
+	case "burst":
+		v, err := parseInt(1)
+		if err != nil {
+			return err
+		}
+		s.Burst = v
+	case "count":
+		v, err := parseInt(1)
+		if err != nil {
+			return err
+		}
+		s.Count = v
+	case "fraction":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("churn: schedule option fraction=%q is not a number", value)
+		}
+		s.Fraction = v
+	case "kinds":
+		for _, k := range strings.Split(value, "+") {
+			s.EventKinds = append(s.EventKinds, Kind(k))
+		}
+	default:
+		return fmt.Errorf("churn: unknown schedule option %q", key)
+	}
+	return nil
+}
+
+// String renders the schedule in the canonical form Parse accepts, listing
+// only the knobs that differ from the defaults.
+func (s Schedule) String() string {
+	def := Schedule{Pattern: s.Pattern}.withDefaults()
+	var opts []string
+	if s.Events != def.Events {
+		opts = append(opts, fmt.Sprintf("events=%d", s.Events))
+	}
+	if s.Every != def.Every {
+		opts = append(opts, fmt.Sprintf("every=%d", s.Every))
+	}
+	if s.Start != def.Start && s.Start != s.Every {
+		opts = append(opts, fmt.Sprintf("start=%d", s.Start))
+	}
+	if s.Burst != def.Burst {
+		opts = append(opts, fmt.Sprintf("burst=%d", s.Burst))
+	}
+	if len(s.EventKinds) > 0 && !kindsEqual(s.EventKinds, def.EventKinds) {
+		names := make([]string, len(s.EventKinds))
+		for i, k := range s.EventKinds {
+			names[i] = string(k)
+		}
+		opts = append(opts, "kinds="+strings.Join(names, "+"))
+	}
+	if s.Fraction != def.Fraction && s.Fraction != 0 {
+		opts = append(opts, fmt.Sprintf("fraction=%g", s.Fraction))
+	}
+	if s.Count != def.Count && s.Count != 0 {
+		opts = append(opts, fmt.Sprintf("count=%d", s.Count))
+	}
+	if len(opts) == 0 {
+		return string(s.Pattern)
+	}
+	sort.Strings(opts)
+	return string(s.Pattern) + ":" + strings.Join(opts, ",")
+}
+
+func kindsEqual(a, b []Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -5,7 +5,11 @@
 // waves, inconsistent distance values).
 //
 // Self-stabilization quantifies over every possible initial configuration;
-// these generators sample that space for the experiments and tests.
+// these generators sample that space for the experiments and tests. Builders
+// that draw from an algorithm's enumerated state space return an error when
+// the algorithm does not enumerate it (the scenario registry surfaces such
+// errors to the user); the Must* variants panic instead, for tests and
+// examples where the algorithm is statically known to be enumerable.
 package faults
 
 import (
@@ -16,32 +20,56 @@ import (
 	"sdr/internal/sim"
 )
 
-// RandomConfiguration returns a configuration in which every process state
-// is drawn uniformly from the algorithm's enumerated state space. The
-// algorithm must implement sim.Enumerable.
-func RandomConfiguration(alg sim.Algorithm, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+// enumerator returns the algorithm's state enumeration, or an error when the
+// algorithm does not (usefully) enumerate: wrappers may implement
+// sim.Enumerable yet return an empty space for non-enumerable inners, so the
+// space of process 0 is probed too.
+func enumerator(alg sim.Algorithm, net *sim.Network) (sim.Enumerable, error) {
 	enum, ok := alg.(sim.Enumerable)
-	if !ok {
-		panic(fmt.Sprintf("faults: algorithm %s does not enumerate its states", alg.Name()))
+	if !ok || len(enum.EnumerateStates(0, net)) == 0 {
+		return nil, fmt.Errorf("faults: algorithm %s does not enumerate its states", alg.Name())
+	}
+	return enum, nil
+}
+
+// RandomConfiguration returns a configuration in which every process state
+// is drawn uniformly from the algorithm's enumerated state space. It returns
+// an error when the algorithm does not implement sim.Enumerable (or
+// enumerates an empty space).
+func RandomConfiguration(alg sim.Algorithm, net *sim.Network, rng *rand.Rand) (*sim.Configuration, error) {
+	enum, err := enumerator(alg, net)
+	if err != nil {
+		return nil, err
 	}
 	states := make([]sim.State, net.N())
 	for u := range states {
 		options := enum.EnumerateStates(u, net)
 		if len(options) == 0 {
-			panic(fmt.Sprintf("faults: algorithm %s enumerated no states for process %d", alg.Name(), u))
+			return nil, fmt.Errorf("faults: algorithm %s enumerated no states for process %d", alg.Name(), u)
 		}
 		states[u] = options[rng.Intn(len(options))].Clone()
 	}
-	return sim.NewConfiguration(states)
+	return sim.NewConfiguration(states), nil
+}
+
+// MustRandomConfiguration is RandomConfiguration for algorithms known to be
+// enumerable; it panics on error.
+func MustRandomConfiguration(alg sim.Algorithm, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+	c, err := RandomConfiguration(alg, net, rng)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // CorruptFraction returns a copy of base in which each process state is
 // replaced, with probability fraction, by a uniformly random state from the
-// algorithm's state space. fraction is clamped to [0, 1].
-func CorruptFraction(alg sim.Algorithm, net *sim.Network, base *sim.Configuration, fraction float64, rng *rand.Rand) *sim.Configuration {
-	enum, ok := alg.(sim.Enumerable)
-	if !ok {
-		panic(fmt.Sprintf("faults: algorithm %s does not enumerate its states", alg.Name()))
+// algorithm's state space. fraction is clamped to [0, 1]. It returns an
+// error when the algorithm does not enumerate its states.
+func CorruptFraction(alg sim.Algorithm, net *sim.Network, base *sim.Configuration, fraction float64, rng *rand.Rand) (*sim.Configuration, error) {
+	enum, err := enumerator(alg, net)
+	if err != nil {
+		return nil, err
 	}
 	if fraction < 0 {
 		fraction = 0
@@ -57,20 +85,41 @@ func CorruptFraction(alg sim.Algorithm, net *sim.Network, base *sim.Configuratio
 		options := enum.EnumerateStates(u, net)
 		c.SetState(u, options[rng.Intn(len(options))].Clone())
 	}
+	return c, nil
+}
+
+// MustCorruptFraction is CorruptFraction for algorithms known to be
+// enumerable; it panics on error.
+func MustCorruptFraction(alg sim.Algorithm, net *sim.Network, base *sim.Configuration, fraction float64, rng *rand.Rand) *sim.Configuration {
+	c, err := CorruptFraction(alg, net, base, fraction, rng)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
 // CorruptProcesses returns a copy of base in which exactly the listed
-// processes get uniformly random states.
-func CorruptProcesses(alg sim.Algorithm, net *sim.Network, base *sim.Configuration, processes []int, rng *rand.Rand) *sim.Configuration {
-	enum, ok := alg.(sim.Enumerable)
-	if !ok {
-		panic(fmt.Sprintf("faults: algorithm %s does not enumerate its states", alg.Name()))
+// processes get uniformly random states. It returns an error when the
+// algorithm does not enumerate its states.
+func CorruptProcesses(alg sim.Algorithm, net *sim.Network, base *sim.Configuration, processes []int, rng *rand.Rand) (*sim.Configuration, error) {
+	enum, err := enumerator(alg, net)
+	if err != nil {
+		return nil, err
 	}
 	c := base.Clone()
 	for _, u := range processes {
 		options := enum.EnumerateStates(u, net)
 		c.SetState(u, options[rng.Intn(len(options))].Clone())
+	}
+	return c, nil
+}
+
+// MustCorruptProcesses is CorruptProcesses for algorithms known to be
+// enumerable; it panics on error.
+func MustCorruptProcesses(alg sim.Algorithm, net *sim.Network, base *sim.Configuration, processes []int, rng *rand.Rand) *sim.Configuration {
+	c, err := CorruptProcesses(alg, net, base, processes, rng)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }
@@ -79,11 +128,12 @@ func CorruptProcesses(alg sim.Algorithm, net *sim.Network, base *sim.Configurati
 // I ∘ SDR) in which the inner states of a random subset of processes are
 // corrupted while the SDR variables are left clean. This models the typical
 // post-fault situation of the paper's "typical execution": the application
-// state is inconsistent but no reset is running yet.
-func CorruptedInner(inner core.Resettable, net *sim.Network, base *sim.Configuration, fraction float64, rng *rand.Rand) *sim.Configuration {
+// state is inconsistent but no reset is running yet. It returns an error
+// when the inner algorithm does not enumerate its states.
+func CorruptedInner(inner core.Resettable, net *sim.Network, base *sim.Configuration, fraction float64, rng *rand.Rand) (*sim.Configuration, error) {
 	enum, ok := inner.(core.InnerEnumerable)
-	if !ok {
-		panic(fmt.Sprintf("faults: inner algorithm %s does not enumerate its states", inner.Name()))
+	if !ok || len(enum.EnumerateInner(0, net)) == 0 {
+		return nil, fmt.Errorf("faults: inner algorithm %s does not enumerate its states", inner.Name())
 	}
 	c := base.Clone()
 	for u := 0; u < net.N(); u++ {
@@ -93,6 +143,16 @@ func CorruptedInner(inner core.Resettable, net *sim.Network, base *sim.Configura
 		options := enum.EnumerateInner(u, net)
 		c.SetState(u, core.WithInner(c.State(u), options[rng.Intn(len(options))].Clone()))
 	}
+	return c, nil
+}
+
+// MustCorruptedInner is CorruptedInner for inner algorithms known to be
+// enumerable; it panics on error.
+func MustCorruptedInner(inner core.Resettable, net *sim.Network, base *sim.Configuration, fraction float64, rng *rand.Rand) *sim.Configuration {
+	c, err := CorruptedInner(inner, net, base, fraction, rng)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
@@ -101,7 +161,7 @@ func CorruptedInner(inner core.Resettable, net *sim.Network, base *sim.Configura
 // non-existent reset: random status in {RB, RF} and random distance in
 // [0, maxDistance]. Inner states are left untouched, so the resulting
 // configuration typically violates P_R2 and exercises the SDR-level error
-// handling (Section 3.4).
+// handling (Section 3.4). It has no failure mode and hence no error return.
 func FakeResetWave(net *sim.Network, base *sim.Configuration, fraction float64, maxDistance int, rng *rand.Rand) *sim.Configuration {
 	if maxDistance < 0 {
 		maxDistance = 0
@@ -127,8 +187,9 @@ type Scenario struct {
 	// Name labels the scenario in result tables.
 	Name string
 	// Build produces the corrupted starting configuration for the composed
-	// algorithm on the network.
-	Build func(alg sim.Algorithm, inner core.Resettable, net *sim.Network, rng *rand.Rand) *sim.Configuration
+	// algorithm on the network. It fails when the recipe's requirements
+	// (an enumerated state space) are not met.
+	Build func(alg sim.Algorithm, inner core.Resettable, net *sim.Network, rng *rand.Rand) (*sim.Configuration, error)
 }
 
 // StandardScenarios returns the corruption scenarios used across the
@@ -137,27 +198,27 @@ func StandardScenarios() []Scenario {
 	return []Scenario{
 		{
 			Name: "random-all",
-			Build: func(alg sim.Algorithm, _ core.Resettable, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+			Build: func(alg sim.Algorithm, _ core.Resettable, net *sim.Network, rng *rand.Rand) (*sim.Configuration, error) {
 				return RandomConfiguration(alg, net, rng)
 			},
 		},
 		{
 			Name: "inner-only",
-			Build: func(alg sim.Algorithm, inner core.Resettable, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+			Build: func(alg sim.Algorithm, inner core.Resettable, net *sim.Network, rng *rand.Rand) (*sim.Configuration, error) {
 				base := sim.InitialConfiguration(alg, net)
 				return CorruptedInner(inner, net, base, 0.5, rng)
 			},
 		},
 		{
 			Name: "fake-wave",
-			Build: func(alg sim.Algorithm, _ core.Resettable, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+			Build: func(alg sim.Algorithm, _ core.Resettable, net *sim.Network, rng *rand.Rand) (*sim.Configuration, error) {
 				base := sim.InitialConfiguration(alg, net)
-				return FakeResetWave(net, base, 0.4, net.N(), rng)
+				return FakeResetWave(net, base, 0.4, net.N(), rng), nil
 			},
 		},
 		{
 			Name: "half-corrupt",
-			Build: func(alg sim.Algorithm, _ core.Resettable, net *sim.Network, rng *rand.Rand) *sim.Configuration {
+			Build: func(alg sim.Algorithm, _ core.Resettable, net *sim.Network, rng *rand.Rand) (*sim.Configuration, error) {
 				base := sim.InitialConfiguration(alg, net)
 				return CorruptFraction(alg, net, base, 0.5, rng)
 			},

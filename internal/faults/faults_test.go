@@ -22,7 +22,10 @@ func TestRandomConfigurationCoversStateSpace(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	seenNonClean, seenNonZeroClock := false, false
 	for trial := 0; trial < 50; trial++ {
-		cfg := RandomConfiguration(comp, net, rng)
+		cfg, err := RandomConfiguration(comp, net, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if cfg.N() != net.N() {
 			t.Fatalf("configuration has %d states, want %d", cfg.N(), net.N())
 		}
@@ -43,12 +46,23 @@ func TestRandomConfigurationCoversStateSpace(t *testing.T) {
 
 func TestRandomConfigurationRequiresEnumerable(t *testing.T) {
 	net, _, _ := testSetup(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomConfiguration(nonEnumerable{}, net, rng); err == nil {
+		t.Error("RandomConfiguration must fail for non-enumerable algorithms")
+	}
+	base := sim.InitialConfiguration(nonEnumerable{}, net)
+	if _, err := CorruptFraction(nonEnumerable{}, net, base, 0.5, rng); err == nil {
+		t.Error("CorruptFraction must fail for non-enumerable algorithms")
+	}
+	if _, err := CorruptProcesses(nonEnumerable{}, net, base, []int{0}, rng); err == nil {
+		t.Error("CorruptProcesses must fail for non-enumerable algorithms")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("RandomConfiguration must panic for non-enumerable algorithms")
+			t.Error("MustRandomConfiguration must panic for non-enumerable algorithms")
 		}
 	}()
-	RandomConfiguration(nonEnumerable{}, net, rand.New(rand.NewSource(1)))
+	MustRandomConfiguration(nonEnumerable{}, net, rng)
 }
 
 // nonEnumerable is an algorithm without EnumerateStates.
@@ -64,17 +78,17 @@ func TestCorruptFraction(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 
 	// Fraction 0: nothing changes.
-	same := CorruptFraction(comp, net, base, 0, rng)
+	same := MustCorruptFraction(comp, net, base, 0, rng)
 	if !same.Equal(base) {
 		t.Error("fraction 0 must leave the configuration unchanged")
 	}
 	// The base configuration itself must never be mutated.
-	CorruptFraction(comp, net, base, 1, rng)
+	MustCorruptFraction(comp, net, base, 1, rng)
 	if !base.Equal(sim.InitialConfiguration(comp, net)) {
 		t.Error("CorruptFraction must not modify the base configuration")
 	}
 	// Out-of-range fractions are clamped rather than rejected.
-	clamped := CorruptFraction(comp, net, base, 7.5, rng)
+	clamped := MustCorruptFraction(comp, net, base, 7.5, rng)
 	if clamped.N() != base.N() {
 		t.Error("clamped corruption must keep the configuration size")
 	}
@@ -84,7 +98,7 @@ func TestCorruptProcesses(t *testing.T) {
 	net, _, comp := testSetup(t)
 	base := sim.InitialConfiguration(comp, net)
 	rng := rand.New(rand.NewSource(3))
-	corrupted := CorruptProcesses(comp, net, base, []int{2, 5}, rng)
+	corrupted := MustCorruptProcesses(comp, net, base, []int{2, 5}, rng)
 	for u := 0; u < net.N(); u++ {
 		changed := !corrupted.State(u).Equal(base.State(u))
 		if changed && u != 2 && u != 5 {
@@ -97,7 +111,7 @@ func TestCorruptedInnerKeepsSDRClean(t *testing.T) {
 	net, u, comp := testSetup(t)
 	base := sim.InitialConfiguration(comp, net)
 	rng := rand.New(rand.NewSource(4))
-	cfg := CorruptedInner(u, net, base, 1.0, rng)
+	cfg := MustCorruptedInner(u, net, base, 1.0, rng)
 	for p := 0; p < net.N(); p++ {
 		cs := cfg.State(p).(core.ComposedState)
 		if cs.SDR.St != core.StatusC {
@@ -148,7 +162,10 @@ func TestStandardScenariosProduceRecoverableStarts(t *testing.T) {
 		scenario := scenario
 		t.Run(scenario.Name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(9))
-			start := scenario.Build(comp, u, net, rng)
+			start, err := scenario.Build(comp, u, net, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if start.N() != net.N() {
 				t.Fatalf("scenario produced %d states for %d processes", start.N(), net.N())
 			}

@@ -4,8 +4,10 @@
 //
 // The communication network of the paper is a simple undirected connected
 // graph G = (V, E) where V is the set of processes and E the set of edges.
-// A Graph value is immutable after construction: algorithms never change the
-// topology, they only read it.
+// Algorithms never change the topology, they only read it; a Graph value is
+// therefore immutable during execution steps. The churn subsystem, however,
+// mutates the edge set *between* steps (AddEdge/RemoveEdge) to model
+// topology faults — see internal/churn for the scheduling of such events.
 package graph
 
 import (
@@ -65,6 +67,30 @@ func (g *Graph) AddEdge(u, v int) error {
 // It is intended for generators and tests where the edge is known to be valid.
 func (g *Graph) MustAddEdge(u, v int) {
 	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge removes the undirected edge {u, v}. Removing an edge that is
+// not present is rejected with an error. Removal may disconnect the graph;
+// callers that need connectivity (the paper's model requires it for static
+// networks) must re-check with Connected or Validate.
+func (g *Graph) RemoveEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
+	}
+	if !g.HasEdge(u, v) {
+		return fmt.Errorf("graph: edge {%d,%d} is not present", u, v)
+	}
+	g.adj[u] = deleteSorted(g.adj[u], v)
+	g.adj[v] = deleteSorted(g.adj[v], u)
+	g.m--
+	return nil
+}
+
+// MustRemoveEdge removes the edge {u, v} and panics on error.
+func (g *Graph) MustRemoveEdge(u, v int) {
+	if err := g.RemoveEdge(u, v); err != nil {
 		panic(err)
 	}
 }
@@ -209,4 +235,10 @@ func insertSorted(s []int, v int) []int {
 	copy(s[i+1:], s[i:])
 	s[i] = v
 	return s
+}
+
+func deleteSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
 }

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"sdr/internal/churn"
+)
+
+// ChurnEntry is one named churn schedule of the registry: a preset mid-run
+// perturbation schedule (see internal/churn) usable anywhere a Spec.Churn
+// value is accepted.
+type ChurnEntry struct {
+	// Name is the registry key.
+	Name string
+	// Description is a one-line summary for -list output.
+	Description string
+	// Schedule is the preset schedule.
+	Schedule churn.Schedule
+}
+
+var churnRegistry = newRegistry[ChurnEntry]("churn schedule")
+
+// RegisterChurn adds an entry to the churn-schedule registry. It panics on
+// duplicate names; call it from init functions or test setup only.
+func RegisterChurn(e ChurnEntry) { churnRegistry.add(e.Name, e) }
+
+// ChurnSchedules returns the registered churn-schedule names in registration
+// order.
+func ChurnSchedules() []string { return churnRegistry.list() }
+
+// ChurnByName returns the entry with the given name.
+func ChurnByName(name string) (ChurnEntry, error) { return churnRegistry.lookup(name) }
+
+// ResolveChurn turns a Spec.Churn value into a schedule: a registered preset
+// name, or — when no preset matches — the churn schedule grammar
+// ("pattern:key=value,...", see churn.Parse).
+func ResolveChurn(name string) (churn.Schedule, error) {
+	if entry, err := ChurnByName(name); err == nil {
+		return entry.Schedule, nil
+	} else if !errors.Is(err, ErrUnknown) {
+		return churn.Schedule{}, err
+	}
+	sched, parseErr := churn.Parse(name)
+	if parseErr != nil {
+		return churn.Schedule{}, fmt.Errorf("scenario: churn %q names no registered schedule (%v) and does not parse as a schedule: %w",
+			name, ChurnSchedules(), parseErr)
+	}
+	return sched, nil
+}
+
+func init() {
+	RegisterChurn(ChurnEntry{
+		Name:        "periodic-corrupt",
+		Description: "5 periodic corrupt-fraction events (30% of the processes every 200 steps)",
+		Schedule: churn.Schedule{
+			Pattern:    churn.Periodic,
+			EventKinds: []churn.Kind{churn.CorruptFraction},
+		},
+	})
+	RegisterChurn(ChurnEntry{
+		Name:        "poisson-mixed",
+		Description: "6 Poisson-arrival events (mean gap 150 steps) mixing corruption, crash-reboots and edge churn",
+		Schedule: churn.Schedule{
+			Pattern:    churn.Poisson,
+			Events:     6,
+			Every:      150,
+			EventKinds: []churn.Kind{churn.CorruptFraction, churn.NodeCrash, churn.EdgeDrop, churn.EdgeAdd},
+			Count:      2,
+		},
+	})
+	RegisterChurn(ChurnEntry{
+		Name:        "burst-corrupt",
+		Description: "2 bursts of 3 corrupt-processes events at consecutive steps, 400 steps apart",
+		Schedule: churn.Schedule{
+			Pattern:    churn.BurstPattern,
+			Events:     6,
+			Every:      400,
+			Burst:      3,
+			EventKinds: []churn.Kind{churn.CorruptProcesses},
+			Count:      2,
+		},
+	})
+	RegisterChurn(ChurnEntry{
+		Name:        "adversarial-hub",
+		Description: "4 worst-node events every 250 steps: crash-reboot and corruption of the max-degree hub's closed neighbourhood",
+		Schedule: churn.Schedule{
+			Pattern:    churn.Adversarial,
+			Events:     4,
+			Every:      250,
+			EventKinds: []churn.Kind{churn.NodeCrash, churn.CorruptProcesses},
+		},
+	})
+	RegisterChurn(ChurnEntry{
+		Name:        "partition-heal",
+		Description: "2 partition/heal cycles: cut the network in halves for 300 steps, then re-join it",
+		Schedule: churn.Schedule{
+			Pattern:    churn.Periodic,
+			Events:     4,
+			Every:      300,
+			EventKinds: []churn.Kind{churn.Partition, churn.Heal},
+		},
+	})
+}

@@ -53,7 +53,8 @@ func init() {
 		},
 	})
 	// The faults package scenarios become registry entries; the completeness
-	// test asserts every standard scenario is registered.
+	// test asserts every standard scenario is registered. Builders that need
+	// an enumerated state space report the requirement themselves.
 	for _, s := range faults.StandardScenarios() {
 		s := s
 		RegisterFault(FaultEntry{
@@ -61,23 +62,12 @@ func init() {
 			Description:  faultDescriptions[s.Name],
 			ComposedOnly: s.Name == "inner-only" || s.Name == "fake-wave",
 			Build: func(alg sim.Algorithm, inner core.Resettable, net *sim.Network, rng *rand.Rand) (*sim.Configuration, error) {
-				if s.Name == "random-all" || s.Name == "half-corrupt" {
-					// These recipes draw from the algorithm's enumerated state
-					// space and hence also apply to non-composed algorithms.
-					if enum, ok := alg.(sim.Enumerable); !ok || !enumerates(enum, net) {
-						return nil, fmt.Errorf("scenario: fault %q requires algorithm %s to enumerate its states", s.Name, alg.Name())
-					}
+				cfg, err := s.Build(alg, inner, net, rng)
+				if err != nil {
+					return nil, fmt.Errorf("scenario: fault %q: %w", s.Name, err)
 				}
-				return s.Build(alg, inner, net, rng), nil
+				return cfg, nil
 			},
 		})
 	}
-}
-
-// enumerates reports whether the algorithm actually enumerates a non-empty
-// state space for process 0 (interface assertions alone are not enough:
-// wrappers implement Enumerable but may return nil for non-enumerable
-// inners).
-func enumerates(enum sim.Enumerable, net *sim.Network) bool {
-	return len(enum.EnumerateStates(0, net)) > 0
 }

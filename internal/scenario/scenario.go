@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sdr/internal/churn"
 	"sdr/internal/core"
 	"sdr/internal/graph"
 	"sdr/internal/sim"
@@ -82,6 +83,10 @@ type Spec struct {
 	// Fault names a fault-model registry entry (see Faults); "" means "none"
 	// (start from the algorithm's pre-defined initial configuration).
 	Fault string
+	// Churn names a churn-schedule registry entry, or is a schedule in the
+	// churn grammar ("pattern:key=value,..."); "" means no mid-run
+	// perturbation. See ChurnSchedules and internal/churn.
+	Churn string
 	// Seed derives all randomness of the run: the topology, the corrupted
 	// start and the daemon are all seeded from it, so a Spec is fully
 	// reproducible.
@@ -130,6 +135,10 @@ type Run struct {
 	Daemon sim.Daemon
 	// Start is the (possibly corrupted) starting configuration.
 	Start *sim.Configuration
+	// Churn is the resolved mid-run perturbation injector, nil when the
+	// Spec requests none. Injectors are single-use: re-executing the run
+	// requires re-resolving the Spec.
+	Churn *churn.Injector
 	// Engine is the assembled engine.
 	Engine *sim.Engine
 }
@@ -171,6 +180,20 @@ func (s Spec) Resolve() (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	var injector *churn.Injector
+	if s.Churn != "" {
+		sched, err := ResolveChurn(s.Churn)
+		if err != nil {
+			return nil, err
+		}
+		// The injector continues the topology/fault rng stream: schedule
+		// times and event amplitudes are part of the same seeded derivation,
+		// so equal Specs resolve to bit-identical perturbed runs.
+		injector, err = churn.NewInjector(sched, asm.Algorithm, asm.Inner, net, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
 	daemon := daemonEntry.New(s.Seed)
 	return &Run{
 		Spec:        s,
@@ -183,6 +206,7 @@ func (s Spec) Resolve() (*Run, error) {
 		Terminating: asm.Terminating,
 		Daemon:      daemon,
 		Start:       start,
+		Churn:       injector,
 		Engine:      sim.NewEngine(net, asm.Algorithm, daemon),
 	}, nil
 }
@@ -198,9 +222,11 @@ func (s Spec) MustResolve() *Run {
 }
 
 // Options assembles the engine options a run executes under: the step bound,
-// the legitimacy predicate when the entry defines one, and — for
-// non-terminating algorithms — stopping at the first legitimate
-// configuration. extra options (hooks, rule-choice policies) are appended.
+// the legitimacy predicate when the entry defines one, the churn injector
+// when the Spec requests one, and — for non-terminating algorithms —
+// stopping at the first legitimate configuration (for churn runs the engine
+// defers that stop until the schedule is exhausted and the system has
+// recovered). extra options (hooks, rule-choice policies) are appended.
 func (r *Run) Options(extra ...sim.Option) []sim.Option {
 	opts := []sim.Option{sim.WithMaxSteps(r.Spec.MaxSteps)}
 	if r.Legitimate != nil {
@@ -208,6 +234,9 @@ func (r *Run) Options(extra ...sim.Option) []sim.Option {
 		if !r.Terminating {
 			opts = append(opts, sim.WithStopWhenLegitimate())
 		}
+	}
+	if r.Churn != nil {
+		opts = append(opts, sim.WithInjector(r.Churn))
 	}
 	return append(opts, extra...)
 }

@@ -21,6 +21,9 @@ type Sweep struct {
 	Topologies []string
 	Daemons    []string
 	Faults     []string
+	// Churns names churn schedules (registry entries or grammar forms); the
+	// empty slice defaults to {""} (no mid-run perturbation).
+	Churns []string
 	// Sizes is the sweep of network sizes n.
 	Sizes []int
 	// Trials is the number of seeded repetitions per cell (≤ 0 means 1).
@@ -44,14 +47,19 @@ type Cell struct {
 	N         int
 	Daemon    string
 	Fault     string
+	Churn     string
 }
 
 // Cells expands the cross-product in table order: algorithms outermost, then
-// topologies, sizes, daemons and faults.
+// topologies, sizes, daemons, faults and churn schedules.
 func (s Sweep) Cells() []Cell {
 	faultAxis := s.Faults
 	if len(faultAxis) == 0 {
 		faultAxis = []string{"none"}
+	}
+	churnAxis := s.Churns
+	if len(churnAxis) == 0 {
+		churnAxis = []string{""}
 	}
 	var cells []Cell
 	for _, alg := range s.Algorithms {
@@ -59,7 +67,9 @@ func (s Sweep) Cells() []Cell {
 			for _, n := range s.Sizes {
 				for _, d := range s.Daemons {
 					for _, f := range faultAxis {
-						cells = append(cells, Cell{Algorithm: alg, Topology: top, N: n, Daemon: d, Fault: f})
+						for _, c := range churnAxis {
+							cells = append(cells, Cell{Algorithm: alg, Topology: top, N: n, Daemon: d, Fault: f, Churn: c})
+						}
 					}
 				}
 			}
@@ -80,6 +90,7 @@ func (s Sweep) Trial(c Cell, trial int) Spec {
 		N:         c.N,
 		Daemon:    c.Daemon,
 		Fault:     c.Fault,
+		Churn:     c.Churn,
 		Seed:      s.Seed + int64(trial)*stride,
 		MaxSteps:  s.MaxSteps,
 		Params:    s.Params,
@@ -109,6 +120,14 @@ func (s Sweep) Validate() error {
 	}
 	for _, name := range s.Faults {
 		if _, err := FaultByName(name); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.Churns {
+		if name == "" {
+			continue
+		}
+		if _, err := ResolveChurn(name); err != nil {
 			return err
 		}
 	}

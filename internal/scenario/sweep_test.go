@@ -18,13 +18,13 @@ func TestSweepCellsOrderAndCount(t *testing.T) {
 		t.Fatalf("expanded %d cells, want %d", got, want)
 	}
 	// Nesting order: algorithm > topology > size > daemon > fault.
-	if cells[0] != (Cell{"a1", "t1", 4, "d1", "f1"}) {
+	if cells[0] != (Cell{"a1", "t1", 4, "d1", "f1", ""}) {
 		t.Errorf("first cell %+v", cells[0])
 	}
-	if cells[1] != (Cell{"a1", "t1", 4, "d1", "f2"}) {
+	if cells[1] != (Cell{"a1", "t1", 4, "d1", "f2", ""}) {
 		t.Errorf("second cell %+v (fault must be innermost)", cells[1])
 	}
-	if cells[len(cells)-1] != (Cell{"a2", "t3", 8, "d1", "f2"}) {
+	if cells[len(cells)-1] != (Cell{"a2", "t3", 8, "d1", "f2", ""}) {
 		t.Errorf("last cell %+v", cells[len(cells)-1])
 	}
 

@@ -52,6 +52,7 @@ type Options struct {
 	ruleChoice         RuleChoicePolicy
 	rng                *rand.Rand
 	stopWhenLegitimate bool
+	injector           Injector
 }
 
 // Option customises a run.
@@ -141,6 +142,26 @@ type Result struct {
 	// single process executed before the first legitimate configuration
 	// (-1 when the predicate never held).
 	StabilizationMovesPerProcessMax int
+	// Events holds the per-event recovery records of an injected run (see
+	// WithInjector), in the order the events fired. Empty for uninjected
+	// runs.
+	Events []EventRecovery
+	// LegitimateSteps counts the executed steps whose resulting
+	// configuration satisfied the legitimacy predicate. It is only
+	// maintained for injected runs with a predicate (static runs keep the
+	// predicate evaluation out of the hot loop once the first legitimate
+	// configuration is recorded).
+	LegitimateSteps int
+}
+
+// Availability returns the fraction of executed steps whose resulting
+// configuration was legitimate (0 when no step executed). It is only
+// meaningful for injected runs — see LegitimateSteps.
+func (r *Result) Availability() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.LegitimateSteps) / float64(r.Steps)
 }
 
 // newResult returns a Result with the accounting fields initialised for n
@@ -261,13 +282,55 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 
 	res := newResult(n)
 
+	// With an injector attached the predicate is evaluated once per boundary
+	// into curLegit (recovery tracking needs the *current* verdict, not the
+	// sticky first-stabilization one); recordLegit then reuses it instead of
+	// re-evaluating.
+	inj := o.injector
+	curLegit := false
+	evalLegit := func() {
+		if o.legitimate != nil {
+			curLegit = o.legitimate(curCfg)
+		}
+	}
+
 	recordLegit := func(partialRound bool) {
 		if res.LegitimateReached || o.legitimate == nil {
+			return
+		}
+		if inj != nil {
+			if curLegit {
+				res.markLegitimate(partialRound)
+			}
 			return
 		}
 		if o.legitimate(curCfg) {
 			res.markLegitimate(partialRound)
 		}
+	}
+
+	// openEvents tracks injected events whose recovery has not completed yet:
+	// the counter values at the moment each event fired. All open events
+	// close together at the next legitimate configuration.
+	type openEvent struct {
+		idx, steps, moves, rounds int
+	}
+	var openEvents []openEvent
+	closeRecovered := func(partialRound bool) {
+		if !curLegit || len(openEvents) == 0 {
+			return
+		}
+		for _, oe := range openEvents {
+			rec := &res.Events[oe.idx]
+			rec.Recovered = true
+			rec.RecoverySteps = res.Steps - oe.steps
+			rec.RecoveryMoves = res.Moves - oe.moves
+			rec.RecoveryRounds = res.Rounds - oe.rounds
+			if partialRound {
+				rec.RecoveryRounds++
+			}
+		}
+		openEvents = openEvents[:0]
 	}
 
 	// enabledBits is the authoritative enabled set; enabledList is its sorted
@@ -297,15 +360,87 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 	ruleIdx := make([]int, 0, len(rules))
 	dedup := newBitset(n)
 
+	evalLegit()
 	recordLegit(false)
+	closeRecovered(false)
 
-	for len(enabledList) > 0 {
+	for {
+		if inj != nil {
+			// Injection boundary: consult the injector before selecting the
+			// next step (and again after each applied event — several events
+			// may fire back to back, and at a terminal configuration the
+			// injector gets to perturb the system instead of ending the run).
+			p := InjectionPoint{
+				Step:       res.Steps,
+				Round:      res.Rounds,
+				Moves:      res.Moves,
+				Config:     curCfg,
+				Net:        e.net,
+				Legitimate: curLegit,
+				Terminal:   len(enabledList) == 0,
+			}
+			if injn := inj.Inject(p); injn != nil {
+				// Close the partial round in progress: rounds after the event
+				// belong to its recovery.
+				if roundProgress {
+					res.Rounds++
+					roundProgress = false
+				}
+				res.Events = append(res.Events, EventRecovery{
+					Label:            injn.Label,
+					Step:             res.Steps,
+					Round:            res.Rounds,
+					LegitimateBefore: curLegit,
+					RecoverySteps:    -1,
+					RecoveryMoves:    -1,
+					RecoveryRounds:   -1,
+				})
+				openEvents = append(openEvents, openEvent{
+					idx:    len(res.Events) - 1,
+					steps:  res.Steps,
+					moves:  res.Moves,
+					rounds: res.Rounds,
+				})
+				e.applyInjection(injn, curStates)
+
+				// Re-seed the incremental machinery: states and topology may
+				// have changed arbitrarily, so the whole enabled set is
+				// recomputed and a fresh round starts at the perturbed
+				// configuration.
+				for u := 0; u < n; u++ {
+					if ev.Enabled(curCfg, u) {
+						enabledBits.set(u)
+					} else {
+						enabledBits.clear(u)
+					}
+				}
+				enabledList = enabledBits.appendIndices(enabledList[:0])
+				pending.copyFrom(enabledBits)
+
+				evalLegit()
+				recordLegit(false)
+				closeRecovered(false)
+				continue
+			}
+		}
+		if len(enabledList) == 0 {
+			break
+		}
 		if res.Steps >= o.maxSteps {
 			res.HitStepLimit = true
 			break
 		}
-		if o.stopWhenLegitimate && res.LegitimateReached {
-			break
+		if o.stopWhenLegitimate {
+			if inj == nil {
+				if res.LegitimateReached {
+					break
+				}
+			} else if inj.Done() && curLegit {
+				// Injected runs may not stop at the first legitimate
+				// configuration: later events would never fire. They stop
+				// once the schedule is exhausted and the system recovered.
+				break
+			}
 		}
 
 		raw := e.daemon.Select(Selection{
@@ -390,7 +525,14 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 			pending.copyFrom(enabledBits)
 		}
 
+		if inj != nil {
+			evalLegit()
+			if curLegit {
+				res.LegitimateSteps++
+			}
+		}
 		recordLegit(roundProgress)
+		closeRecovered(roundProgress)
 	}
 
 	if roundProgress {

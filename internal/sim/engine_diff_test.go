@@ -85,7 +85,7 @@ func diffWorkloads(seed int64) []diffWorkload {
 		net := sim.NewNetwork(g)
 		u := unison.New(unison.DefaultPeriod(g.N()))
 		comp := core.Compose(u)
-		start := faults.RandomConfiguration(comp, net, rng)
+		start := faults.MustRandomConfiguration(comp, net, rng)
 		ws = append(ws, diffWorkload{
 			name:  "unison∘SDR",
 			net:   net,
@@ -104,7 +104,7 @@ func diffWorkloads(seed int64) []diffWorkload {
 		g := graph.RandomConnected(9, 0.5, rng)
 		net := sim.NewNetwork(g)
 		comp := alliance.NewSelfStabilizing(alliance.DominatingSet())
-		start := faults.RandomConfiguration(comp, net, rng)
+		start := faults.MustRandomConfiguration(comp, net, rng)
 		ws = append(ws, diffWorkload{
 			name:  "FGA∘SDR",
 			net:   net,
@@ -119,7 +119,7 @@ func diffWorkloads(seed int64) []diffWorkload {
 		g := graph.Grid(3, 3)
 		net := sim.NewNetwork(g)
 		comp := spantree.NewSelfStabilizing(g, int(seed)%g.N())
-		start := faults.RandomConfiguration(comp, net, rng)
+		start := faults.MustRandomConfiguration(comp, net, rng)
 		ws = append(ws, diffWorkload{
 			name:  "B∘SDR",
 			net:   net,
@@ -150,7 +150,7 @@ func diffWorkloads(seed int64) []diffWorkload {
 		g := graph.Ring(8)
 		net := sim.NewNetwork(g)
 		bpv := unison.NewBPVFor(g)
-		start := faults.RandomConfiguration(bpv, net, rng)
+		start := faults.MustRandomConfiguration(bpv, net, rng)
 		ws = append(ws, diffWorkload{
 			name:  "BPV",
 			net:   net,
@@ -192,7 +192,7 @@ func TestEngineMatchesReferenceRandomRuleChoice(t *testing.T) {
 	net := sim.NewNetwork(g)
 	u := unison.New(unison.DefaultPeriod(g.N()))
 	comp := core.Compose(u)
-	start := faults.RandomConfiguration(comp, net, rand.New(rand.NewSource(8)))
+	start := faults.MustRandomConfiguration(comp, net, rand.New(rand.NewSource(8)))
 	for _, df := range sim.StandardDaemonFactories() {
 		optsFor := func(seed int64) []sim.Option {
 			return []sim.Option{
@@ -228,7 +228,7 @@ func TestEngineHooksMatchReference(t *testing.T) {
 	g := graph.RandomConnected(8, 0.4, rand.New(rand.NewSource(17)))
 	net := sim.NewNetwork(g)
 	comp := alliance.NewSelfStabilizing(alliance.DominatingSet())
-	start := faults.RandomConfiguration(comp, net, rand.New(rand.NewSource(18)))
+	start := faults.MustRandomConfiguration(comp, net, rand.New(rand.NewSource(18)))
 	for _, df := range sim.StandardDaemonFactories() {
 		var incSteps, refSteps []step
 		sim.NewEngine(net, comp, df.New(4)).Run(start,

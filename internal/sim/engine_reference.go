@@ -16,6 +16,9 @@ func (e *Engine) RunReference(start *Configuration, opts ...Option) Result {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.injector != nil {
+		panic("sim: RunReference does not support injectors; it is the differential oracle for static runs")
+	}
 	e.checkStart(start)
 
 	n := e.net.N()

@@ -183,7 +183,7 @@ func TestSelfStabilizingBFSFromCorruptedStates(t *testing.T) {
 		net := sim.NewNetwork(g)
 		for trial := 0; trial < 5; trial++ {
 			trialRng := rand.New(rand.NewSource(int64(trial*13 + g.N())))
-			start := faults.RandomConfiguration(comp, net, trialRng)
+			start := faults.MustRandomConfiguration(comp, net, trialRng)
 			daemon := sim.NewDistributedRandomDaemon(trialRng, 0.5)
 			res := sim.NewEngine(net, comp, daemon).Run(start, sim.WithMaxSteps(400_000))
 			if !res.Terminated {
@@ -229,7 +229,7 @@ func TestSelfStabilizingBFSSurvivesTargetedFaults(t *testing.T) {
 		t.Errorf("after a fake reset wave: %v", err)
 	}
 
-	corrupted := faults.CorruptedInner(comp.Inner(), net, res2.Final, 0.6, rng)
+	corrupted := faults.MustCorruptedInner(comp.Inner(), net, res2.Final, 0.6, rng)
 	res3 := eng.Run(corrupted, sim.WithMaxSteps(200_000))
 	if !res3.Terminated {
 		t.Fatal("did not terminate after inner corruption")
@@ -340,7 +340,7 @@ func TestQuickSelfStabilizationOnRandomTrees(t *testing.T) {
 		root := int(rawRoot) % n
 		comp := NewSelfStabilizing(g, root)
 		net := sim.NewNetwork(g)
-		start := faults.RandomConfiguration(comp, net, rng)
+		start := faults.MustRandomConfiguration(comp, net, rng)
 		res := sim.NewEngine(net, comp, sim.NewDistributedRandomDaemon(rng, 0.5)).Run(start, sim.WithMaxSteps(300_000))
 		return res.Terminated && VerifyTree(g, root, res.Final) == nil
 	}

@@ -113,7 +113,7 @@ func TestBPVStabilizesFromRandomConfigurations(t *testing.T) {
 		legit := b.LegitimatePredicate(g)
 		for trial := 0; trial < 5; trial++ {
 			rng := rand.New(rand.NewSource(int64(trial * 31)))
-			start := faults.RandomConfiguration(b, net, rng)
+			start := faults.MustRandomConfiguration(b, net, rng)
 			res := sim.NewEngine(net, b, sim.NewDistributedRandomDaemon(rng, 0.5)).Run(start,
 				sim.WithMaxSteps(400_000),
 				sim.WithLegitimate(legit),

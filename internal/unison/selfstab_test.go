@@ -42,7 +42,7 @@ func TestSelfStabilizationRoundsAndMoves(t *testing.T) {
 
 		for trial := 0; trial < 4; trial++ {
 			rng := rand.New(rand.NewSource(int64(100*n + trial)))
-			start := faults.RandomConfiguration(comp, net, rng)
+			start := faults.MustRandomConfiguration(comp, net, rng)
 			daemon := sim.NewDistributedRandomDaemon(rng, 0.5)
 			res := sim.NewEngine(net, comp, daemon).Run(start,
 				sim.WithMaxSteps(500_000),
@@ -73,7 +73,7 @@ func TestSpecificationHoldsAfterStabilization(t *testing.T) {
 	comp := core.Compose(u)
 	net := sim.NewNetwork(g)
 	rng := rand.New(rand.NewSource(21))
-	start := faults.RandomConfiguration(comp, net, rng)
+	start := faults.MustRandomConfiguration(comp, net, rng)
 	daemon := sim.NewDistributedRandomDaemon(rng, 0.5)
 	eng := sim.NewEngine(net, comp, daemon)
 
@@ -169,7 +169,7 @@ func TestUncooperativeVariantStillStabilizes(t *testing.T) {
 	comp := core.Compose(u, core.WithUncooperativeResets())
 	net := sim.NewNetwork(g)
 	rng := rand.New(rand.NewSource(8))
-	start := faults.RandomConfiguration(comp, net, rng)
+	start := faults.MustRandomConfiguration(comp, net, rng)
 	res := sim.NewEngine(net, comp, sim.NewDistributedRandomDaemon(rng, 0.5)).Run(start,
 		sim.WithMaxSteps(500_000),
 		sim.WithLegitimate(core.NormalPredicate(u, net)),
