@@ -37,6 +37,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -81,9 +82,39 @@ func run(args []string, out io.Writer) error {
 		vStarts      = fs.Int("verify-starts", 4, "number of seeded corrupted starts per -verify cell")
 		vMaxConfig   = fs.Int("verify-max-configs", 0, "configuration cap per -verify exploration (0 = checker default)")
 		vMaxSel      = fs.Int("verify-max-selection", 1, "daemon selection size cap for -verify: k certifies daemons activating ≤ k processes per step; 0 is exact but exponential")
+		memo         = fs.Bool("memo", true, "share each cell's neighbourhood→enabled-rules table across its trials (results are bit-identical either way; -memo=false for A/B timing)")
+		memoCap      = fs.Int("memo-cap", 0, "max entries per memo table (0 = the sim package default)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("create -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start -cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sdrbench: create -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sdrbench: write -memprofile:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -125,6 +156,8 @@ func run(args []string, out io.Writer) error {
 	if cfg.Parallel <= 0 {
 		cfg.Parallel = runtime.NumCPU()
 	}
+	cfg.MemoOff = !*memo
+	cfg.MemoCap = *memoCap
 
 	emit := func(table bench.Table) error {
 		if *markdown {
@@ -146,7 +179,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *campaignPath != "" {
-		return runCampaign(*campaignPath, *jsonDir, *resume, *markdown, cfg.Parallel, out)
+		return runCampaign(*campaignPath, *jsonDir, *resume, *markdown, cfg, out)
 	}
 
 	if *verify {
@@ -191,7 +224,7 @@ func run(args []string, out io.Writer) error {
 			Seed:       cfg.Seed,
 			MaxSteps:   cfg.MaxSteps,
 		}
-		table, err := bench.RunRecovery(sw, cfg.Parallel)
+		table, err := bench.RunRecovery(sw, cfg)
 		if err != nil {
 			return err
 		}
@@ -215,7 +248,7 @@ func run(args []string, out io.Writer) error {
 			Seed:       cfg.Seed,
 			MaxSteps:   cfg.MaxSteps,
 		}
-		table, err := bench.RunSweep(sw, cfg.Parallel)
+		table, err := bench.RunSweep(sw, cfg)
 		if err != nil {
 			return err
 		}
@@ -273,17 +306,23 @@ var campaignInterrupt = func() (<-chan struct{}, func()) {
 // baseline snapshot is written as <jsonDir>/BENCH_<ID>.json (rotating any
 // previous snapshot). SIGINT/SIGTERM stop the campaign gracefully: the JSONL
 // checkpoint is flushed, and the run exits non-zero with a -resume hint.
-func runCampaign(specPath, jsonDir string, resume, markdown bool, parallel int, out io.Writer) error {
+// Only cfg's execution knobs are read: Parallel, and MemoOff/MemoCap (a
+// -memo=false run disables memoization even when the spec leaves it on).
+func runCampaign(specPath, jsonDir string, resume, markdown bool, cfg bench.Config, out io.Writer) error {
 	spec, err := campaign.LoadSpec(specPath)
 	if err != nil {
 		return err
+	}
+	if cfg.MemoOff {
+		spec.MemoOff = true
 	}
 	jsonlPath := filepath.Join(jsonDir, fmt.Sprintf("CAMPAIGN_%s.jsonl", spec.ID))
 	fmt.Fprintf(out, "campaign %s → %s\n", spec.ID, jsonlPath)
 	interrupt, stopNotify := campaignInterrupt()
 	defer stopNotify()
 	res, err := campaign.Run(spec, jsonlPath, campaign.Options{
-		Parallel:  parallel,
+		Parallel:  cfg.Parallel,
+		MemoCap:   cfg.MemoCap,
 		Resume:    resume,
 		Progress:  out,
 		Interrupt: interrupt,

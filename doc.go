@@ -6,7 +6,9 @@
 //
 //   - internal/graph    — the network model and topology generators;
 //   - internal/sim      — the locally shared memory model with composite
-//     atomicity, daemons, and move/round accounting;
+//     atomicity, daemons, move/round accounting, and the shared
+//     neighbourhood→enabled-rules memoization layer (MemoEvaluator,
+//     bit-identical to direct evaluation, with hit-rate telemetry);
 //   - internal/core     — Algorithm SDR (the paper's contribution) and the
 //     composition operator I ∘ SDR;
 //   - internal/unison   — Algorithm U, U ∘ SDR, and the Boulinier-Petit-

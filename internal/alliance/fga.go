@@ -341,6 +341,33 @@ func (a *FGA) EnumerateInner(u int, net *sim.Network) []sim.State {
 	return out
 }
 
+// InnerStateCount implements core.InnerIndexedEnumerable: 2 colours × 3
+// scores × 2 quit flags × (⊥ + the closed neighbourhood) pointers.
+func (a *FGA) InnerStateCount(u int, net *sim.Network) int {
+	return 12 * (net.Degree(u) + 2)
+}
+
+// InnerStateAt implements core.InnerIndexedEnumerable, reproducing
+// EnumerateInner's order: col outermost, then scr, then canQ, the pointer
+// (⊥, own id, neighbours in local-label order) innermost.
+func (a *FGA) InnerStateAt(u int, net *sim.Network, i int) sim.State {
+	span := net.Degree(u) + 2
+	rest, pi := i/span, i%span
+	s := FGAState{CanQ: rest%2 == 1}
+	rest /= 2
+	s.Scr = rest%3 - 1
+	s.Col = rest/3 == 1
+	switch pi {
+	case 0:
+		s.Ptr = NoPointer
+	case 1:
+		s.Ptr = net.ID(u)
+	default:
+		s.Ptr = net.ID(net.Neighbors(u)[pi-2])
+	}
+	return s
+}
+
 // NewSelfStabilizing returns the self-stabilizing composition FGA ∘ SDR for
 // the given specification (Theorem 13).
 func NewSelfStabilizing(spec Spec) *core.Composed {

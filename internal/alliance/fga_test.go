@@ -94,6 +94,18 @@ func TestFGAEnumerateInner(t *testing.T) {
 	if got, want := len(fga.EnumerateInner(1, net)), 12*(2+1); got != want {
 		t.Errorf("leaf enumerates %d states, want %d", got, want)
 	}
+	// The indexed enumeration must agree positionally at every process.
+	for u := 0; u < net.N(); u++ {
+		states := fga.EnumerateInner(u, net)
+		if got := fga.InnerStateCount(u, net); got != len(states) {
+			t.Fatalf("InnerStateCount(%d) = %d, want %d", u, got, len(states))
+		}
+		for i, want := range states {
+			if got := fga.InnerStateAt(u, net, i); !got.Equal(want) {
+				t.Fatalf("InnerStateAt(%d, %d) = %s, want %s", u, i, got, want)
+			}
+		}
+	}
 }
 
 // fgaConfig builds a plain (standalone) FGA configuration.

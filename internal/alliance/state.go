@@ -2,6 +2,7 @@ package alliance
 
 import (
 	"fmt"
+	"strconv"
 
 	"sdr/internal/sim"
 )
@@ -49,6 +50,51 @@ func (s FGAState) String() string {
 		ptr = fmt.Sprintf("%d", s.Ptr)
 	}
 	return fmt.Sprintf("col=%d scr=%+d q=%d p=%s", col, s.Scr, canQ, ptr)
+}
+
+// AppendStateKey implements sim.KeyAppender: exactly the String() bytes,
+// without allocating.
+func (s FGAState) AppendStateKey(dst []byte) []byte {
+	dst = append(dst, "col="...)
+	if s.Col {
+		dst = append(dst, '1')
+	} else {
+		dst = append(dst, '0')
+	}
+	// %+d always renders a sign, including "+0".
+	dst = append(dst, " scr="...)
+	if s.Scr >= 0 {
+		dst = append(dst, '+')
+	}
+	dst = strconv.AppendInt(dst, int64(s.Scr), 10)
+	dst = append(dst, " q="...)
+	if s.CanQ {
+		dst = append(dst, '1')
+	} else {
+		dst = append(dst, '0')
+	}
+	dst = append(dst, " p="...)
+	if s.Ptr == NoPointer {
+		return append(dst, "⊥"...)
+	}
+	return strconv.AppendInt(dst, int64(s.Ptr), 10)
+}
+
+// Key64 implements sim.KeyedState: the two booleans, the zigzagged score (4
+// bits) and the zigzagged pointer, when score and pointer fit.
+func (s FGAState) Key64() (uint64, bool) {
+	zs, zp := sim.ZigZag64(s.Scr), sim.ZigZag64(s.Ptr)
+	if zs >= 1<<4 || zp >= 1<<56 {
+		return 0, false
+	}
+	key := zp<<8 | zs<<4
+	if s.Col {
+		key |= 1
+	}
+	if s.CanQ {
+		key |= 2
+	}
+	return key, true
 }
 
 // ResetFGAState is the pre-defined state installed by the reset(u) macro and

@@ -45,12 +45,13 @@ func RunE7FGAMoves(cfg Config) Table {
 	}
 	sweep := sweepFor(cfg, 7001, standaloneNames(allianceSpecNames()), DenseTopologies(), []string{"distributed-random"}, []string{"none"})
 	cells := sweep.Cells()
+	shares := cfg.memoShares(len(cells))
 	type trial struct {
 		moves, bound, m, delta int
 		terminated             bool
 	}
-	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		m := runPlain(sweep.Trial(cells[ci], tr))
+	results := MapGridWarm(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		m := runPlain(sweep.Trial(cells[ci], tr), memoOpt(shares, ci, tr)...)
 		g := m.run.Graph
 		return trial{
 			moves:      m.result.Moves,
@@ -89,9 +90,10 @@ func RunE8FGARounds(cfg Config) Table {
 	}
 	sweep := sweepFor(cfg, 8009, standaloneNames(allianceSpecNames()), DenseTopologies(), []string{"distributed-random"}, []string{"none"})
 	cells := sweep.Cells()
+	shares := cfg.memoShares(len(cells))
 	type trial struct{ rounds, bound int }
-	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		m := runPlain(sweep.Trial(cells[ci], tr))
+	results := MapGridWarm(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		m := runPlain(sweep.Trial(cells[ci], tr), memoOpt(shares, ci, tr)...)
 		return trial{rounds: m.result.Rounds, bound: alliance.MaxStandaloneRounds(m.run.Net.N())}
 	})
 	for ci, c := range cells {
@@ -122,12 +124,13 @@ func RunE9AllianceStabilization(cfg Config) Table {
 	}
 	sweep := sweepFor(cfg, 9001, allianceSpecNames(), DenseTopologies(), []string{"distributed-random"}, []string{"random-all", "fake-wave"})
 	cells := sweep.Cells()
+	shares := cfg.memoShares(len(cells))
 	type trial struct {
 		moves, rounds, moveBound, roundBound int
 		minimal                              bool
 	}
-	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		m := runPlain(sweep.Trial(cells[ci], tr))
+	results := MapGridWarm(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		m := runPlain(sweep.Trial(cells[ci], tr), memoOpt(shares, ci, tr)...)
 		g := m.run.Graph
 		return trial{
 			moves:      m.result.Moves,
@@ -190,7 +193,7 @@ func RunE10Correctness(cfg Config) Table {
 			if err != nil {
 				panic(err)
 			}
-			res := run.Execute()
+			res := run.Execute(cfg.memoSelf()...)
 			ok := run.Report(res).OK
 			if !ok {
 				t.Violations++
@@ -213,7 +216,7 @@ func RunE10Correctness(cfg Config) Table {
 		run := sp.MustResolve()
 
 		// Run to a normal configuration first.
-		res := run.Execute()
+		res := run.Execute(cfg.memoSelf()...)
 		reached := res.LegitimateReached
 
 		// From the normal configuration, run a bounded suffix under the same

@@ -152,7 +152,7 @@ func TestRunSweepGrid(t *testing.T) {
 		Seed:       3,
 		MaxSteps:   200_000,
 	}
-	table, err := RunSweep(sw, 2)
+	table, err := RunSweep(sw, Config{Parallel: 2})
 	if err != nil {
 		t.Fatalf("RunSweep: %v", err)
 	}
@@ -178,14 +178,14 @@ func TestRunSweepSkipsUnsatisfiableCells(t *testing.T) {
 		Seed:       1,
 		MaxSteps:   10_000,
 	}
-	table, err := RunSweep(sw, 1)
+	table, err := RunSweep(sw, Config{Parallel: 1})
 	if err != nil {
 		t.Fatalf("RunSweep: %v", err)
 	}
 	if len(table.Rows) != 1 || table.Rows[0][5] != "skipped" {
 		t.Fatalf("unsatisfiable cell not skipped: %v", table.Rows)
 	}
-	if _, err := RunSweep(scenario.Sweep{Algorithms: []string{"nope"}, Topologies: []string{"ring"}, Daemons: []string{"synchronous"}, Sizes: []int{5}}, 1); err == nil {
+	if _, err := RunSweep(scenario.Sweep{Algorithms: []string{"nope"}, Topologies: []string{"ring"}, Daemons: []string{"synchronous"}, Sizes: []int{5}}, Config{Parallel: 1}); err == nil {
 		t.Error("a sweep naming an unknown algorithm must be rejected")
 	}
 }

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+
+	"sdr/internal/sim"
+)
+
+// Cross-trial transition memoization: every sweep cell (one table row in the
+// making) gets its own sim.MemoShare, trial 0 of the cell fills and donates
+// the cell's table — MapGridWarm completes it before any other trial of the
+// grid starts — and the remaining trials answer their guard questions from
+// the frozen table read-only. The warm/read-only split keeps the per-trial
+// hit statistics deterministic at every parallelism level, the same property
+// the tables themselves already have.
+
+// memoShares returns one transition-memo share per sweep cell, or nil when
+// the configuration disables memoization (Config.MemoOff).
+func (c Config) memoShares(cells int) []*sim.MemoShare {
+	if c.MemoOff {
+		return nil
+	}
+	shares := make([]*sim.MemoShare, cells)
+	for i := range shares {
+		shares[i] = sim.NewMemoShare(c.MemoCap)
+	}
+	return shares
+}
+
+// memoOpt returns the engine option attaching cell ci's share to one trial:
+// trial 0 runs the donating (cache-filling) protocol, every later trial
+// reads the frozen table without donating — so a cell whose trial 0 was
+// skipped as unsatisfiable never lets the remaining trials race for
+// donation. nil shares (memo off) contribute no option.
+func memoOpt(shares []*sim.MemoShare, ci, trial int) []sim.Option {
+	if shares == nil {
+		return nil
+	}
+	if trial == 0 {
+		return []sim.Option{sim.WithMemo(shares[ci])}
+	}
+	return []sim.Option{sim.WithMemoReadOnly(shares[ci])}
+}
+
+// memoSelf returns a run-private memo option for the non-grid runners (one
+// independent run per row, nothing to share across), or nothing when
+// memoization is off.
+func (c Config) memoSelf() []sim.Option {
+	if c.MemoOff {
+		return nil
+	}
+	return []sim.Option{sim.WithMemo(sim.NewMemoShare(c.MemoCap))}
+}
+
+// memoHitCell renders a cell's pooled memo statistics as a hit-rate
+// percentage column ("-" when memoization was off or nothing was looked up).
+func memoHitCell(stats sim.MemoStats) string {
+	if stats.Lookups() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*stats.HitRate())
+}

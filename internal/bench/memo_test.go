@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sdr/internal/scenario"
+)
+
+func memoTestSweep() scenario.Sweep {
+	return scenario.Sweep{
+		Algorithms: []string{"unison", "bfstree"},
+		Topologies: []string{"ring", "grid"},
+		Daemons:    []string{"synchronous"},
+		Faults:     []string{"random-all"},
+		Sizes:      []int{6},
+		Trials:     3,
+		Seed:       3,
+		MaxSteps:   200_000,
+	}
+}
+
+// TestRunSweepMemoHitRates checks the telemetry column: with shared tables
+// and several trials per cell, every cell of the sweep must report a
+// non-trivial hit rate, and disabling memoization must blank the column while
+// leaving every measured value identical.
+func TestRunSweepMemoHitRates(t *testing.T) {
+	on, err := RunSweep(memoTestSweep(), Config{Parallel: 2})
+	if err != nil {
+		t.Fatalf("RunSweep(memo on): %v", err)
+	}
+	col := -1
+	for i, c := range on.Columns {
+		if c == "memo-hit%" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("SWEEP table has no memo-hit%% column: %v", on.Columns)
+	}
+	for _, row := range on.Rows {
+		cell := row[col]
+		if cell == "-" || cell == "0.0%" || !strings.HasSuffix(cell, "%") {
+			t.Errorf("row %v: memo-hit%% = %q, want a non-zero percentage", row[:5], cell)
+		}
+	}
+
+	off, err := RunSweep(memoTestSweep(), Config{Parallel: 2, MemoOff: true})
+	if err != nil {
+		t.Fatalf("RunSweep(memo off): %v", err)
+	}
+	for ri, row := range off.Rows {
+		if row[col] != "-" {
+			t.Errorf("memo off, row %v: memo-hit%% = %q, want -", row[:5], row[col])
+		}
+		for i := range row {
+			if i != col && row[i] != on.Rows[ri][i] {
+				t.Errorf("row %d col %s differs with memoization: %q (on) vs %q (off)",
+					ri, on.Columns[i], on.Rows[ri][i], row[i])
+			}
+		}
+	}
+}
+
+// TestRunSweepMemoDeterministicAcrossParallelism extends the parallelism
+// determinism contract to the cache telemetry: the designated-donor protocol
+// (trial 0 fills, later trials read frozen) makes the hit rates — not just
+// the measurements — identical at every worker count.
+func TestRunSweepMemoDeterministicAcrossParallelism(t *testing.T) {
+	seq, err := RunSweep(memoTestSweep(), Config{Parallel: 1})
+	if err != nil {
+		t.Fatalf("RunSweep(parallel=1): %v", err)
+	}
+	par, err := RunSweep(memoTestSweep(), Config{Parallel: 8})
+	if err != nil {
+		t.Fatalf("RunSweep(parallel=8): %v", err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("SWEEP table differs across parallelism:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestExperimentTablesUnchangedByMemo pins the bit-identity acceptance
+// criterion at the table level: memoization is a pure cache, so every
+// experiment table must be byte-identical with it on and off.
+func TestExperimentTablesUnchangedByMemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memo A/B sweep skipped in -short mode")
+	}
+	cfg := Config{Sizes: []int{6}, Trials: 2, Seed: 11, MaxSteps: 200_000, Parallel: 4}
+	for _, e := range []string{"E1", "E3", "E6", "E9", "A1", "X1"} {
+		exp, err := ExperimentByID(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := cfg
+		off.MemoOff = true
+		memoTable := exp.Run(cfg)
+		plainTable := exp.Run(off)
+		if !reflect.DeepEqual(memoTable, plainTable) {
+			t.Errorf("%s: memoized table differs from unmemoized table:\n%+v\n%+v", e, memoTable, plainTable)
+		}
+	}
+}

@@ -56,3 +56,26 @@ func MapGrid[T any](workers, cells, trials int, fn func(cell, trial int) T) [][]
 	wg.Wait()
 	return out
 }
+
+// MapGridWarm is MapGrid with a warm-up phase: trial 0 of every cell runs
+// (in parallel across cells) and completes before any trial ≥ 1 starts. The
+// experiment runners use it to drive the memo-share protocol — the cell's
+// first trial fills and donates the cell's transition table, and the barrier
+// guarantees every remaining trial sees the frozen table from construction,
+// making per-trial cache telemetry (not just the measurements) independent
+// of the worker count. With one trial per cell the warm phase is the whole
+// grid.
+func MapGridWarm[T any](workers, cells, trials int, fn func(cell, trial int) T) [][]T {
+	if trials <= 1 {
+		return MapGrid(workers, cells, trials, fn)
+	}
+	warm := MapGrid(workers, cells, 1, fn)
+	rest := MapGrid(workers, cells, trials-1, func(cell, trial int) T {
+		return fn(cell, trial+1)
+	})
+	out := make([][]T, cells)
+	for c := range out {
+		out[c] = append(warm[c], rest[c]...)
+	}
+	return out
+}

@@ -27,6 +27,34 @@ func TestMapGridOrderAndCoverage(t *testing.T) {
 	}
 }
 
+// TestMapGridWarmBarrier pins the warm-up contract the memo-share protocol
+// rests on: every cell's trial 0 completes before any trial ≥ 1 of any cell
+// starts, and the combined results still cover the grid in order.
+func TestMapGridWarmBarrier(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var warmDone atomic.Int64
+		got := MapGridWarm(workers, 4, 3, func(cell, trial int) [2]int {
+			if trial == 0 {
+				warmDone.Add(1)
+			} else if warmDone.Load() != 4 {
+				t.Errorf("workers=%d: trial %d of cell %d started with only %d warm trials done",
+					workers, trial, cell, warmDone.Load())
+			}
+			return [2]int{cell, trial}
+		})
+		for c := 0; c < 4; c++ {
+			for tr := 0; tr < 3; tr++ {
+				if got[c][tr] != [2]int{c, tr} {
+					t.Fatalf("workers=%d: result[%d][%d] = %v", workers, c, tr, got[c][tr])
+				}
+			}
+		}
+	}
+	if got := MapGridWarm(2, 2, 1, func(cell, trial int) int { return cell*10 + trial }); !reflect.DeepEqual(got, [][]int{{0}, {10}}) {
+		t.Fatalf("single-trial grid = %v", got)
+	}
+}
+
 func TestMapGridEmptyGrid(t *testing.T) {
 	got := MapGrid(8, 0, 5, func(cell, trial int) int { t.Fatal("must not be called"); return 0 })
 	if len(got) != 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sdr/internal/scenario"
+	"sdr/internal/sim"
 	"sdr/internal/stats"
 )
 
@@ -19,8 +20,9 @@ import (
 // Per-trial seeding makes the table bit-identical at every parallelism
 // level: each trial resolves its own scenario (and hence its own single-use
 // churn injector) from a seed derived only from the sweep's base seed and the
-// trial index.
-func RunRecovery(sw scenario.Sweep, parallel int) (Table, error) {
+// trial index. Only cfg's execution knobs are read (Parallel, MemoOff,
+// MemoCap); the grid itself comes from sw.
+func RunRecovery(sw scenario.Sweep, cfg Config) (Table, error) {
 	if len(sw.Churns) == 0 {
 		return Table{}, fmt.Errorf("bench: recovery sweep needs at least one churn schedule (see scenario.ChurnSchedules)")
 	}
@@ -41,27 +43,30 @@ func RunRecovery(sw scenario.Sweep, parallel int) (Table, error) {
 		ID:    "RECOVERY",
 		Title: fmt.Sprintf("mid-run churn: per-event re-stabilization costs (%d trials per cell, base seed %d)", trials, sw.Seed),
 		Columns: []string{"algorithm", "topology", "n", "daemon", "fault", "churn",
-			"events", "recovered", "rec-rounds(p50)", "rec-rounds(p95)", "rec-moves(mean)", "avail(mean)", "ok"},
+			"events", "recovered", "rec-rounds(p50)", "rec-rounds(p95)", "rec-moves(mean)", "avail(mean)", "memo-hit%", "ok"},
 	}
 	cells := sw.Cells()
+	shares := cfg.memoShares(len(cells))
 	type trial struct {
 		events, recovered int
 		recRounds         []float64
 		recMoves          []int
 		availability      float64
+		memo              sim.MemoStats
 		legitimate, ok    bool
 		skipped           bool
 		err               error
 	}
-	results := MapGrid(parallel, len(cells), trials, func(ci, tr int) trial {
+	results := MapGridWarm(cfg.Parallel, len(cells), trials, func(ci, tr int) trial {
 		run, err := sw.Trial(cells[ci], tr).Resolve()
 		if err != nil {
 			return trial{skipped: errors.Is(err, scenario.ErrUnsatisfiable), err: err}
 		}
-		res := run.Execute()
+		res := run.Execute(memoOpt(shares, ci, tr)...)
 		out := trial{
 			events:       len(res.Events),
 			availability: res.Availability(),
+			memo:         res.Memo,
 			legitimate:   res.LegitimateReached,
 			ok:           run.Report(res).OK,
 		}
@@ -78,6 +83,7 @@ func RunRecovery(sw scenario.Sweep, parallel int) (Table, error) {
 		var recRounds []float64
 		var recMoves []int
 		var avail []float64
+		var memo sim.MemoStats
 		events, recovered, skipped := 0, 0, 0
 		ran, ok := 0, true
 		for _, tr := range results[ci] {
@@ -94,11 +100,12 @@ func RunRecovery(sw scenario.Sweep, parallel int) (Table, error) {
 			recRounds = append(recRounds, tr.recRounds...)
 			recMoves = append(recMoves, tr.recMoves...)
 			avail = append(avail, tr.availability)
+			memo.Add(tr.memo)
 			ok = ok && tr.ok
 		}
 		if ran == 0 {
 			t.AddRow(c.Algorithm, c.Topology, itoa(c.N), c.Daemon, c.Fault, c.Churn,
-				"skipped", "-", "-", "-", "-", "-", boolCell(true))
+				"skipped", "-", "-", "-", "-", "-", "-", boolCell(true))
 			continue
 		}
 		if skipped > 0 {
@@ -119,7 +126,7 @@ func RunRecovery(sw scenario.Sweep, parallel int) (Table, error) {
 		}
 		t.AddRow(c.Algorithm, c.Topology, itoa(c.N), c.Daemon, c.Fault, c.Churn,
 			itoa(events), itoa(recovered), p50, p95, movesMean,
-			fmt.Sprintf("%.3f", stats.Summarize(avail).Mean), boolCell(ok))
+			fmt.Sprintf("%.3f", stats.Summarize(avail).Mean), memoHitCell(memo), boolCell(ok))
 	}
 	return t, nil
 }

@@ -23,7 +23,7 @@ func recoveryTestSweep() scenario.Sweep {
 }
 
 func TestRunRecoveryGrid(t *testing.T) {
-	table, err := RunRecovery(recoveryTestSweep(), 2)
+	table, err := RunRecovery(recoveryTestSweep(), Config{Parallel: 2})
 	if err != nil {
 		t.Fatalf("RunRecovery: %v", err)
 	}
@@ -47,11 +47,11 @@ func TestRunRecoveryGrid(t *testing.T) {
 // criterion: the same sweep renders a bit-identical RECOVERY table at
 // -parallel 1 and -parallel 8.
 func TestRunRecoveryDeterministicAcrossParallelism(t *testing.T) {
-	seq, err := RunRecovery(recoveryTestSweep(), 1)
+	seq, err := RunRecovery(recoveryTestSweep(), Config{Parallel: 1})
 	if err != nil {
 		t.Fatalf("RunRecovery(parallel=1): %v", err)
 	}
-	par, err := RunRecovery(recoveryTestSweep(), 8)
+	par, err := RunRecovery(recoveryTestSweep(), Config{Parallel: 8})
 	if err != nil {
 		t.Fatalf("RunRecovery(parallel=8): %v", err)
 	}
@@ -63,11 +63,11 @@ func TestRunRecoveryDeterministicAcrossParallelism(t *testing.T) {
 func TestRunRecoveryRequiresChurn(t *testing.T) {
 	sw := recoveryTestSweep()
 	sw.Churns = nil
-	if _, err := RunRecovery(sw, 1); err == nil {
+	if _, err := RunRecovery(sw, Config{Parallel: 1}); err == nil {
 		t.Error("a recovery sweep without churn schedules must be rejected")
 	}
 	sw.Churns = []string{""}
-	if _, err := RunRecovery(sw, 1); err == nil {
+	if _, err := RunRecovery(sw, Config{Parallel: 1}); err == nil {
 		t.Error("a recovery sweep with an empty churn schedule must be rejected")
 	}
 }

@@ -20,9 +20,10 @@ func RunE4UnisonRounds(cfg Config) Table {
 	}
 	sweep := sweepFor(cfg, 4001, []string{"unison"}, StandardTopologies(), defaultDaemons(), []string{"inner-only"})
 	cells := sweep.Cells()
+	shares := cfg.memoShares(len(cells))
 	type trial struct{ rounds, bound int }
-	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		m := runObserved(sweep.Trial(cells[ci], tr))
+	results := MapGridWarm(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		m := runObserved(sweep.Trial(cells[ci], tr), memoOpt(shares, ci, tr)...)
 		return trial{rounds: m.result.StabilizationRounds, bound: unison.MaxStabilizationRounds(m.run.Net.N())}
 	})
 	for ci, c := range cells {
@@ -55,9 +56,10 @@ func RunE5UnisonMoves(cfg Config) Table {
 	}
 	sweep := sweepFor(cfg, 5003, []string{"unison"}, StandardTopologies(), defaultDaemons(), []string{"random-all"})
 	cells := sweep.Cells()
+	shares := cfg.memoShares(len(cells))
 	type trial struct{ moves, bound, diameter int }
-	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
-		m := runObserved(sweep.Trial(cells[ci], tr))
+	results := MapGridWarm(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+		m := runObserved(sweep.Trial(cells[ci], tr), memoOpt(shares, ci, tr)...)
 		diameter := m.run.Graph.Diameter()
 		return trial{
 			moves:    m.result.StabilizationMoves,
@@ -113,16 +115,18 @@ func RunE6UnisonVsBPV(cfg Config) Table {
 	}
 	sweep := sweepFor(cfg, 6007, []string{"unison"}, StandardTopologies(), []string{"distributed-random"}, []string{"random-all"})
 	cells := sweep.Cells()
+	sdrShares := cfg.memoShares(len(cells))
+	bpvShares := cfg.memoShares(len(cells))
 	type trial struct{ sdrMoves, bpvMoves int }
-	results := MapGrid(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
+	results := MapGridWarm(cfg.Parallel, len(cells), cfg.Trials, func(ci, tr int) trial {
 		sdrSpec := sweep.Trial(cells[ci], tr)
-		m := runObserved(sdrSpec)
+		m := runObserved(sdrSpec, memoOpt(sdrShares, ci, tr)...)
 
 		// BPV on the same topology (same seed → same graph) from the same
 		// kind of uniformly random configuration.
 		bpvSpec := sdrSpec
 		bpvSpec.Algorithm = "bpv"
-		b := runPlain(bpvSpec)
+		b := runPlain(bpvSpec, memoOpt(bpvShares, ci, tr)...)
 		return trial{sdrMoves: m.result.StabilizationMoves, bpvMoves: b.result.StabilizationMoves}
 	})
 	var ratioAccum []float64

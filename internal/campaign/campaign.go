@@ -47,6 +47,12 @@ const (
 	MetricRecoveryMoves  = "recovery_moves"
 	MetricRecoverySteps  = "recovery_steps"
 	MetricAvailability   = "availability"
+	// MetricMemoHitRate is the fraction of the trial's memoized enabledness
+	// lookups answered from cache, recorded on trials that performed at least
+	// one lookup (memoization on and the algorithm's rule set memoizable).
+	// The cache-filling protocol is deterministic, so the value is as
+	// reproducible as the cost metrics.
+	MetricMemoHitRate = "memo_hit_rate"
 	// MetricDuration is the wall-clock nanoseconds of the trial, recorded
 	// only when Spec.RecordTime is set (it makes resumed output differ from
 	// uninterrupted output byte-for-byte).
@@ -58,7 +64,7 @@ func Metrics() []string {
 	return []string{MetricMoves, MetricRounds, MetricSteps,
 		MetricStabMoves, MetricStabRounds, MetricStabSteps,
 		MetricRecoveryRounds, MetricRecoveryMoves, MetricRecoverySteps,
-		MetricAvailability, MetricDuration}
+		MetricAvailability, MetricMemoHitRate, MetricDuration}
 }
 
 // DefaultMinTrials is the per-cell trial count used when a Spec leaves
@@ -120,6 +126,13 @@ type Spec struct {
 	// off by default because timings are non-deterministic: a resumed
 	// campaign no longer reproduces an uninterrupted one byte-for-byte.
 	RecordTime bool `json:"record_time,omitempty"`
+	// MemoOff disables the per-cell transition memoization (the zero value
+	// keeps it on: each cell's first satisfiable trial fills a shared
+	// read-only guard cache for the rest of the cell). Measurements are
+	// bit-identical either way; the switch only removes the memo_hit_rate
+	// metric from the records — which is why it is part of the spec, and a
+	// stream cannot be resumed under the opposite setting.
+	MemoOff bool `json:"memo_off,omitempty"`
 }
 
 // LoadSpec reads and validates a JSON campaign spec file.

@@ -1,0 +1,63 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCampaignRecordsMemoHitRate checks the memo telemetry of the trial
+// stream: with memoization on (the default) every trial records a hit rate in
+// (0, 1], later trials of a cell hit at least as often as its donor trial 0,
+// and MemoOff removes the metric while leaving every other metric untouched.
+func TestCampaignRecordsMemoHitRate(t *testing.T) {
+	spec := testSpec()
+	res, path := runInto(t, spec, Options{Parallel: 4})
+	perCell := make(map[CellKey][]TrialRecord)
+	for i, line := range readLines(t, path)[1:] {
+		var rec TrialRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trial line %d: %v", i, err)
+		}
+		perCell[rec.CellKey] = append(perCell[rec.CellKey], rec)
+		hr, ok := rec.Metrics[MetricMemoHitRate]
+		if !ok || hr <= 0 || hr > 1 {
+			t.Errorf("trial %d: memo_hit_rate = %v (recorded %v), want one in (0,1]", i, hr, ok)
+		}
+	}
+	for key, recs := range perCell {
+		donor := recs[0].Metrics[MetricMemoHitRate]
+		for _, rec := range recs[1:] {
+			if rec.Metrics[MetricMemoHitRate] < donor {
+				t.Errorf("cell %s trial %d hits less (%v) than the donor trial (%v) despite the frozen table",
+					key, rec.Trial, rec.Metrics[MetricMemoHitRate], donor)
+			}
+		}
+	}
+	for _, c := range res.Cells {
+		agg, ok := c.Metrics[MetricMemoHitRate]
+		if !ok || agg.Count != c.Trials {
+			t.Errorf("cell %s: memo_hit_rate aggregate missing or short: %+v", c.Cell, agg)
+		}
+	}
+
+	off := spec
+	off.MemoOff = true
+	offRes, offPath := runInto(t, off, Options{Parallel: 4})
+	for i, line := range readLines(t, offPath)[1:] {
+		var rec TrialRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad memo-off trial line %d: %v", i, err)
+		}
+		if _, ok := rec.Metrics[MetricMemoHitRate]; ok {
+			t.Errorf("memo-off trial %d still records memo_hit_rate: %+v", i, rec.Metrics)
+		}
+	}
+	for ci, c := range offRes.Cells {
+		for _, m := range []string{MetricMoves, MetricRounds, MetricSteps} {
+			if c.Metrics[m] != res.Cells[ci].Metrics[m] {
+				t.Errorf("cell %s: %s differs with memoization: %+v vs %+v",
+					c.Cell, m, res.Cells[ci].Metrics[m], c.Metrics[m])
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"sdr/internal/bench"
 	"sdr/internal/scenario"
+	"sdr/internal/sim"
 	"sdr/internal/stats"
 )
 
@@ -19,6 +20,9 @@ type Options struct {
 	// sequentially. It changes wall-clock time only: the JSONL stream and
 	// the aggregates are identical for every value.
 	Parallel int
+	// MemoCap bounds each cell's memo table entry count; 0 means
+	// sim.DefaultMemoEntries. Ignored when the spec sets MemoOff.
+	MemoCap int
 	// Resume permits continuing an existing JSONL stream from its last
 	// completed trial. Without it an existing output file is an error.
 	Resume bool
@@ -99,14 +103,40 @@ func Run(spec Spec, path string, opts Options) (*Result, error) {
 	result := &Result{Spec: spec, Cells: make([]CellAggregate, 0, len(cells))}
 	for ci, cell := range cells {
 		recs := existing[ci]
+		// Per-cell transition memo: the cell's first satisfiable trial runs
+		// alone, fills the share's table and donates it; every later trial
+		// reads it frozen. Keeping the donor designated (rather than letting
+		// concurrent trials race to donate) makes the recorded hit rates as
+		// independent of Parallel as the cost metrics.
+		var share *sim.MemoShare
+		if !spec.MemoOff {
+			share = sim.NewMemoShare(opts.MemoCap)
+		}
+		donated := false
 		// Replay the resumed prefix into the accumulator; groupRecords has
 		// already rejected prefixes that overshoot the stopping rule, so the
 		// cell is complete iff the rule fires at the last record.
 		var acc stopAccum
 		done := false
+		donorTrial := -1
 		for i, r := range recs {
 			acc.observe(spec, r)
 			done = spec.stopAfter(i+1, &acc)
+			if donorTrial < 0 && !r.Skipped {
+				donorTrial = r.Trial
+			}
+		}
+		if share != nil && donorTrial >= 0 {
+			donated = true
+			if !done {
+				// Resume warm-up: reconstruct the frozen table the interrupted
+				// run's remaining trials would have seen by re-running the
+				// cell's donor trial; its record is already in the stream and
+				// the re-run's is discarded.
+				if tr := runTrial(sw, cell, donorTrial, false, sim.WithMemo(share)); tr.err != nil {
+					return nil, tr.err
+				}
+			}
 		}
 		for !done {
 			if opts.interrupted() {
@@ -119,7 +149,12 @@ func Run(spec Spec, path string, opts Options) (*Result, error) {
 			// One wave of trials: sized by the worker budget (bounded
 			// memory), recorded in trial order, cut short the moment the
 			// stopping rule fires so the stream never depends on Parallel.
+			// While the memo donor is still pending (every earlier trial was
+			// skipped as unsatisfiable) waves stay solo.
 			wave := opts.Parallel
+			if share != nil && !donated {
+				wave = 1
+			}
 			if wave < 1 {
 				wave = 1
 			}
@@ -127,8 +162,9 @@ func Run(spec Spec, path string, opts Options) (*Result, error) {
 				wave = rest
 			}
 			first := len(recs)
+			memoOpts := memoTrialOpt(share, donated)
 			batch := bench.MapGrid(opts.Parallel, 1, wave, func(_, k int) trialOutcome {
-				return runTrial(sw, cells[ci], first+k, spec.RecordTime)
+				return runTrial(sw, cells[ci], first+k, spec.RecordTime, memoOpts...)
 			})
 			for _, tr := range batch[0] {
 				if tr.err != nil {
@@ -136,6 +172,9 @@ func Run(spec Spec, path string, opts Options) (*Result, error) {
 				}
 				recs = append(recs, tr.rec)
 				acc.observe(spec, tr.rec)
+				if !tr.rec.Skipped {
+					donated = true
+				}
 				if err := out.writeLine(tr.rec); err != nil {
 					return nil, err
 				}
@@ -164,10 +203,23 @@ type trialOutcome struct {
 	err error
 }
 
+// memoTrialOpt returns the memo option for one trial of a cell: the donating
+// (cache-filling) protocol until a satisfiable trial has donated the cell's
+// table, the read-only protocol afterwards, nothing when memoization is off.
+func memoTrialOpt(share *sim.MemoShare, donated bool) []sim.Option {
+	if share == nil {
+		return nil
+	}
+	if donated {
+		return []sim.Option{sim.WithMemoReadOnly(share)}
+	}
+	return []sim.Option{sim.WithMemo(share)}
+}
+
 // runTrial resolves and executes one (cell, trial) point and extracts its
 // metric record. Unsatisfiable cells record a skipped trial; any other
 // resolution error aborts the campaign.
-func runTrial(sw scenario.Sweep, cell scenario.Cell, trial int, recordTime bool) trialOutcome {
+func runTrial(sw scenario.Sweep, cell scenario.Cell, trial int, recordTime bool, memo ...sim.Option) trialOutcome {
 	sp := sw.Trial(cell, trial)
 	rec := TrialRecord{Type: "trial", CellKey: cellKey(cell), Trial: trial, Seed: sp.Seed}
 	run, err := sp.Resolve()
@@ -180,7 +232,7 @@ func runTrial(sw scenario.Sweep, cell scenario.Cell, trial int, recordTime bool)
 		return trialOutcome{err: err}
 	}
 	start := time.Now()
-	res := run.Execute()
+	res := run.Execute(memo...)
 	elapsed := time.Since(start)
 	rec.OK = run.Report(res).OK
 	rec.Metrics = map[string]float64{
@@ -217,6 +269,9 @@ func runTrial(sw scenario.Sweep, cell scenario.Cell, trial int, recordTime bool)
 				rec.OK = false
 			}
 		}
+	}
+	if res.Memo.Lookups() > 0 {
+		rec.Metrics[MetricMemoHitRate] = res.Memo.HitRate()
 	}
 	if recordTime {
 		rec.Metrics[MetricDuration] = float64(elapsed.Nanoseconds())

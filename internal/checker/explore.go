@@ -150,8 +150,21 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 	// evaluation goes through a single Evaluator shared with the engine's
 	// code path, so the rule set is fetched once for the whole exploration;
 	// the Evaluator is immutable and shared by all workers.
-	interner := sim.NewKeyInterner()
+	//
+	// On top of it, each worker owns a MemoEvaluator: distinct configurations
+	// share most of their local neighbourhoods, so exploration re-asks the
+	// same (neighbourhood → enabled rules) questions constantly, and the memo
+	// tables answer repeats with a map probe instead of a guard scan. The
+	// share's interner doubles as the configuration-key interner, so both key
+	// spaces use the same state ids. Memoized masks are pure functions of the
+	// neighbourhood, so reports, verdicts and errors are unchanged — the
+	// per-worker-count bit-identity guarantee is unaffected. Algorithms whose
+	// rule set cannot be memoized (nil MemoEvaluator) fall back to the direct
+	// evaluator.
+	share := sim.NewMemoShare(0)
+	interner := share.Interner()
 	ev := sim.NewEvaluator(alg, net)
+	newMemo := func() *sim.MemoEvaluator { return sim.NewMemoEvaluator(ev, share) }
 	visited := make(map[string]int)
 	var configs []*sim.Configuration
 	var succs [][]int
@@ -219,7 +232,7 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 	// immutable shared state (configs of already-merged levels, the network,
 	// the evaluator) plus the caller-owned scratch buffers, so the frontier
 	// can be expanded concurrently.
-	expand := func(idx int, enabledBuf, rulesBuf, selScratch []int, buf []byte) (expansion, []int, []int, []int, []byte) {
+	expand := func(idx int, memo *sim.MemoEvaluator, enabledBuf, rulesBuf, selScratch []int, buf []byte) (expansion, []int, []int, []int, []byte) {
 		c := configs[idx]
 		var ex expansion
 
@@ -228,7 +241,16 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 			return ex, enabledBuf, rulesBuf, selScratch, buf
 		}
 
-		enabled := ev.AppendEnabled(enabledBuf[:0], c)
+		// Every expansion looks at a different configuration, so the memo's
+		// per-process state-id mirror is revalidated wholesale; the tables
+		// themselves carry over (the exploration's whole point).
+		var enabled []int
+		if memo != nil {
+			memo.InvalidateAll()
+			enabled = memo.AppendEnabled(enabledBuf[:0], c)
+		} else {
+			enabled = ev.AppendEnabled(enabledBuf[:0], c)
+		}
 		enabledBuf = enabled
 		if len(enabled) == 0 {
 			ex.terminal = true
@@ -240,7 +262,11 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 
 		// Mutual-exclusion sanity check: at most one rule enabled per process.
 		for _, u := range enabled {
-			rulesBuf = ev.AppendEnabledRules(rulesBuf[:0], c, u)
+			if memo != nil {
+				rulesBuf = memo.AppendEnabledRules(rulesBuf[:0], c, u)
+			} else {
+				rulesBuf = ev.AppendEnabledRules(rulesBuf[:0], c, u)
+			}
 			if len(rulesBuf) > 1 {
 				ex.err = fmt.Errorf("checker: process %d has %d enabled rules in %s; exploration requires mutually exclusive rules", u, len(rulesBuf), c)
 				return ex, enabledBuf, rulesBuf, selScratch, buf
@@ -249,7 +275,7 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 
 		ex.capped = opts.MaxSelectionSize > 0 && len(enabled) > opts.MaxSelectionSize
 		selScratch = forEachSelection(enabled, opts.MaxSelectionSize, selScratch, func(sel []int) {
-			next := applyStep(ev, c, sel)
+			next := applyStep(ev, memo, c, sel)
 			var key string
 			key, buf = interner.AppendKey(buf, next)
 			s := succ{key: key, cfg: next, idx: -1}
@@ -266,6 +292,15 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 		return ex, enabledBuf, rulesBuf, selScratch, buf
 	}
 
+	// One memo evaluator per potential worker, created once so the tables
+	// accumulate across BFS levels (evaluator 0 doubles as the sequential
+	// path's). A MemoEvaluator is single-goroutine state; only the share
+	// behind them is synchronised.
+	memos := make([]*sim.MemoEvaluator, workers)
+	for i := range memos {
+		memos[i] = newMemo()
+	}
+
 	expansions := make([]expansion, 0, len(queue))
 	for len(queue) > 0 && !truncated {
 		level := queue
@@ -279,13 +314,13 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 			var enabledBuf, rulesBuf, selScratch []int
 			for i, idx := range level {
 				expansions[i], enabledBuf, rulesBuf, selScratch, keyBuf =
-					expand(idx, enabledBuf, rulesBuf, selScratch, keyBuf)
+					expand(idx, memos[0], enabledBuf, rulesBuf, selScratch, keyBuf)
 			}
 		} else {
 			// Fan the level out over the worker pool, strided so assignment
 			// needs no coordination. Workers only read already-merged shared
-			// state; each owns its scratch buffers, and the interner is
-			// internally synchronised.
+			// state; each owns its scratch buffers and memo evaluator, and the
+			// interner is internally synchronised.
 			var wg sync.WaitGroup
 			for g := 0; g < w; g++ {
 				wg.Add(1)
@@ -295,7 +330,7 @@ func Explore(net *sim.Network, alg sim.Algorithm, starts []*sim.Configuration, o
 					var buf []byte
 					for i := g; i < len(level); i += w {
 						expansions[i], enabledBuf, rulesBuf, selScratch, buf =
-							expand(level[i], enabledBuf, rulesBuf, selScratch, buf)
+							expand(level[i], memos[g], enabledBuf, rulesBuf, selScratch, buf)
 					}
 				}(g)
 			}
@@ -426,8 +461,10 @@ func forEachSelection(enabled []int, maxSize int, scratch []int, fn func(sel []i
 }
 
 // applyStep applies a composite-atomicity step in which exactly the selected
-// processes execute their (single) enabled rule.
-func applyStep(ev *sim.Evaluator, c *sim.Configuration, selected []int) *sim.Configuration {
+// processes execute their (single) enabled rule. With a memo evaluator, the
+// rule is read from the cached mask (the caller has just synchronised the
+// memo against c); the action itself always evaluates directly.
+func applyStep(ev *sim.Evaluator, memo *sim.MemoEvaluator, c *sim.Configuration, selected []int) *sim.Configuration {
 	states := make([]sim.State, c.N())
 	for u := 0; u < c.N(); u++ {
 		states[u] = c.State(u)
@@ -435,6 +472,12 @@ func applyStep(ev *sim.Evaluator, c *sim.Configuration, selected []int) *sim.Con
 	next := sim.NewConfiguration(states)
 	net, rules := ev.Network(), ev.Rules()
 	for _, u := range selected {
+		if memo != nil {
+			if ri := memo.FirstEnabledRule(c, u); ri >= 0 {
+				next.SetState(u, rules[ri].Action(net.View(c, u)))
+			}
+			continue
+		}
 		v := net.View(c, u)
 		for i := range rules {
 			if rules[i].Guard(v) {

@@ -71,6 +71,22 @@ func Compose(inner Resettable, opts ...ComposeOption) *Composed {
 // Inner returns the composed input algorithm.
 func (c *Composed) Inner() Resettable { return c.inner }
 
+// UsesIdentifiers implements sim.IdentifierUser: the SDR rules themselves
+// are anonymous, but their guards call into the inner algorithm's predicates
+// (P_ICorrect, P_reset), so the composition reads identifiers exactly when
+// the inner algorithm declares it does — and conservatively when it declares
+// nothing.
+func (c *Composed) UsesIdentifiers() bool { return resettableUsesIdentifiers(c.inner) }
+
+// resettableUsesIdentifiers reads the optional sim.IdentifierUser
+// declaration of an inner algorithm, defaulting to true.
+func resettableUsesIdentifiers(inner Resettable) bool {
+	if iu, ok := inner.(sim.IdentifierUser); ok {
+		return iu.UsesIdentifiers()
+	}
+	return true
+}
+
 // Name implements sim.Algorithm.
 func (c *Composed) Name() string {
 	suffix := ""
@@ -118,6 +134,52 @@ func (c *Composed) EnumerateStates(u int, net *sim.Network) []sim.State {
 		}
 	}
 	return out
+}
+
+// innerStateCount returns the size of the inner enumeration without
+// materializing it when the inner algorithm indexes its space.
+func innerStateCount(inner Resettable, u int, net *sim.Network) int {
+	if ix, ok := inner.(InnerIndexedEnumerable); ok {
+		return ix.InnerStateCount(u, net)
+	}
+	if enum, ok := inner.(InnerEnumerable); ok {
+		return len(enum.EnumerateInner(u, net))
+	}
+	return 0
+}
+
+// innerStateAt returns the j-th inner state as a fresh value, indexed when
+// the inner algorithm supports it.
+func innerStateAt(inner Resettable, u int, net *sim.Network, j int) sim.State {
+	if ix, ok := inner.(InnerIndexedEnumerable); ok {
+		return ix.InnerStateAt(u, net, j)
+	}
+	return inner.(InnerEnumerable).EnumerateInner(u, net)[j].Clone()
+}
+
+// StateCount implements sim.IndexedEnumerable: the composed space is the
+// product of the SDR block — one (C, 0) slot plus statuses RB and RF with
+// distances in [0, n] each — and the inner enumeration.
+func (c *Composed) StateCount(u int, net *sim.Network) int {
+	return (2*(net.N()+1) + 1) * innerStateCount(c.inner, u, net)
+}
+
+// StateAt implements sim.IndexedEnumerable, reproducing EnumerateStates'
+// order — statuses C, RB, RF outermost, distances next, inner states
+// innermost — without materializing the product.
+func (c *Composed) StateAt(u int, net *sim.Network, i int) sim.State {
+	k := innerStateCount(c.inner, u, net)
+	block, j := i/k, i%k
+	sdr := SDRState{St: StatusC, D: 0}
+	switch n := net.N(); {
+	case block == 0:
+		// status C enumerates the single distance 0.
+	case block <= n+1:
+		sdr = SDRState{St: StatusRB, D: block - 1}
+	default:
+		sdr = SDRState{St: StatusRF, D: block - n - 2}
+	}
+	return ComposedState{SDR: sdr, Inner: innerStateAt(c.inner, u, net, j)}
 }
 
 // buildRules assembles the composed rule set.
@@ -250,6 +312,10 @@ func NewStandalone(inner Resettable) *Standalone {
 // Inner returns the wrapped input algorithm.
 func (s *Standalone) Inner() Resettable { return s.inner }
 
+// UsesIdentifiers implements sim.IdentifierUser, forwarding the inner
+// algorithm's declaration (conservatively true when it makes none).
+func (s *Standalone) UsesIdentifiers() bool { return resettableUsesIdentifiers(s.inner) }
+
 // Name implements sim.Algorithm.
 func (s *Standalone) Name() string { return s.inner.Name() }
 
@@ -267,4 +333,15 @@ func (s *Standalone) EnumerateStates(u int, net *sim.Network) []sim.State {
 		return enum.EnumerateInner(u, net)
 	}
 	return nil
+}
+
+// StateCount implements sim.IndexedEnumerable when the inner algorithm
+// enumerates.
+func (s *Standalone) StateCount(u int, net *sim.Network) int {
+	return innerStateCount(s.inner, u, net)
+}
+
+// StateAt implements sim.IndexedEnumerable.
+func (s *Standalone) StateAt(u int, net *sim.Network, i int) sim.State {
+	return innerStateAt(s.inner, u, net, i)
 }

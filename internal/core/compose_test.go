@@ -90,6 +90,30 @@ func TestComposedEnumerateStates(t *testing.T) {
 	}
 }
 
+// TestIndexedEnumerationMatchesEnumeration pins the sim.IndexedEnumerable
+// contract the fault injectors rely on for bit-identical sampling: for both
+// the composition and the standalone wrapper, StateCount equals the
+// enumeration's length and StateAt(i) equals its i-th entry, at every
+// process and index.
+func TestIndexedEnumerationMatchesEnumeration(t *testing.T) {
+	inner := newTestInner(2)
+	net := pathNetwork(t)
+	for _, alg := range []sim.IndexedEnumerable{Compose(inner), NewStandalone(inner)} {
+		enum := alg.(sim.Enumerable)
+		for u := 0; u < net.N(); u++ {
+			states := enum.EnumerateStates(u, net)
+			if got := alg.StateCount(u, net); got != len(states) {
+				t.Fatalf("%T: StateCount(%d) = %d, want %d", alg, u, got, len(states))
+			}
+			for i, want := range states {
+				if got := alg.StateAt(u, net, i); got.String() != want.String() {
+					t.Fatalf("%T: StateAt(%d, %d) = %s, want %s", alg, u, i, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestMutualExclusionOfRules(t *testing.T) {
 	// Lemma 5 and Remark 2: in every reachable-or-not configuration of the
 	// composition, at most one rule is enabled per process. We sample the

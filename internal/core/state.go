@@ -33,6 +33,30 @@ func (s ComposedState) String() string {
 	return fmt.Sprintf("{%s %s}", s.SDR, s.Inner)
 }
 
+// AppendStateKey implements sim.KeyAppender: it appends exactly the String()
+// rendering, delegating the inner part to its own bypass when it has one.
+func (s ComposedState) AppendStateKey(dst []byte) []byte {
+	dst = append(dst, '{')
+	dst = s.SDR.AppendKey(dst)
+	dst = append(dst, ' ')
+	dst = sim.AppendStateKey(dst, s.Inner)
+	return append(dst, '}')
+}
+
+// Key64 implements sim.KeyedState: the status (2 bits), the zigzagged
+// distance (16 bits) and the inner state's own encoding, when everything
+// fits. The (C, d) states collapse to one rendering for every d; their
+// distinct encodings simply intern to the same id, which the KeyedState
+// contract allows.
+func (s ComposedState) Key64() (uint64, bool) {
+	ik, ok := sim.StateKey64(s.Inner)
+	zd := sim.ZigZag64(s.SDR.D)
+	if !ok || ik >= 1<<46 || zd >= 1<<16 || !s.SDR.St.Valid() {
+		return 0, false
+	}
+	return ik<<18 | zd<<2 | uint64(s.SDR.St-StatusC), true
+}
+
 // mustComposed extracts the composed state or panics with a clear message;
 // it guards against accidentally running composed rules on plain inner
 // states.

@@ -19,7 +19,10 @@
 // with rules rule_RB, rule_RF, rule_C and rule_R as in the paper.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Status is the reset status st_u of a process: C (correct, not involved in a
 // reset), RB (reset broadcast phase) or RF (reset feedback phase).
@@ -69,6 +72,18 @@ func (s SDRState) String() string {
 		return s.St.String()
 	}
 	return fmt.Sprintf("%s@%d", s.St, s.D)
+}
+
+// AppendKey appends exactly the String() rendering to dst without
+// allocating (the sim.KeyAppender bypass, reached through
+// ComposedState.AppendStateKey).
+func (s SDRState) AppendKey(dst []byte) []byte {
+	if s.St == StatusC {
+		return append(dst, 'C')
+	}
+	dst = append(dst, s.St.String()...)
+	dst = append(dst, '@')
+	return strconv.AppendInt(dst, int64(s.D), 10)
 }
 
 // Equal reports value equality.

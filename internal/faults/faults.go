@@ -20,16 +20,51 @@ import (
 	"sdr/internal/sim"
 )
 
-// enumerator returns the algorithm's state enumeration, or an error when the
-// algorithm does not (usefully) enumerate: wrappers may implement
-// sim.Enumerable yet return an empty space for non-enumerable inners, so the
-// space of process 0 is probed too.
-func enumerator(alg sim.Algorithm, net *sim.Network) (sim.Enumerable, error) {
+// sampler draws uniform states from an algorithm's enumerated space. It
+// prefers the indexed fast path (sim.IndexedEnumerable) so that the
+// product-shaped composed space is never materialized per draw; both paths
+// consume the shared rng identically — one Intn over the same count — so a
+// seeded corruption is bit-identical whichever path runs.
+type sampler struct {
+	name    string
+	enum    sim.Enumerable
+	indexed sim.IndexedEnumerable // non-nil when the fast path is available
+}
+
+// newSampler builds a sampler, or an error when the algorithm does not
+// (usefully) enumerate: wrappers may implement sim.Enumerable yet report an
+// empty space for non-enumerable inners, so the space of process 0 is probed
+// too.
+func newSampler(alg sim.Algorithm, net *sim.Network) (sampler, error) {
+	err := fmt.Errorf("faults: algorithm %s does not enumerate its states", alg.Name())
+	if ix, ok := alg.(sim.IndexedEnumerable); ok {
+		if ix.StateCount(0, net) == 0 {
+			return sampler{}, err
+		}
+		return sampler{name: alg.Name(), indexed: ix}, nil
+	}
 	enum, ok := alg.(sim.Enumerable)
 	if !ok || len(enum.EnumerateStates(0, net)) == 0 {
-		return nil, fmt.Errorf("faults: algorithm %s does not enumerate its states", alg.Name())
+		return sampler{}, err
 	}
-	return enum, nil
+	return sampler{name: alg.Name(), enum: enum}, nil
+}
+
+// draw returns a freshly owned state of process u drawn uniformly from its
+// enumerated space.
+func (s sampler) draw(u int, net *sim.Network, rng *rand.Rand) (sim.State, error) {
+	if s.indexed != nil {
+		n := s.indexed.StateCount(u, net)
+		if n == 0 {
+			return nil, fmt.Errorf("faults: algorithm %s enumerated no states for process %d", s.name, u)
+		}
+		return s.indexed.StateAt(u, net, rng.Intn(n)), nil
+	}
+	options := s.enum.EnumerateStates(u, net)
+	if len(options) == 0 {
+		return nil, fmt.Errorf("faults: algorithm %s enumerated no states for process %d", s.name, u)
+	}
+	return options[rng.Intn(len(options))].Clone(), nil
 }
 
 // RandomConfiguration returns a configuration in which every process state
@@ -37,17 +72,15 @@ func enumerator(alg sim.Algorithm, net *sim.Network) (sim.Enumerable, error) {
 // an error when the algorithm does not implement sim.Enumerable (or
 // enumerates an empty space).
 func RandomConfiguration(alg sim.Algorithm, net *sim.Network, rng *rand.Rand) (*sim.Configuration, error) {
-	enum, err := enumerator(alg, net)
+	smp, err := newSampler(alg, net)
 	if err != nil {
 		return nil, err
 	}
 	states := make([]sim.State, net.N())
 	for u := range states {
-		options := enum.EnumerateStates(u, net)
-		if len(options) == 0 {
-			return nil, fmt.Errorf("faults: algorithm %s enumerated no states for process %d", alg.Name(), u)
+		if states[u], err = smp.draw(u, net, rng); err != nil {
+			return nil, err
 		}
-		states[u] = options[rng.Intn(len(options))].Clone()
 	}
 	return sim.NewConfiguration(states), nil
 }
@@ -67,7 +100,7 @@ func MustRandomConfiguration(alg sim.Algorithm, net *sim.Network, rng *rand.Rand
 // algorithm's state space. fraction is clamped to [0, 1]. It returns an
 // error when the algorithm does not enumerate its states.
 func CorruptFraction(alg sim.Algorithm, net *sim.Network, base *sim.Configuration, fraction float64, rng *rand.Rand) (*sim.Configuration, error) {
-	enum, err := enumerator(alg, net)
+	smp, err := newSampler(alg, net)
 	if err != nil {
 		return nil, err
 	}
@@ -82,8 +115,11 @@ func CorruptFraction(alg sim.Algorithm, net *sim.Network, base *sim.Configuratio
 		if rng.Float64() >= fraction {
 			continue
 		}
-		options := enum.EnumerateStates(u, net)
-		c.SetState(u, options[rng.Intn(len(options))].Clone())
+		st, err := smp.draw(u, net, rng)
+		if err != nil {
+			return nil, err
+		}
+		c.SetState(u, st)
 	}
 	return c, nil
 }
@@ -102,14 +138,17 @@ func MustCorruptFraction(alg sim.Algorithm, net *sim.Network, base *sim.Configur
 // processes get uniformly random states. It returns an error when the
 // algorithm does not enumerate its states.
 func CorruptProcesses(alg sim.Algorithm, net *sim.Network, base *sim.Configuration, processes []int, rng *rand.Rand) (*sim.Configuration, error) {
-	enum, err := enumerator(alg, net)
+	smp, err := newSampler(alg, net)
 	if err != nil {
 		return nil, err
 	}
 	c := base.Clone()
 	for _, u := range processes {
-		options := enum.EnumerateStates(u, net)
-		c.SetState(u, options[rng.Intn(len(options))].Clone())
+		st, err := smp.draw(u, net, rng)
+		if err != nil {
+			return nil, err
+		}
+		c.SetState(u, st)
 	}
 	return c, nil
 }
@@ -131,8 +170,14 @@ func MustCorruptProcesses(alg sim.Algorithm, net *sim.Network, base *sim.Configu
 // state is inconsistent but no reset is running yet. It returns an error
 // when the inner algorithm does not enumerate its states.
 func CorruptedInner(inner core.Resettable, net *sim.Network, base *sim.Configuration, fraction float64, rng *rand.Rand) (*sim.Configuration, error) {
+	ix, indexed := inner.(core.InnerIndexedEnumerable)
 	enum, ok := inner.(core.InnerEnumerable)
-	if !ok || len(enum.EnumerateInner(0, net)) == 0 {
+	if indexed {
+		ok = ix.InnerStateCount(0, net) > 0
+	} else if ok {
+		ok = len(enum.EnumerateInner(0, net)) > 0
+	}
+	if !ok {
 		return nil, fmt.Errorf("faults: inner algorithm %s does not enumerate its states", inner.Name())
 	}
 	c := base.Clone()
@@ -140,8 +185,16 @@ func CorruptedInner(inner core.Resettable, net *sim.Network, base *sim.Configura
 		if rng.Float64() >= fraction {
 			continue
 		}
-		options := enum.EnumerateInner(u, net)
-		c.SetState(u, core.WithInner(c.State(u), options[rng.Intn(len(options))].Clone()))
+		// Both paths consume the rng identically: one Intn over the same
+		// count.
+		var in sim.State
+		if indexed {
+			in = ix.InnerStateAt(u, net, rng.Intn(ix.InnerStateCount(u, net)))
+		} else {
+			options := enum.EnumerateInner(u, net)
+			in = options[rng.Intn(len(options))].Clone()
+		}
+		c.SetState(u, core.WithInner(c.State(u), in))
 	}
 	return c, nil
 }

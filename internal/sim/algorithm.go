@@ -180,6 +180,25 @@ type Enumerable interface {
 	EnumerateStates(u int, net *Network) []State
 }
 
+// IndexedEnumerable is optionally implemented alongside Enumerable by
+// algorithms that can address their state space by position without
+// materializing it. The contract is positional equality with the
+// enumeration: StateCount(u, net) == len(EnumerateStates(u, net)) and
+// StateAt(u, net, i) equals EnumerateStates(u, net)[i] for every i in
+// [0, StateCount). The fault injectors prefer this interface to draw uniform
+// states in O(1) picks instead of rebuilding the (often product-shaped)
+// space for every draw; positional equality is what keeps seeded
+// configurations bit-identical whichever path runs.
+type IndexedEnumerable interface {
+	Enumerable
+	// StateCount returns the size of process u's enumerated state space.
+	StateCount(u int, net *Network) int
+	// StateAt returns the i-th state of the enumeration order, for
+	// 0 ≤ i < StateCount(u, net). The value is freshly allocated: the
+	// caller owns it and may install it in a configuration directly.
+	StateAt(u int, net *Network, i int) State
+}
+
 // InitialConfiguration builds γ_init for the algorithm on the network.
 func InitialConfiguration(a Algorithm, net *Network) *Configuration {
 	states := make([]State, net.N())

@@ -53,6 +53,8 @@ type Options struct {
 	rng                *rand.Rand
 	stopWhenLegitimate bool
 	injector           Injector
+	memo               *MemoShare
+	memoReadOnly       bool
 }
 
 // Option customises a run.
@@ -95,6 +97,28 @@ func WithRuleChoice(p RuleChoicePolicy, rng *rand.Rand) Option {
 // executions never terminate).
 func WithStopWhenLegitimate() Option {
 	return func(o *Options) { o.stopWhenLegitimate = true }
+}
+
+// WithMemo attaches a neighbourhood-transition memo share to the run: guard
+// enabledness is answered from the share's frozen table (and a run-local
+// overlay) instead of re-evaluating guards, and the first run to finish
+// against an unfrozen share donates its table for the remaining runs of the
+// cell. A nil share is a no-op, so callers thread an optional share through
+// unconditionally. Memoized runs are bit-identical to unmemoized ones (the
+// cache stores pure functions of closed neighbourhoods); Result.Memo carries
+// the hit/miss telemetry.
+func WithMemo(share *MemoShare) Option {
+	return func(o *Options) { o.memo = share; o.memoReadOnly = false }
+}
+
+// WithMemoReadOnly is WithMemo without the donation half of the protocol: the
+// run answers from the share's frozen table (and a private overlay) but never
+// donates its own table, even when the share is still unfrozen. Grid runners
+// hand it to every trial except the designated cache-filling one, so a cell
+// whose warm trial was skipped keeps per-trial hit counts deterministic
+// instead of racing the remaining trials for donation.
+func WithMemoReadOnly(share *MemoShare) Option {
+	return func(o *Options) { o.memo = share; o.memoReadOnly = true }
 }
 
 func defaultOptions() Options {
@@ -152,6 +176,9 @@ type Result struct {
 	// predicate evaluation out of the hot loop once the first legitimate
 	// configuration is recorded).
 	LegitimateSteps int
+	// Memo carries the transition-memoization telemetry of the run (all
+	// zero when the run executed without WithMemo).
+	Memo MemoStats
 }
 
 // Availability returns the fraction of executed steps whose resulting
@@ -270,6 +297,23 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 	ev := NewEvaluator(e.alg, e.net)
 	rules := ev.Rules()
 
+	// With a memo share attached, enabledness questions go through the
+	// memoized evaluator (nil when the rule set cannot be memoized, falling
+	// back to direct evaluation). The memoized answers are bit-identical to
+	// ev.Enabled by construction — the cache stores pure functions of closed
+	// neighbourhoods — so the rest of the loop is oblivious to the choice.
+	var memo *MemoEvaluator
+	if o.memo != nil {
+		memo = NewMemoEvaluator(ev, o.memo)
+		if memo != nil && o.memoReadOnly {
+			memo.donor = false
+		}
+	}
+	enabledAt := ev.Enabled
+	if memo != nil {
+		enabledAt = memo.Enabled
+	}
+
 	// Double-buffered state vectors: guards and the daemon read cur, the
 	// step's writes land in next, and the two swap after every step.
 	curStates := make([]State, n)
@@ -337,7 +381,7 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 	// materialisation handed to daemons.
 	enabledBits := newBitset(n)
 	for u := 0; u < n; u++ {
-		if ev.Enabled(curCfg, u) {
+		if enabledAt(curCfg, u) {
 			enabledBits.set(u)
 		}
 	}
@@ -406,9 +450,15 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 				// Re-seed the incremental machinery: states and topology may
 				// have changed arbitrarily, so the whole enabled set is
 				// recomputed and a fresh round starts at the perturbed
-				// configuration.
+				// configuration. The memo's per-process state-id mirror is
+				// stale for the same reason (the memo tables themselves stay
+				// valid: keys self-describe the neighbourhood, so entries for
+				// the old topology are simply never probed again).
+				if memo != nil {
+					memo.InvalidateAll()
+				}
 				for u := 0; u < n; u++ {
-					if ev.Enabled(curCfg, u) {
+					if enabledAt(curCfg, u) {
 						enabledBits.set(u)
 					} else {
 						enabledBits.clear(u)
@@ -459,7 +509,12 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 		ruleNames = ruleNames[:0]
 		for _, u := range selected {
 			v := e.net.View(curCfg, u)
-			ri := chooseRule(rules, v, o, ruleIdx)
+			var ri int
+			if memo != nil {
+				ri = chooseRuleFromMask(memo.Mask(curCfg, u), o)
+			} else {
+				ri = chooseRule(rules, v, o, ruleIdx)
+			}
 			if ri < 0 {
 				// Defensive: the daemon selected a non-enabled process; skip.
 				ruleNames = append(ruleNames, "")
@@ -484,14 +539,21 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 		}
 
 		// Install the step and refresh enabledness only where it can change.
+		// Only the activated processes hold new states, so only their memoized
+		// ids go stale.
 		curStates, nextStates = nextStates, curStates
 		curCfg, nextCfg = nextCfg, curCfg
+		if memo != nil {
+			for _, u := range selected {
+				memo.Invalidate(u)
+			}
+		}
 		for wi, word := range touched {
 			base := wi << 6
 			for word != 0 {
 				u := base + bits.TrailingZeros64(word)
 				word &= word - 1
-				if ev.Enabled(curCfg, u) {
+				if enabledAt(curCfg, u) {
 					enabledBits.set(u)
 				} else {
 					enabledBits.clear(u)
@@ -543,6 +605,10 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 	res.Terminated = len(enabledList) == 0
 	res.Final = NewConfiguration(curStates)
 	res.finish()
+	if memo != nil {
+		res.Memo = memo.Stats()
+		memo.Finish()
+	}
 	return res
 }
 
@@ -590,4 +656,22 @@ func chooseRule(rules []Rule, v View, o Options, scratch []int) int {
 	// WithRuleChoice rejects a nil rng for RandomEnabledRule, so o.rng is
 	// always set here.
 	return enabled[o.rng.Intn(len(enabled))]
+}
+
+// chooseRuleFromMask is chooseRule over a memoized enabled-rule bitmask. It
+// consumes the rng identically (one Intn over the same count, selecting set
+// bits in ascending index order), so memoized and direct runs stay
+// bit-identical under both policies.
+func chooseRuleFromMask(mask uint64, o Options) int {
+	if mask == 0 {
+		return -1
+	}
+	if o.ruleChoice == FirstEnabledRule {
+		return bits.TrailingZeros64(mask)
+	}
+	pick := o.rng.Intn(bits.OnesCount64(mask))
+	for ; pick > 0; pick-- {
+		mask &= mask - 1
+	}
+	return bits.TrailingZeros64(mask)
 }

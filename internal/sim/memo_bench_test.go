@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdr/internal/graph"
+)
+
+// The memo micro-benchmarks separate the three costs the memo layer trades
+// between: direct guard evaluation (the price of a miss's fallback), a
+// memoized hit (one neighbourhood sync + one map probe) and a memoized miss
+// (hit-path cost plus the fallback plus the insert/bypass). A fourth pair
+// measures the interning primitives the key scheme is built on.
+
+// benchConfigs returns a deterministic cycle of configurations so lookups mix
+// keys instead of hammering one entry.
+func benchConfigs(net *Network, count int, seed int64) []*Configuration {
+	rng := rand.New(rand.NewSource(seed))
+	configs := make([]*Configuration, count)
+	for i := range configs {
+		states := make([]State, net.N())
+		for u := range states {
+			states[u] = intState{v: rng.Intn(4)}
+		}
+		configs[i] = NewConfiguration(states)
+	}
+	return configs
+}
+
+// BenchmarkEvaluatorEnabled is the unmemoized baseline: every call runs the
+// guard loop directly.
+func BenchmarkEvaluatorEnabled(b *testing.B) {
+	net := NewNetwork(graph.Grid(8, 8))
+	ev := NewEvaluator(maxPropagation{}, net)
+	configs := benchConfigs(net, 16, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := configs[i%len(configs)]
+		for u := 0; u < net.N(); u++ {
+			ev.Enabled(c, u)
+		}
+	}
+}
+
+// BenchmarkMemoEnabledHit measures the steady-state hit path: the table is
+// prewarmed, so every lookup is answered by one map probe.
+func BenchmarkMemoEnabledHit(b *testing.B) {
+	net := NewNetwork(graph.Grid(8, 8))
+	m := NewMemoEvaluator(NewEvaluator(maxPropagation{}, net), nil)
+	configs := benchConfigs(net, 16, 1)
+	for _, c := range configs { // prewarm
+		m.InvalidateAll()
+		for u := 0; u < net.N(); u++ {
+			m.Enabled(c, u)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := configs[i%len(configs)]
+		m.InvalidateAll()
+		for u := 0; u < net.N(); u++ {
+			m.Enabled(c, u)
+		}
+	}
+	b.StopTimer()
+	if st := m.Stats(); st.Hits == 0 || st.Misses > uint64(len(configs)*net.N()) {
+		b.Fatalf("hit benchmark did not stay on the hit path: %+v", st)
+	}
+}
+
+// BenchmarkMemoEnabledMiss measures the steady-state miss path: a one-entry
+// cap keeps the table from filling, so every lookup probes, falls back to the
+// guards and counts a bypass.
+func BenchmarkMemoEnabledMiss(b *testing.B) {
+	net := NewNetwork(graph.Grid(8, 8))
+	m := NewMemoEvaluator(NewEvaluator(maxPropagation{}, net), NewMemoShare(1))
+	configs := benchConfigs(net, 16, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := configs[i%len(configs)]
+		m.InvalidateAll()
+		for u := 0; u < net.N(); u++ {
+			m.Enabled(c, u)
+		}
+	}
+	b.StopTimer()
+	if st := m.Stats(); st.Bypasses == 0 {
+		b.Fatalf("miss benchmark hit the table: %+v", st)
+	}
+}
+
+// BenchmarkStateID measures interning one already-seen state: the rendering
+// bypass plus the byte-keyed id lookup (allocation-free after first sight).
+func BenchmarkStateID(b *testing.B) {
+	ki := NewKeyInterner()
+	states := make([]State, 16)
+	for i := range states {
+		states[i] = intState{v: i}
+	}
+	var scratch []byte
+	for _, s := range states {
+		_, scratch = ki.StateID(s, scratch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, scratch = ki.StateID(states[i%len(states)], scratch)
+	}
+}
+
+// BenchmarkInternerAppendKey measures building a whole-configuration key from
+// already-interned states, the checker's per-configuration cost.
+func BenchmarkInternerAppendKey(b *testing.B) {
+	net := NewNetwork(graph.Grid(8, 8))
+	ki := NewKeyInterner()
+	configs := benchConfigs(net, 16, 1)
+	var buf []byte
+	for _, c := range configs {
+		_, buf = ki.AppendKey(buf, c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, buf = ki.AppendKey(buf, configs[i%len(configs)])
+	}
+}

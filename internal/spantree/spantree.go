@@ -22,6 +22,7 @@ package spantree
 
 import (
 	"fmt"
+	"strconv"
 
 	"sdr/internal/core"
 	"sdr/internal/graph"
@@ -57,6 +58,28 @@ func (s NodeState) String() string {
 		return fmt.Sprintf("d=%d p=⊥", s.Dist)
 	}
 	return fmt.Sprintf("d=%d p=%d", s.Dist, s.Parent)
+}
+
+// AppendStateKey implements sim.KeyAppender: exactly the String() bytes,
+// without allocating.
+func (s NodeState) AppendStateKey(dst []byte) []byte {
+	dst = append(dst, "d="...)
+	dst = strconv.AppendInt(dst, int64(s.Dist), 10)
+	dst = append(dst, " p="...)
+	if s.Parent == NoParent {
+		return append(dst, "⊥"...)
+	}
+	return strconv.AppendInt(dst, int64(s.Parent), 10)
+}
+
+// Key64 implements sim.KeyedState: the zigzagged distance and parent packed
+// half-and-half, when both fit 32 bits.
+func (s NodeState) Key64() (uint64, bool) {
+	zd, zp := sim.ZigZag64(s.Dist), sim.ZigZag64(s.Parent)
+	if zd >= 1<<32 || zp >= 1<<32 {
+		return 0, false
+	}
+	return zd<<32 | zp, true
 }
 
 // BFS is Algorithm B, designed to be composed with SDR. It implements
@@ -229,6 +252,23 @@ func (b *BFS) EnumerateInner(u int, net *sim.Network) []sim.State {
 		}
 	}
 	return out
+}
+
+// InnerStateCount implements core.InnerIndexedEnumerable.
+func (b *BFS) InnerStateCount(u int, net *sim.Network) int {
+	return (b.maxDist + 1) * (net.Degree(u) + 1)
+}
+
+// InnerStateAt implements core.InnerIndexedEnumerable, reproducing
+// EnumerateInner's order: distances outermost, the parent pointer (⊥ first,
+// then the neighbours in local-label order) innermost.
+func (b *BFS) InnerStateAt(u int, net *sim.Network, i int) sim.State {
+	span := net.Degree(u) + 1
+	d, pi := i/span, i%span
+	if pi == 0 {
+		return NodeState{Dist: d, Parent: NoParent}
+	}
+	return NodeState{Dist: d, Parent: net.ID(net.Neighbors(u)[pi-1])}
 }
 
 // NewSelfStabilizing returns the silent self-stabilizing BFS spanning tree

@@ -86,6 +86,18 @@ func TestEnumerateInner(t *testing.T) {
 	if got, want := len(b.EnumerateInner(0, net)), 5*4; got != want {
 		t.Errorf("centre enumerates %d states, want %d", got, want)
 	}
+	// The indexed enumeration must agree positionally at every process.
+	for u := 0; u < net.N(); u++ {
+		states := b.EnumerateInner(u, net)
+		if got := b.InnerStateCount(u, net); got != len(states) {
+			t.Fatalf("InnerStateCount(%d) = %d, want %d", u, got, len(states))
+		}
+		for i, want := range states {
+			if got := b.InnerStateAt(u, net, i); !got.Equal(want) {
+				t.Fatalf("InnerStateAt(%d, %d) = %s, want %s", u, i, got, want)
+			}
+		}
+	}
 }
 
 func TestICorrectInvariant(t *testing.T) {

@@ -2,6 +2,7 @@ package unison
 
 import (
 	"fmt"
+	"strconv"
 
 	"sdr/internal/graph"
 	"sdr/internal/sim"
@@ -59,6 +60,16 @@ func (s BPVState) Equal(other sim.State) bool {
 // String implements sim.State.
 func (s BPVState) String() string { return fmt.Sprintf("r=%d", s.R) }
 
+// AppendStateKey implements sim.KeyAppender: exactly the String() bytes,
+// without allocating.
+func (s BPVState) AppendStateKey(dst []byte) []byte {
+	dst = append(dst, "r="...)
+	return strconv.AppendInt(dst, int64(s.R), 10)
+}
+
+// Key64 implements sim.KeyedState: the zigzagged extended clock always fits.
+func (s BPVState) Key64() (uint64, bool) { return sim.ZigZag64(s.R), true }
+
 // NewBPV returns the baseline with period k and tail length alpha.
 // It panics when k < 2 or alpha < 1.
 func NewBPV(k, alpha int) *BPV {
@@ -95,6 +106,10 @@ func (b *BPV) K() int { return b.k }
 // Alpha returns the tail length.
 func (b *BPV) Alpha() int { return b.alpha }
 
+// UsesIdentifiers implements sim.IdentifierUser: the baseline is anonymous
+// (guards compare extended clock values only).
+func (b *BPV) UsesIdentifiers() bool { return false }
+
 // Name implements sim.Algorithm.
 func (b *BPV) Name() string { return fmt.Sprintf("BPV(K=%d,α=%d)", b.k, b.alpha) }
 
@@ -109,6 +124,15 @@ func (b *BPV) EnumerateStates(int, *sim.Network) []sim.State {
 		out = append(out, BPVState{R: r})
 	}
 	return out
+}
+
+// StateCount implements sim.IndexedEnumerable.
+func (b *BPV) StateCount(int, *sim.Network) int { return b.alpha + b.k }
+
+// StateAt implements sim.IndexedEnumerable: the enumeration is the extended
+// clock values -Alpha, ..., K-1 in increasing order.
+func (b *BPV) StateAt(_ int, _ *sim.Network, i int) sim.State {
+	return BPVState{R: i - b.alpha}
 }
 
 // Rule names of the baseline.

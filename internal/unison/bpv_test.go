@@ -65,6 +65,16 @@ func TestBPVEnumerateStates(t *testing.T) {
 	if states[0].(BPVState).R != -3 || states[len(states)-1].(BPVState).R != 4 {
 		t.Errorf("state range is [%v, %v], want [-3, 4]", states[0], states[len(states)-1])
 	}
+	// The indexed enumeration must agree positionally.
+	net := sim.NewNetwork(graph.Ring(4))
+	if got := b.StateCount(0, net); got != len(states) {
+		t.Fatalf("StateCount = %d, want %d", got, len(states))
+	}
+	for i, want := range states {
+		if got := b.StateAt(0, net, i); !got.Equal(want) {
+			t.Fatalf("StateAt(%d) = %s, want %s", i, got, want)
+		}
+	}
 }
 
 func TestBPVFromInitBehavesAsUnison(t *testing.T) {

@@ -9,6 +9,7 @@ package unison
 
 import (
 	"fmt"
+	"strconv"
 
 	"sdr/internal/core"
 	"sdr/internal/sim"
@@ -35,6 +36,16 @@ func (s ClockState) Equal(other sim.State) bool {
 // String implements sim.State.
 func (s ClockState) String() string { return fmt.Sprintf("c=%d", s.C) }
 
+// AppendStateKey implements sim.KeyAppender: exactly the String() bytes,
+// without allocating.
+func (s ClockState) AppendStateKey(dst []byte) []byte {
+	dst = append(dst, "c="...)
+	return strconv.AppendInt(dst, int64(s.C), 10)
+}
+
+// Key64 implements sim.KeyedState: the zigzagged clock always fits.
+func (s ClockState) Key64() (uint64, bool) { return sim.ZigZag64(s.C), true }
+
 // Unison is Algorithm U (Algorithm 2 of the paper): anonymous, non
 // self-stabilizing unison with period K > n, designed to be composed with
 // SDR. It implements core.Resettable.
@@ -58,6 +69,12 @@ func New(k int) *Unison {
 
 // K returns the period.
 func (u *Unison) K() int { return u.k }
+
+// UsesIdentifiers implements sim.IdentifierUser: Algorithm U is anonymous —
+// its rules and predicates (including P_reset and P_ICorrect used by the
+// SDR composition) read clock values only — so memoized guard caches may be
+// shared across processes with equal neighbourhood states.
+func (u *Unison) UsesIdentifiers() bool { return false }
 
 // ValidatePeriod checks the paper's requirement K > n for the given network.
 func (u *Unison) ValidatePeriod(net *sim.Network) error {
@@ -149,6 +166,15 @@ func (u *Unison) EnumerateInner(int, *sim.Network) []sim.State {
 		out[c] = ClockState{C: c}
 	}
 	return out
+}
+
+// InnerStateCount implements core.InnerIndexedEnumerable.
+func (u *Unison) InnerStateCount(int, *sim.Network) int { return u.k }
+
+// InnerStateAt implements core.InnerIndexedEnumerable: the enumeration is
+// the clock values in increasing order.
+func (u *Unison) InnerStateAt(_ int, _ *sim.Network, i int) sim.State {
+	return ClockState{C: i}
 }
 
 // mod returns x modulo k in [0, k).

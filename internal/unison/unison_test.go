@@ -66,6 +66,16 @@ func TestResettableContract(t *testing.T) {
 	if got := len(u.EnumerateInner(0, net)); got != 7 {
 		t.Errorf("EnumerateInner returned %d states, want K=7", got)
 	}
+	// The indexed enumeration must agree positionally.
+	states := u.EnumerateInner(0, net)
+	if got := u.InnerStateCount(0, net); got != len(states) {
+		t.Fatalf("InnerStateCount = %d, want %d", got, len(states))
+	}
+	for i, want := range states {
+		if got := u.InnerStateAt(0, net, i); !got.Equal(want) {
+			t.Fatalf("InnerStateAt(%d) = %s, want %s", i, got, want)
+		}
+	}
 }
 
 func TestCircularDistance(t *testing.T) {
