@@ -65,7 +65,7 @@ func run(args []string, out io.Writer) error {
 		seed         = fs.Int64("seed", 0, "base random seed (0 keeps the configuration default)")
 		parallel     = fs.Int("parallel", 0, "max number of concurrently executed trials (0 = one per CPU, 1 = sequential); tables are identical for every value")
 		list         = fs.Bool("list", false, "list the experiments and the scenario registries, then exit")
-		jsonOut      = fs.Bool("json", false, "additionally write each table as machine-readable BENCH_<id>.json")
+		jsonOut      = fs.Bool("json", false, "additionally write each table as machine-readable BENCH_<id>.json; with -list, print the machine-readable registry dump instead")
 		jsonDir      = fs.String("json-dir", ".", "directory the -json files are written to")
 		sweep        = fs.Bool("sweep", false, "run a custom algorithm×topology×daemon×fault grid instead of the paper's tables")
 		algorithms   = fs.String("algorithms", "unison", "comma-separated algorithm registry entries for -sweep/-verify")
@@ -118,6 +118,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *list {
+		if *jsonOut {
+			// Machine-readable registry dump: the same bytes sdrsim -list
+			// -json prints and sdrd serves at GET /v1/registry.
+			return scenario.WriteRegistryJSON(out)
+		}
 		fmt.Fprintln(out, "experiments:")
 		for _, e := range bench.Experiments() {
 			fmt.Fprintf(out, "  %-4s %s\n", e.ID, e.Title)

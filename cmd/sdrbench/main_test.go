@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sdr/internal/scenario"
 )
 
 func TestListExperiments(t *testing.T) {
@@ -237,5 +239,22 @@ func TestBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Error("unknown flags must be rejected")
+	}
+}
+
+// TestListJSONMatchesRegistryDump pins -list -json to the shared encoder:
+// the CLI output must be byte-identical to scenario.WriteRegistryJSON (and
+// therefore to sdrsim -list -json and the sdrd /v1/registry body).
+func TestListJSONMatchesRegistryDump(t *testing.T) {
+	var got bytes.Buffer
+	if err := run([]string{"-list", "-json"}, &got); err != nil {
+		t.Fatalf("run -list -json: %v", err)
+	}
+	var want bytes.Buffer
+	if err := scenario.WriteRegistryJSON(&want); err != nil {
+		t.Fatalf("WriteRegistryJSON: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("-list -json diverged from scenario.WriteRegistryJSON:\ngot:\n%s\nwant:\n%s", got.Bytes(), want.Bytes())
 	}
 }

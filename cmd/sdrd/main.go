@@ -1,0 +1,93 @@
+// Command sdrd serves the simulation stack as a long-running HTTP+JSON
+// service (internal/server): clients submit scenario specs, sweep grids or
+// full campaign specs as jobs, follow their campaign JSONL record streams
+// live, and read queue/dedup/memoization statistics. Identical submissions
+// are deduplicated by content hash — concurrent duplicates attach to the
+// in-flight job, repeats of completed jobs are answered from a bounded
+// result cache without re-running anything.
+//
+// The record stream a job serves is byte-identical to the CAMPAIGN_<id>.jsonl
+// file an offline `sdrbench -campaign` run writes for the same spec and seed.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting
+// submissions, interrupts in-flight campaigns at their next record boundary
+// (the same checkpoint semantics as the CLI's SIGINT handling), and exits
+// once every stream is flushed.
+//
+// Usage:
+//
+//	sdrd [-addr :8321] [-workers 2] [-queue 16] [-parallel 8] [-cache 64] [-memo-cap 0]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sdr/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdrd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdrd", flag.ContinueOnError)
+	var cfg server.Config
+	addr := fs.String("addr", ":8321", "listen address")
+	fs.IntVar(&cfg.Workers, "workers", 2, "number of jobs executed concurrently")
+	fs.IntVar(&cfg.QueueDepth, "queue", 16, "max queued (accepted, not started) jobs; beyond this, submissions get 429")
+	fs.IntVar(&cfg.Parallel, "parallel", 0, "per-job trial parallelism (0 = one per CPU); record streams are identical for every value")
+	fs.IntVar(&cfg.ResultCache, "cache", 64, "completed jobs retained for dedup and record serving (LRU)")
+	fs.IntVar(&cfg.MemoCap, "memo-cap", 0, "max entries per cell's transition-memo table (0 = the sim package default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mgr := server.NewManager(cfg)
+	srv := &http.Server{Addr: *addr, Handler: server.New(mgr)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("sdrd: listening on %s (workers=%d queue=%d)", ln.Addr(), cfg.Workers, cfg.QueueDepth)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process outright
+	log.Printf("sdrd: draining — interrupting jobs at their next record boundary")
+	// Drain first so every record log finishes and followers disconnect;
+	// only then can Shutdown's wait for active connections complete.
+	mgr.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("sdrd: drained, exiting")
+	return nil
+}

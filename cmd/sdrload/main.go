@@ -1,0 +1,225 @@
+// Command sdrload is a small load generator for a running sdrd instance,
+// used by the CI service-smoke job. It submits a batch of scenario jobs —
+// each distinct spec several times, so the service's content-hash dedup must
+// engage — waits for every job to finish, drains each record stream, then
+// fetches /v1/stats, writes it to -out, and fails unless the run completed
+// and at least one submission was answered by dedup.
+//
+// Usage:
+//
+//	sdrload [-url http://localhost:8321] [-specs 4] [-repeat 3] [-n 8] [-out stats.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdrload:", err)
+		os.Exit(1)
+	}
+}
+
+type submitResponse struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	Deduped    bool   `json:"deduped"`
+	RecordsURL string `json:"records_url"`
+}
+
+type jobStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Records int    `json:"records"`
+	Error   string `json:"error"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdrload", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8321", "base URL of the sdrd instance")
+	specs := fs.Int("specs", 4, "number of distinct scenario specs to submit")
+	repeat := fs.Int("repeat", 3, "times each distinct spec is submitted (repeats must dedup)")
+	n := fs.Int("n", 8, "network size of the submitted scenarios")
+	out := fs.String("out", "", "write the final /v1/stats body to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := *url
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// Each distinct spec is submitted -repeat times concurrently: the first
+	// submission creates the job, the rest must dedup onto it.
+	type result struct {
+		resp submitResponse
+		err  error
+	}
+	total := *specs * *repeat
+	results := make([]result, total)
+	var wg sync.WaitGroup
+	for i := 0; i < *specs; i++ {
+		body, err := json.Marshal(map[string]any{
+			"spec": map[string]any{
+				"algorithm": "unison",
+				"topology":  "ring",
+				"n":         *n,
+				"daemon":    "distributed-random",
+				"fault":     "random-all",
+				"seed":      int64(i + 1),
+			},
+		})
+		if err != nil {
+			return err
+		}
+		for r := 0; r < *repeat; r++ {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				results[slot].resp, results[slot].err = submit(client, base, body)
+			}(i**repeat + r)
+		}
+	}
+	wg.Wait()
+
+	ids := make(map[string]bool)
+	deduped := 0
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		ids[r.resp.ID] = true
+		if r.resp.Deduped {
+			deduped++
+		}
+	}
+	fmt.Printf("sdrload: %d submissions → %d distinct jobs, %d deduped at submit\n", total, len(ids), deduped)
+
+	for id := range ids {
+		st, err := await(client, base, id)
+		if err != nil {
+			return err
+		}
+		if st.State != "done" {
+			return fmt.Errorf("job %s finished as %q: %s", id, st.State, st.Error)
+		}
+		n, err := drainRecords(client, base, id)
+		if err != nil {
+			return err
+		}
+		if n != st.Records {
+			return fmt.Errorf("job %s: stream served %d lines, status reports %d", id, n, st.Records)
+		}
+		fmt.Printf("sdrload: job %s done, %d stream lines\n", id, n)
+	}
+
+	stats, err := get(client, base+"/v1/stats")
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, stats, 0o644); err != nil {
+			return err
+		}
+	}
+	var parsed struct {
+		JobsDone  int `json:"jobs_done"`
+		DedupHits int `json:"dedup_hits"`
+	}
+	if err := json.Unmarshal(stats, &parsed); err != nil {
+		return fmt.Errorf("parse /v1/stats: %w", err)
+	}
+	fmt.Printf("sdrload: stats jobs_done=%d dedup_hits=%d\n", parsed.JobsDone, parsed.DedupHits)
+	if parsed.JobsDone < len(ids) {
+		return fmt.Errorf("expected ≥ %d done jobs, stats report %d", len(ids), parsed.JobsDone)
+	}
+	if parsed.DedupHits == 0 {
+		return fmt.Errorf("expected non-zero dedup hits (%d duplicate submissions were sent)", total-*specs)
+	}
+	return nil
+}
+
+func submit(client *http.Client, base string, body []byte) (submitResponse, error) {
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return submitResponse{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return submitResponse{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return submitResponse{}, fmt.Errorf("submit: %s: %s", resp.Status, data)
+	}
+	var sr submitResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return submitResponse{}, fmt.Errorf("submit: parse response: %w", err)
+	}
+	return sr, nil
+}
+
+func await(client *http.Client, base, id string) (jobStatus, error) {
+	deadline := time.Now().Add(4 * time.Minute)
+	for {
+		data, err := get(client, base+"/v1/jobs/"+id)
+		if err != nil {
+			return jobStatus{}, err
+		}
+		var st jobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return jobStatus{}, fmt.Errorf("parse status: %w", err)
+		}
+		switch st.State {
+		case "done", "failed", "interrupted":
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s still %s after timeout", id, st.State)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// drainRecords reads the job's full record stream and counts its lines.
+func drainRecords(client *http.Client, base, id string) (int, error) {
+	resp, err := client.Get(base + "/v1/jobs/" + id + "/records")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("records: %s", resp.Status)
+	}
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		n++
+	}
+	return n, sc.Err()
+}
+
+func get(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, data)
+	}
+	return data, nil
+}

@@ -18,6 +18,7 @@
 //	sdrsim -algorithm unison -topology ring -n 5 -verify -verify-starts 8
 //	sdrsim -algorithm unison -topology torus -n 16 -churn poisson-mixed
 //	sdrsim -list
+//	sdrsim -list -json
 package main
 
 import (
@@ -46,6 +47,7 @@ func run(args []string, out io.Writer) error {
 		sp        scenario.Spec
 		vo        scenario.VerifyOptions
 		list      = fs.Bool("list", false, "list the registered algorithms, topologies, daemons and fault models, then exit")
+		jsonList  = fs.Bool("json", false, "with -list, print the machine-readable registry dump (the same bytes sdrbench -list -json prints and sdrd serves at /v1/registry)")
 		showTrace = fs.Bool("trace", false, "print the full step-by-step trace")
 		format    = fs.String("format", "text", "trace format when -trace is set: text, csv, json")
 		verify    = fs.Bool("verify", false, "exhaustively certify the run's convergence property instead of simulating one schedule (small n only)")
@@ -69,6 +71,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *list {
+		if *jsonList {
+			return scenario.WriteRegistryJSON(out)
+		}
 		printRegistries(out)
 		return nil
 	}

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"sdr/internal/scenario"
 )
 
 func TestSimulateUnison(t *testing.T) {
@@ -101,5 +104,25 @@ func TestSimulateRejectsBadInputs(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v should be rejected", args)
 		}
+	}
+}
+
+// TestListJSONMatchesRegistryDump pins -list -json to the shared encoder:
+// the CLI output must be byte-identical to scenario.WriteRegistryJSON (and
+// therefore to sdrbench -list -json and the sdrd /v1/registry body).
+func TestListJSONMatchesRegistryDump(t *testing.T) {
+	var got bytes.Buffer
+	if err := run([]string{"-list", "-json"}, &got); err != nil {
+		t.Fatalf("run -list -json: %v", err)
+	}
+	var want bytes.Buffer
+	if err := scenario.WriteRegistryJSON(&want); err != nil {
+		t.Fatalf("WriteRegistryJSON: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("-list -json diverged from scenario.WriteRegistryJSON:\ngot:\n%s\nwant:\n%s", got.Bytes(), want.Bytes())
+	}
+	if !json.Valid(got.Bytes()) {
+		t.Errorf("-list -json output is not valid JSON:\n%s", got.Bytes())
 	}
 }

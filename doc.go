@@ -36,12 +36,18 @@
 //     campaigns over scenario sweeps with a resumable JSONL sink, adaptive
 //     trial counts, versioned baseline snapshots and the noise-aware
 //     baseline comparison behind the CI regression gate
-//     (sdrbench -campaign / -compare).
+//     (sdrbench -campaign / -compare);
+//   - internal/server   — the sdrd simulation service: an HTTP+JSON API over
+//     the campaign stream core with content-hash deduplicated, backpressured
+//     job execution, live-followable record streams byte-identical to the
+//     offline campaign files, and graceful record-boundary drain.
 //
-// The executables cmd/sdrsim and cmd/sdrbench and the runnable examples under
-// examples/ are the entry points; all of them construct their runs through
-// internal/scenario Specs, so `sdrsim -list` shows every combination they can
-// run. bench_test.go at this root exposes one testing.B benchmark per
+// The executables cmd/sdrsim and cmd/sdrbench, the long-running service
+// daemon cmd/sdrd (with its load generator cmd/sdrload), and the runnable
+// examples under examples/ are the entry points; all of them construct their
+// runs through internal/scenario Specs, so `sdrsim -list` shows every
+// combination they can run (`-list -json` for the machine-readable dump the
+// service also serves at /v1/registry). bench_test.go at this root exposes one testing.B benchmark per
 // experiment table. See README.md for the quickstart, the scenario sweeps and
 // benchmark usage.
 package sdr

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -52,6 +53,61 @@ func TestMapGridWarmBarrier(t *testing.T) {
 	}
 	if got := MapGridWarm(2, 2, 1, func(cell, trial int) int { return cell*10 + trial }); !reflect.DeepEqual(got, [][]int{{0}, {10}}) {
 		t.Fatalf("single-trial grid = %v", got)
+	}
+}
+
+// TestMapGridContextCancel pins the cancellation contract server jobs abort
+// through: a cancelled context stops further dispatch, in-flight calls
+// complete, and the executed pairs form a prefix of (cell, trial) order.
+func TestMapGridContextCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var calls atomic.Int64
+		got := MapGridContext(ctx, workers, 3, 3, func(cell, trial int) bool {
+			calls.Add(1)
+			return true
+		})
+		// A context cancelled before dispatch runs nothing (the buffered
+		// dispatch channel may admit up to `workers` in-flight pairs after a
+		// mid-grid cancel, but never before the first dispatch attempt).
+		if workers == 1 && calls.Load() != 0 {
+			t.Fatalf("workers=%d: %d calls after pre-cancelled context, want 0", workers, calls.Load())
+		}
+		executed := 0
+		prefixEnded := false
+		for c := 0; c < 3; c++ {
+			for tr := 0; tr < 3; tr++ {
+				if got[c][tr] {
+					if prefixEnded {
+						t.Fatalf("workers=%d: executed pair (%d,%d) after a gap — not a prefix", workers, c, tr)
+					}
+					executed++
+				} else {
+					prefixEnded = true
+				}
+			}
+		}
+		if int64(executed) != calls.Load() {
+			t.Fatalf("workers=%d: %d executed results vs %d calls", workers, executed, calls.Load())
+		}
+	}
+}
+
+// TestMapGridContextMidCancel cancels mid-grid from inside fn and checks the
+// executed set is still a contiguous prefix.
+func TestMapGridContextMidCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := MapGridContext(ctx, 1, 2, 4, func(cell, trial int) bool {
+		if cell == 0 && trial == 2 {
+			cancel()
+		}
+		return true
+	})
+	want := [][]bool{{true, true, true, false}, {false, false, false, false}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mid-grid cancel executed %v, want %v", got, want)
 	}
 }
 

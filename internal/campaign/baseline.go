@@ -8,6 +8,7 @@ import (
 	"os/exec"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"sdr/internal/bench"
@@ -32,20 +33,37 @@ type Meta struct {
 	CreatedAt string `json:"created_at,omitempty"`
 }
 
-// CollectMeta fingerprints the current environment, best-effort: a missing
-// git binary or repository simply leaves Commit empty.
+var (
+	fingerprintOnce sync.Once
+	fingerprint     Meta
+)
+
+// Fingerprint returns the environment fingerprint (VCS commit, Go version,
+// host), best-effort: a missing git binary or repository simply leaves
+// Commit empty. It is the one helper behind both baseline Meta snapshots
+// and the sdrd /v1/version endpoint, computed once per process (the commit
+// lookup execs git).
+func Fingerprint() Meta {
+	fingerprintOnce.Do(func() {
+		fingerprint = Meta{
+			GoVersion: runtime.Version(),
+			Host:      runtime.GOOS + "/" + runtime.GOARCH,
+		}
+		if host, err := os.Hostname(); err == nil {
+			fingerprint.Host = host + " " + fingerprint.Host
+		}
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			fingerprint.Commit = strings.TrimSpace(string(out))
+		}
+	})
+	return fingerprint
+}
+
+// CollectMeta stamps the environment fingerprint with the current time, the
+// form baseline snapshots embed.
 func CollectMeta() Meta {
-	m := Meta{
-		GoVersion: runtime.Version(),
-		Host:      runtime.GOOS + "/" + runtime.GOARCH,
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
-	}
-	if host, err := os.Hostname(); err == nil {
-		m.Host = host + " " + m.Host
-	}
-	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
-		m.Commit = strings.TrimSpace(string(out))
-	}
+	m := Fingerprint()
+	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	return m
 }
 

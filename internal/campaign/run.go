@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -34,20 +35,36 @@ type Options struct {
 	// returns ErrInterrupted. The stream is a clean resumable prefix, so a
 	// later Run with Resume continues it to the byte-identical full stream.
 	Interrupt <-chan struct{}
+	// Context, when non-nil, cancels the campaign with the same
+	// record-boundary semantics as Interrupt: no new trial starts after
+	// cancellation, in-flight trials complete, and the recorded stream is a
+	// clean resumable prefix. internal/server aborts and drains jobs
+	// through it.
+	Context context.Context
 }
 
-// ErrInterrupted reports a campaign stopped by Options.Interrupt. The JSONL
-// stream holds every trial completed before the stop and can be resumed.
+// ErrInterrupted reports a campaign stopped by Options.Interrupt or a
+// cancelled Options.Context. The stream holds every trial completed before
+// the stop and can be resumed.
 var ErrInterrupted = errors.New("campaign: interrupted")
 
-// interrupted reports whether the interrupt channel is closed.
+// interrupted reports whether the interrupt channel is closed or the
+// context is cancelled.
 func (o Options) interrupted() bool {
 	select {
 	case <-o.Interrupt:
 		return true
 	default:
-		return false
 	}
+	return o.Context != nil && o.Context.Err() != nil
+}
+
+// context returns the cancellation context trial waves run under.
+func (o Options) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // Result is a finished campaign: the spec and the per-cell aggregates, in
@@ -92,13 +109,40 @@ func Run(spec Spec, path string, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	closed := false
-	defer func() {
-		if !closed {
-			out.Close()
-		}
-	}()
+	res, err := runStream(spec, sw, cells, existing, out, opts)
+	cerr := out.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return res, nil
+}
 
+// RunSink executes the campaign described by spec against an arbitrary Sink:
+// the header line, then every trial record, exactly as Run writes them to
+// the JSONL file — the entry point internal/server jobs run through, so
+// served streams are byte-identical to offline files. Unlike Run it always
+// starts fresh (serving resumes by re-reading the sink's lines, not by
+// re-running), and cancellation arrives through Options.Context.
+func RunSink(spec Spec, out Sink, opts Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sw := spec.sweep()
+	cells := sw.Cells()
+	if err := out.WriteLine(fileHeader{Type: "campaign", Spec: spec}); err != nil {
+		return nil, err
+	}
+	return runStream(spec, sw, cells, make([][]TrialRecord, len(cells)), out, opts)
+}
+
+// runStream is the campaign core shared by Run (file sink) and RunSink
+// (caller-provided sink): it drives every cell through its trial waves,
+// records strictly in trial order, and stops at a record boundary when
+// interrupted or cancelled.
+func runStream(spec Spec, sw scenario.Sweep, cells []scenario.Cell, existing [][]TrialRecord, out Sink, opts Options) (*Result, error) {
 	_, maxTrials := spec.trialBounds()
 	result := &Result{Spec: spec, Cells: make([]CellAggregate, 0, len(cells))}
 	for ci, cell := range cells {
@@ -140,10 +184,6 @@ func Run(spec Spec, path string, opts Options) (*Result, error) {
 		}
 		for !done {
 			if opts.interrupted() {
-				closed = true
-				if err := out.Close(); err != nil {
-					return nil, err
-				}
 				return nil, fmt.Errorf("%w before cell %s", ErrInterrupted, cellKey(cell))
 			}
 			// One wave of trials: sized by the worker budget (bounded
@@ -163,10 +203,20 @@ func Run(spec Spec, path string, opts Options) (*Result, error) {
 			}
 			first := len(recs)
 			memoOpts := memoTrialOpt(share, donated)
-			batch := bench.MapGrid(opts.Parallel, 1, wave, func(_, k int) trialOutcome {
-				return runTrial(sw, cells[ci], first+k, spec.RecordTime, memoOpts...)
+			batch := bench.MapGridContext(opts.context(), opts.Parallel, 1, wave, func(_, k int) trialOutcome {
+				tr := runTrial(sw, cells[ci], first+k, spec.RecordTime, memoOpts...)
+				tr.executed = true
+				return tr
 			})
 			for _, tr := range batch[0] {
+				if !tr.executed {
+					// The context was cancelled mid-wave. Executed trials form
+					// a prefix of the wave (MapGridContext dispatches in order
+					// and lets in-flight calls finish), and every one of them
+					// is already recorded — the stream is a clean resumable
+					// prefix cut at a record boundary.
+					return nil, fmt.Errorf("%w in cell %s", ErrInterrupted, cellKey(cell))
+				}
 				if tr.err != nil {
 					return nil, tr.err
 				}
@@ -175,7 +225,7 @@ func Run(spec Spec, path string, opts Options) (*Result, error) {
 				if !tr.rec.Skipped {
 					donated = true
 				}
-				if err := out.writeLine(tr.rec); err != nil {
+				if err := out.WriteLine(tr.rec); err != nil {
 					return nil, err
 				}
 				if spec.stopAfter(len(recs), &acc) {
@@ -190,17 +240,16 @@ func Run(spec Spec, path string, opts Options) (*Result, error) {
 			fmt.Fprintf(opts.Progress, "  %-44s %s\n", agg.Cell, progressSummary(spec, agg))
 		}
 	}
-	closed = true
-	if err := out.Close(); err != nil {
-		return nil, err
-	}
 	return result, nil
 }
 
-// trialOutcome carries one executed trial through the worker pool.
+// trialOutcome carries one executed trial through the worker pool. executed
+// distinguishes a trial that ran from a zero value left by a cancelled
+// dispatch.
 type trialOutcome struct {
-	rec TrialRecord
-	err error
+	rec      TrialRecord
+	err      error
+	executed bool
 }
 
 // memoTrialOpt returns the memo option for one trial of a cell: the donating

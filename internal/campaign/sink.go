@@ -24,6 +24,27 @@ type fileHeader struct {
 	Spec Spec   `json:"spec"`
 }
 
+// Sink receives a campaign stream line by line: the header, then one
+// TrialRecord per completed trial, in (cell, trial) order. Every WriteLine
+// must be durable (or at least visible to readers) on return — the stream
+// doubles as the checkpoint. The file sink behind Run and the in-memory
+// record log of internal/server both implement it, which is what makes the
+// served stream byte-identical to the offline JSONL file.
+type Sink interface {
+	WriteLine(v any) error
+}
+
+// MarshalLine renders one stream line (header or record) exactly as every
+// sink writes it: compact JSON plus a trailing newline. Sharing the encoder
+// is what pins served streams to offline files byte-for-byte.
+func MarshalLine(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encode record: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
 // ErrExists reports an existing JSONL sink opened without resume permission.
 var ErrExists = errors.New("campaign: output exists (resume it or remove it)")
 
@@ -45,7 +66,7 @@ func newSink(path string, spec Spec) (*sink, error) {
 		return nil, fmt.Errorf("campaign: create %s: %w", path, err)
 	}
 	s := &sink{f: f, w: bufio.NewWriter(f)}
-	if err := s.writeLine(fileHeader{Type: "campaign", Spec: spec}); err != nil {
+	if err := s.WriteLine(fileHeader{Type: "campaign", Spec: spec}); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -71,14 +92,14 @@ func resumeSink(path string, goodSize int64) (*sink, error) {
 	return &sink{f: f, w: bufio.NewWriter(f)}, nil
 }
 
-// writeLine appends one JSON value as a line and flushes it, so every
+// WriteLine appends one JSON value as a line and flushes it, so every
 // completed trial is durable as soon as it is recorded.
-func (s *sink) writeLine(v any) error {
-	data, err := json.Marshal(v)
+func (s *sink) WriteLine(v any) error {
+	data, err := MarshalLine(v)
 	if err != nil {
-		return fmt.Errorf("campaign: encode record: %w", err)
+		return err
 	}
-	if _, err := s.w.Write(append(data, '\n')); err != nil {
+	if _, err := s.w.Write(data); err != nil {
 		return fmt.Errorf("campaign: write record: %w", err)
 	}
 	if err := s.w.Flush(); err != nil {

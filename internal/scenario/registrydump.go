@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The machine-readable registry dump is the one encoding of "everything the
+// registries know": `sdrsim -list -json`, `sdrbench -list -json` and the
+// sdrd GET /v1/registry endpoint all emit it through WriteRegistryJSON, so
+// the three outputs are byte-identical by construction (pinned by tests in
+// cmd/ and internal/server).
+
+// RegistryEntry is one named registry entry in a dump.
+type RegistryEntry struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// RegistryDump is the machine-readable snapshot of every scenario registry,
+// each axis in registration order.
+type RegistryDump struct {
+	Algorithms []RegistryEntry `json:"algorithms"`
+	Topologies []RegistryEntry `json:"topologies"`
+	Daemons    []RegistryEntry `json:"daemons"`
+	Faults     []RegistryEntry `json:"faults"`
+	Churns     []RegistryEntry `json:"churns"`
+}
+
+// CollectRegistry snapshots the scenario registries.
+func CollectRegistry() RegistryDump {
+	return RegistryDump{
+		Algorithms: dumpAxis(Algorithms(), func(n string) (string, error) {
+			e, err := AlgorithmByName(n)
+			return e.Description, err
+		}),
+		Topologies: dumpAxis(Topologies(), func(n string) (string, error) {
+			e, err := TopologyByName(n)
+			return e.Description, err
+		}),
+		Daemons: dumpAxis(Daemons(), func(n string) (string, error) {
+			e, err := DaemonByName(n)
+			return e.Description, err
+		}),
+		Faults: dumpAxis(FaultModels(), func(n string) (string, error) {
+			e, err := FaultByName(n)
+			return e.Description, err
+		}),
+		Churns: dumpAxis(ChurnSchedules(), func(n string) (string, error) {
+			e, err := ChurnByName(n)
+			return e.Description, err
+		}),
+	}
+}
+
+// dumpAxis renders one registry axis; a name that fails to resolve is a
+// programming error (the names come from the registry itself).
+func dumpAxis(names []string, describe func(string) (string, error)) []RegistryEntry {
+	out := make([]RegistryEntry, len(names))
+	for i, n := range names {
+		desc, err := describe(n)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: registry dump: %v", err))
+		}
+		out[i] = RegistryEntry{Name: n, Description: desc}
+	}
+	return out
+}
+
+// WriteRegistryJSON writes the registry dump as indented JSON with a
+// trailing newline — the exact bytes of the CLIs' -list -json output and of
+// the sdrd /v1/registry response body.
+func WriteRegistryJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(CollectRegistry()); err != nil {
+		return fmt.Errorf("scenario: encode registry dump: %w", err)
+	}
+	return nil
+}

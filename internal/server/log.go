@@ -1,0 +1,77 @@
+package server
+
+import (
+	"sync"
+
+	"sdr/internal/campaign"
+)
+
+// recordLog is the in-memory record stream of one job: a campaign.Sink that
+// accumulates the exact bytes the offline JSONL file sink would write (via
+// campaign.MarshalLine), readable concurrently while the job is still
+// running. Readers follow the log line-by-line — GET /v1/jobs/{id}/records
+// streams lines[from:] and then blocks on the change channel until more
+// arrive or the log finishes, which is what makes the endpoint resumable:
+// a client that saw k lines reconnects with ?from=k and misses nothing.
+type recordLog struct {
+	mu     sync.Mutex
+	lines  [][]byte
+	closed bool
+	// change is closed and replaced on every append and on finish, waking
+	// all pending readers.
+	change chan struct{}
+}
+
+func newRecordLog() *recordLog {
+	return &recordLog{change: make(chan struct{})}
+}
+
+// WriteLine implements campaign.Sink: the line is visible to readers as soon
+// as WriteLine returns, the serving analogue of the file sink's per-line
+// flush.
+func (l *recordLog) WriteLine(v any) error {
+	data, err := campaign.MarshalLine(v)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.lines = append(l.lines, data)
+	l.broadcastLocked()
+	l.mu.Unlock()
+	return nil
+}
+
+// finish marks the stream complete: no further lines will arrive.
+func (l *recordLog) finish() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		l.broadcastLocked()
+	}
+	l.mu.Unlock()
+}
+
+func (l *recordLog) broadcastLocked() {
+	close(l.change)
+	l.change = make(chan struct{})
+}
+
+// len returns the number of lines written so far.
+func (l *recordLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.lines)
+}
+
+// next returns the lines from index `from` on, whether the log is finished,
+// and a channel that closes on the next change. The returned slices are
+// append-only views and must not be mutated.
+func (l *recordLog) next(from int) ([][]byte, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out [][]byte
+	if from >= 0 && from < len(l.lines) {
+		out = l.lines[from:len(l.lines):len(l.lines)]
+	}
+	return out, l.closed, l.change
+}

@@ -1,0 +1,370 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sdr/internal/campaign"
+	"sdr/internal/stats"
+)
+
+// Config sizes the job manager.
+type Config struct {
+	// Workers is the number of jobs executed concurrently; each job fans its
+	// own trials out over Parallel workers of the bench pool.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-started jobs; a full
+	// queue is backpressure (Submit returns ErrQueueFull → HTTP 429).
+	QueueDepth int
+	// Parallel is the per-job trial parallelism (campaign.Options.Parallel);
+	// 0 means one per CPU. Streams are identical for every value.
+	Parallel int
+	// ResultCache bounds the number of finished jobs whose record streams
+	// (and statuses) are retained, LRU-evicted; completed jobs serve
+	// duplicate submissions from this cache.
+	ResultCache int
+	// MemoCap bounds each cell's transition-memo table (0 = sim default).
+	MemoCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.NumCPU()
+	}
+	if c.ResultCache <= 0 {
+		c.ResultCache = 64
+	}
+	return c
+}
+
+// latencyWindow is the number of recent job run durations the latency
+// percentiles are computed over.
+const latencyWindow = 512
+
+// ErrQueueFull reports a submission rejected because the job queue is at
+// capacity — the backpressure signal (HTTP 429 + Retry-After).
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrDraining reports a submission rejected because the manager is shutting
+// down (HTTP 503).
+var ErrDraining = errors.New("server: draining, not accepting jobs")
+
+// Manager owns the job lifecycle: a bounded queue feeding a bounded worker
+// pool, content-hash dedup of identical (spec, seed) submissions —
+// concurrent duplicates attach to the in-flight job, completed ones are
+// served from a bounded LRU of result streams — and graceful drain that
+// stops every in-flight campaign at a record boundary.
+type Manager struct {
+	cfg      Config
+	queue    chan *Job
+	drainCtx context.Context
+	drainAll context.CancelFunc
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job          // every retained job by id
+	byHash   map[string]*Job          // dedup index: in-flight + completed-done jobs
+	lru      *list.List               // finished jobs, most recently used first
+	lruIndex map[string]*list.Element // job id → lru element
+	draining bool
+	seq      int
+
+	submitted, done, failed, interrupted int
+	running                              int
+	dedupInFlight, dedupCached           int
+	memoRateSum                          float64
+	memoRateN                            int
+	latencies                            []float64 // run durations (ms), ring of latencyWindow
+	latNext                              int
+
+	// testJobStart, when set, is called by a worker right after claiming a
+	// job and before executing it — the deterministic gate the lifecycle
+	// tests block workers on.
+	testJobStart func(*Job)
+}
+
+// NewManager starts the worker pool.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		drainCtx: ctx,
+		drainAll: cancel,
+		jobs:     make(map[string]*Job),
+		byHash:   make(map[string]*Job),
+		lru:      list.New(),
+		lruIndex: make(map[string]*list.Element),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit normalizes and validates the request, then either attaches it to
+// an existing job with the same content hash (dedup — the request performs
+// no work) or enqueues a new job. It reports the job and whether it was
+// newly created. Errors: validation errors, ErrQueueFull, ErrDraining.
+func (m *Manager) Submit(req JobRequest) (*Job, bool, error) {
+	spec, err := req.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	hash := specHash(spec)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, false, ErrDraining
+	}
+	if j := m.byHash[hash]; j != nil {
+		j.addDedupHit()
+		if el, ok := m.lruIndex[j.ID]; ok {
+			m.lru.MoveToFront(el)
+			m.dedupCached++
+		} else {
+			m.dedupInFlight++
+		}
+		return j, false, nil
+	}
+	m.seq++
+	job := newJob(fmt.Sprintf("j%06d", m.seq), hash, spec, time.Now())
+	select {
+	case m.queue <- job:
+	default:
+		return nil, false, ErrQueueFull
+	}
+	m.jobs[job.ID] = job
+	m.byHash[hash] = job
+	m.submitted++
+	return job, true, nil
+}
+
+// Get returns the job with the given id, if it is still retained.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel aborts the job at its next record boundary. It reports whether the
+// job existed and was still cancellable.
+func (m *Manager) Cancel(id string) (bool, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return false, false
+	}
+	return true, j.Cancel(time.Now())
+}
+
+// Drain stops accepting submissions, cancels every in-flight campaign (they
+// stop at their next record boundary — the same checkpoint semantics the
+// CLI's SIGINT handling uses), waits for the workers to exit, and marks
+// still-queued jobs interrupted. Safe to call more than once.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	m.drainAll()
+	m.wg.Wait()
+	if already {
+		return
+	}
+	for {
+		select {
+		case job := <-m.queue:
+			job.Cancel(time.Now())
+			job.log.finish()
+			m.finalize(job, StateInterrupted, nil, 0)
+		default:
+			return
+		}
+	}
+}
+
+// worker executes queued jobs until drain.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case job := <-m.queue:
+			m.process(job)
+		case <-m.drainCtx.Done():
+			return
+		}
+	}
+}
+
+// process runs one job through the campaign stream core, its cancellation
+// context parented on the drain context so both a per-job DELETE and a
+// server drain stop it at a record boundary.
+func (m *Manager) process(job *Job) {
+	jctx, cancel := context.WithCancel(m.drainCtx)
+	defer cancel()
+	if !job.claimRun(cancel, time.Now()) {
+		// Cancelled while queued: never started, nothing recorded.
+		job.log.finish()
+		m.finalize(job, StateInterrupted, nil, 0)
+		return
+	}
+	m.mu.Lock()
+	m.running++
+	hook := m.testJobStart
+	m.mu.Unlock()
+	if hook != nil {
+		hook(job)
+	}
+	start := time.Now()
+	res, err := campaign.RunSink(job.Spec, job.log, campaign.Options{
+		Parallel: m.cfg.Parallel,
+		MemoCap:  m.cfg.MemoCap,
+		Context:  jctx,
+	})
+	elapsed := time.Since(start)
+	job.log.finish()
+	switch {
+	case errors.Is(err, campaign.ErrInterrupted):
+		job.finishAs(StateInterrupted, err.Error(), 0, time.Now())
+		m.finalize(job, StateInterrupted, nil, elapsed)
+	case err != nil:
+		job.finishAs(StateFailed, err.Error(), 0, time.Now())
+		m.finalize(job, StateFailed, nil, elapsed)
+	default:
+		violations := 0
+		for _, c := range res.Cells {
+			if !c.Skipped && !c.OK {
+				violations++
+			}
+		}
+		job.finishAs(StateDone, "", violations, time.Now())
+		m.finalize(job, StateDone, res, elapsed)
+	}
+}
+
+// finalize moves a finished job into the bounded result cache and updates
+// the counters. Only done jobs stay in the dedup index: an interrupted or
+// failed job's stream is not the full answer, so an identical resubmission
+// runs fresh.
+func (m *Manager) finalize(job *Job, state JobState, res *campaign.Result, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case StateDone:
+		m.done++
+	case StateFailed:
+		m.failed++
+		delete(m.byHash, job.Hash)
+	case StateInterrupted:
+		m.interrupted++
+		delete(m.byHash, job.Hash)
+	}
+	if elapsed > 0 {
+		m.running--
+		ms := float64(elapsed.Nanoseconds()) / 1e6
+		if len(m.latencies) < latencyWindow {
+			m.latencies = append(m.latencies, ms)
+		} else {
+			m.latencies[m.latNext] = ms
+			m.latNext = (m.latNext + 1) % latencyWindow
+		}
+	}
+	if res != nil {
+		for _, c := range res.Cells {
+			if agg, ok := c.Metrics[campaign.MetricMemoHitRate]; ok {
+				m.memoRateSum += agg.Mean
+				m.memoRateN++
+			}
+		}
+	}
+	m.lruIndex[job.ID] = m.lru.PushFront(job)
+	for m.lru.Len() > m.cfg.ResultCache {
+		el := m.lru.Back()
+		old := m.lru.Remove(el).(*Job)
+		delete(m.lruIndex, old.ID)
+		delete(m.jobs, old.ID)
+		if cur := m.byHash[old.Hash]; cur == old {
+			delete(m.byHash, old.Hash)
+		}
+	}
+}
+
+// LatencySummary are percentiles over the recent job run durations.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// Stats is the GET /v1/stats snapshot.
+type Stats struct {
+	Workers       int  `json:"workers"`
+	Draining      bool `json:"draining,omitempty"`
+	QueueDepth    int  `json:"queue_depth"`
+	QueueCapacity int  `json:"queue_capacity"`
+	// JobsAccepted counts newly created jobs (deduplicated submissions do
+	// not create jobs and are counted under the dedup fields).
+	JobsAccepted    int `json:"jobs_accepted"`
+	JobsRunning     int `json:"jobs_running"`
+	JobsDone        int `json:"jobs_done"`
+	JobsFailed      int `json:"jobs_failed"`
+	JobsInterrupted int `json:"jobs_interrupted"`
+	// DedupHits = DedupHitsInFlight (attached to a queued/running job) +
+	// DedupHitsCached (served from the completed-job LRU).
+	DedupHits         int `json:"dedup_hits"`
+	DedupHitsInFlight int `json:"dedup_hits_in_flight"`
+	DedupHitsCached   int `json:"dedup_hits_cached"`
+	CachedJobs        int `json:"cached_jobs"`
+	// MemoHitRateMean averages the memo_hit_rate metric over every completed
+	// cell that recorded it (see internal/sim memoization).
+	MemoHitRateMean float64 `json:"memo_hit_rate_mean"`
+	// JobLatency summarises run durations of recently finished jobs.
+	JobLatency LatencySummary `json:"job_latency"`
+}
+
+// Stats snapshots the manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Workers:           m.cfg.Workers,
+		Draining:          m.draining,
+		QueueDepth:        len(m.queue),
+		QueueCapacity:     m.cfg.QueueDepth,
+		JobsAccepted:      m.submitted,
+		JobsRunning:       m.running,
+		JobsDone:          m.done,
+		JobsFailed:        m.failed,
+		JobsInterrupted:   m.interrupted,
+		DedupHits:         m.dedupInFlight + m.dedupCached,
+		DedupHitsInFlight: m.dedupInFlight,
+		DedupHitsCached:   m.dedupCached,
+		CachedJobs:        m.lru.Len(),
+	}
+	if m.memoRateN > 0 {
+		s.MemoHitRateMean = m.memoRateSum / float64(m.memoRateN)
+	}
+	if len(m.latencies) > 0 {
+		agg := stats.AggregateSamples(m.latencies)
+		s.JobLatency = LatencySummary{Count: agg.Count, MeanMS: agg.Mean, P50MS: agg.P50, P95MS: agg.P95, P99MS: agg.P99}
+	}
+	return s
+}

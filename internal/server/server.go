@@ -1,0 +1,195 @@
+// Package server implements the sdrd simulation service: an HTTP+JSON API
+// over the campaign stream core with deduplicated, backpressured job
+// execution.
+//
+// Endpoints (all under /v1):
+//
+//	GET    /v1/registry          registered algorithms/topologies/daemons/faults/churns
+//	GET    /v1/version           environment fingerprint (same helper as campaign baselines)
+//	GET    /v1/stats             queue depth, dedup and memo hit counters, job latency percentiles
+//	POST   /v1/jobs              submit a spec, sweep or campaign job
+//	GET    /v1/jobs/{id}         job status
+//	DELETE /v1/jobs/{id}         cancel at the next record boundary
+//	GET    /v1/jobs/{id}/records stream the job's campaign JSONL records (?from= resumes)
+//
+// The record stream for a given spec and seed is byte-identical to the file
+// `sdrbench -campaign` writes offline: both funnel through campaign.RunSink
+// and campaign.MarshalLine.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"sdr/internal/campaign"
+	"sdr/internal/scenario"
+)
+
+// maxRequestBytes bounds a POST /v1/jobs body.
+const maxRequestBytes = 1 << 20
+
+// Server routes the sdrd HTTP API onto a Manager.
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// New builds the HTTP API over the given manager.
+func New(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SubmitResponse is the body of a successful POST /v1/jobs: the job status
+// plus whether the submission was answered by an existing job.
+type SubmitResponse struct {
+	JobStatus
+	Deduped    bool   `json:"deduped"`
+	RecordsURL string `json:"records_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	job, created, err := s.m.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if !created {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, SubmitResponse{
+		JobStatus:  job.Status(),
+		Deduped:    !created,
+		RecordsURL: "/v1/jobs/" + job.ID + "/records",
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	found, cancelled := s.m.Cancel(r.PathValue("id"))
+	if !found {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	if !cancelled {
+		writeError(w, http.StatusConflict, errors.New("job already finished"))
+		return
+	}
+	job, _ := s.m.Get(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleRecords streams the job's JSONL record log from offset ?from=
+// (default 0, line-indexed, header line included), following live output
+// until the job finishes or the client goes away. The bytes are exactly the
+// offline campaign file's: header line first, then one record per line.
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid from offset %q", q))
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for {
+		lines, closed, change := job.log.next(from)
+		for _, ln := range lines {
+			if _, err := w.Write(ln); err != nil {
+				return
+			}
+		}
+		from += len(lines)
+		if flusher != nil && len(lines) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-change:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	// The response body is WriteRegistryJSON's bytes verbatim — the same
+	// encoder behind `sdrsim -list -json` and `sdrbench -list -json`.
+	_ = scenario.WriteRegistryJSON(w)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, campaign.Fingerprint())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
