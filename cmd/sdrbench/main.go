@@ -82,6 +82,11 @@ func run(args []string, out io.Writer) error {
 		vStarts      = fs.Int("verify-starts", 4, "number of seeded corrupted starts per -verify cell")
 		vMaxConfig   = fs.Int("verify-max-configs", 0, "configuration cap per -verify exploration (0 = checker default)")
 		vMaxSel      = fs.Int("verify-max-selection", 1, "daemon selection size cap for -verify: k certifies daemons activating ≤ k processes per step; 0 is exact but exponential")
+		shards       = fs.Int("shards", 0, "engine shard count for -sweep/-churn cells (see sim.WithShards); 0 or 1 runs the sequential engine, >1 runs sharded (exact for the synchronous daemon, locally-central family otherwise; memoization is dropped)")
+		shardBench   = fs.Bool("shard-bench", false, "benchmark the sharded synchronous engine: one large torus unison∘SDR run per -shard-counts entry, with bit-identity checked across shard counts (writes BENCH_SHARD.json with -json)")
+		shardN       = fs.Int("shard-n", 1_000_000, "approximate network size of the -shard-bench torus (rounded up to the next square)")
+		shardSteps   = fs.Int("shard-steps", 12, "synchronous steps each -shard-bench run executes")
+		shardCounts  = fs.String("shard-counts", "1,2,4", "comma-separated shard counts -shard-bench compares (first entry is the speedup baseline)")
 		memo         = fs.Bool("memo", true, "share each cell's neighbourhood→enabled-rules table across its trials (results are bit-identical either way; -memo=false for A/B timing)")
 		memoCap      = fs.Int("memo-cap", 0, "max entries per memo table (0 = the sim package default)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -163,6 +168,10 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg.MemoOff = !*memo
 	cfg.MemoCap = *memoCap
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be ≥ 0, got %d", *shards)
+	}
+	cfg.Shards = *shards
 
 	emit := func(table bench.Table) error {
 		if *markdown {
@@ -183,11 +192,32 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	if *shardBench {
+		counts, err := parseCounts(*shardCounts)
+		if err != nil {
+			return fmt.Errorf("-shard-counts: %w", err)
+		}
+		table, err := bench.RunShardBench(*shardN, *shardSteps, counts, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		if err := emit(table); err != nil {
+			return err
+		}
+		if table.Violations > 0 {
+			return fmt.Errorf("%d shard count(s) diverged from the first shard count's final configuration", table.Violations)
+		}
+		return nil
+	}
+
 	if *campaignPath != "" {
 		return runCampaign(*campaignPath, *jsonDir, *resume, *markdown, cfg, out)
 	}
 
 	if *verify {
+		if cfg.Shards > 1 {
+			return fmt.Errorf("-shards is not supported with -verify: exhaustive certification explores the sequential engine only")
+		}
 		if *sizes == "" {
 			// Exhaustive exploration is exponential in n; default to the
 			// certifiable sizes instead of the sampling sweep's n ≤ 64.
@@ -228,6 +258,7 @@ func run(args []string, out io.Writer) error {
 			Trials:     cfg.Trials,
 			Seed:       cfg.Seed,
 			MaxSteps:   cfg.MaxSteps,
+			Shards:     cfg.Shards,
 		}
 		table, err := bench.RunRecovery(sw, cfg)
 		if err != nil {
@@ -252,6 +283,7 @@ func run(args []string, out io.Writer) error {
 			Trials:     cfg.Trials,
 			Seed:       cfg.Seed,
 			MaxSteps:   cfg.MaxSteps,
+			Shards:     cfg.Shards,
 		}
 		table, err := bench.RunSweep(sw, cfg)
 		if err != nil {
@@ -457,6 +489,26 @@ func splitNamesOn(s, sep string) []string {
 		}
 	}
 	return names
+}
+
+// parseCounts parses a comma-separated list of shard counts (integers ≥ 1).
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("invalid shard count %q (want integers ≥ 1)", part)
+		}
+		counts = append(counts, k)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("no shard counts given")
+	}
+	return counts, nil
 }
 
 func parseSizes(s string) ([]int, error) {

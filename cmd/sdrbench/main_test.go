@@ -258,3 +258,79 @@ func TestListJSONMatchesRegistryDump(t *testing.T) {
 		t.Errorf("-list -json diverged from scenario.WriteRegistryJSON:\ngot:\n%s\nwant:\n%s", got.Bytes(), want.Bytes())
 	}
 }
+
+func TestShardBenchMode(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{
+		"-shard-bench", "-shard-n", "256", "-shard-steps", "4",
+		"-shard-counts", "1,2", "-seed", "9", "-json", "-json-dir", dir,
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run -shard-bench: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "SHARD") || strings.Count(text, "true") != 2 {
+		t.Errorf("shard bench output looks wrong:\n%s", text)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_SHARD.json"))
+	if err != nil {
+		t.Fatalf("read BENCH_SHARD.json: %v", err)
+	}
+	var table struct {
+		ID         string
+		Rows       [][]string
+		Violations int
+	}
+	if err := json.Unmarshal(data, &table); err != nil {
+		t.Fatalf("unmarshal BENCH_SHARD.json: %v", err)
+	}
+	if table.ID != "SHARD" || len(table.Rows) != 2 || table.Violations != 0 {
+		t.Errorf("unexpected BENCH_SHARD.json: %+v", table)
+	}
+}
+
+func TestShardedSweepMatchesSequentialSynchronous(t *testing.T) {
+	base := []string{
+		"-sweep",
+		"-algorithms", "unison,bfstree",
+		"-topologies", "ring,grid",
+		"-daemons", "synchronous",
+		"-sizes", "16", "-trials", "2", "-seed", "3",
+	}
+	var seq, sharded bytes.Buffer
+	if err := run(base, &seq); err != nil {
+		t.Fatalf("sequential sweep: %v", err)
+	}
+	if err := run(append(append([]string{}, base...), "-shards", "2"), &sharded); err != nil {
+		t.Fatalf("sharded sweep: %v", err)
+	}
+	// Sharded cells skip memoization, so the memo-hit% column differs (and
+	// with it the column padding); every measurement column must agree
+	// (synchronous sharding is exact). Normalize by splitting rows into
+	// fields and blanking memo-hit values ("-" or a percentage).
+	normalize := func(s string) string {
+		var lines []string
+		for _, l := range strings.Split(s, "\n") {
+			f := strings.Fields(l)
+			for i, tok := range f {
+				if tok == "-" || strings.HasSuffix(tok, "%") {
+					f[i] = "_"
+				}
+			}
+			lines = append(lines, strings.Join(f, " "))
+		}
+		return strings.Join(lines, "\n")
+	}
+	if normalize(seq.String()) != normalize(sharded.String()) {
+		t.Errorf("sharded synchronous sweep diverges:\n--- sequential\n%s--- sharded\n%s", seq.String(), sharded.String())
+	}
+}
+
+func TestShardsRejectedUnderVerify(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-verify", "-shards", "2", "-sizes", "4", "-algorithms", "unison", "-topologies", "ring"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("-verify -shards 2 must be rejected, got %v", err)
+	}
+}

@@ -67,6 +67,7 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&sp.Churn, "churn", "", "mid-run churn schedule: a registered name or a grammar form like periodic:events=3,every=200 (see -list); empty runs statically")
 	fs.Int64Var(&sp.Seed, "seed", 1, "random seed")
 	fs.IntVar(&sp.MaxSteps, "max-steps", 2_000_000, "step bound")
+	fs.IntVar(&sp.Shards, "shards", 0, "engine shard count (see sim.WithShards); 0 or 1 runs the sequential engine, >1 runs sharded (bit-identical for -daemon synchronous, locally-central daemon family otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +81,9 @@ func run(args []string, out io.Writer) error {
 	if *verify {
 		if sp.Churn != "" {
 			return fmt.Errorf("-churn is not supported with -verify: exhaustive certification explores static runs only")
+		}
+		if sp.Shards > 1 {
+			return fmt.Errorf("-shards is not supported with -verify: exhaustive certification explores the sequential engine only")
 		}
 		if vo.Workers <= 0 {
 			vo.Workers = runtime.NumCPU()
@@ -181,6 +185,9 @@ func simulate(sp scenario.Spec, showTrace bool, format string, out io.Writer) er
 	fmt.Fprintf(out, "algorithm : %s\n", run.Alg.Name())
 	fmt.Fprintf(out, "topology  : %s\n", topoLine)
 	fmt.Fprintf(out, "daemon    : %s, scenario: %s, seed: %d\n", run.Daemon.Name(), run.Spec.Fault, run.Spec.Seed)
+	if run.Spec.Shards > 1 {
+		fmt.Fprintf(out, "sharding  : %d shards (exact for the synchronous daemon, locally-central family otherwise)\n", run.Spec.Shards)
+	}
 	if run.Churn != nil {
 		fmt.Fprintf(out, "churn     : %s, events at steps %v\n", run.Churn.Schedule(), run.Churn.Times())
 	}

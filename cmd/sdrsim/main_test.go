@@ -126,3 +126,32 @@ func TestListJSONMatchesRegistryDump(t *testing.T) {
 		t.Errorf("-list -json output is not valid JSON:\n%s", got.Bytes())
 	}
 }
+
+func TestShardsFlagSynchronousIdentical(t *testing.T) {
+	base := []string{"-algorithm", "unison", "-topology", "torus", "-n", "64", "-daemon", "synchronous", "-seed", "5"}
+	var seq, sharded bytes.Buffer
+	if err := run(base, &seq); err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	if err := run(append(append([]string{}, base...), "-shards", "4"), &sharded); err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	// The sharded output carries one extra header line; past it the two
+	// reports must be byte-identical (the synchronous daemon is exact).
+	text := sharded.String()
+	if !strings.Contains(text, "sharding  : 4 shards") {
+		t.Fatalf("sharded output missing the sharding header:\n%s", text)
+	}
+	stripped := strings.Replace(text, "sharding  : 4 shards (exact for the synchronous daemon, locally-central family otherwise)\n", "", 1)
+	if stripped != seq.String() {
+		t.Errorf("sharded synchronous output diverges from sequential:\n--- sequential\n%s--- sharded\n%s", seq.String(), text)
+	}
+}
+
+func TestShardsRejectedUnderVerify(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-algorithm", "unison", "-topology", "ring", "-n", "4", "-verify", "-shards", "2"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("-verify -shards 2 must be rejected, got %v", err)
+	}
+}

@@ -4,11 +4,16 @@
 //
 // The library lives under internal/:
 //
-//   - internal/graph    — the network model and topology generators;
+//   - internal/graph    — the network model and topology generators, stored
+//     in a compact CSR adjacency layout (Graph.CSR) with allocation-free
+//     Degree/Neighbor iteration and a mutable overlay for churn edits;
 //   - internal/sim      — the locally shared memory model with composite
-//     atomicity, daemons, move/round accounting, and the shared
+//     atomicity, daemons, move/round accounting, the shared
 //     neighbourhood→enabled-rules memoization layer (MemoEvaluator,
-//     bit-identical to direct evaluation, with hit-rate telemetry);
+//     bit-identical to direct evaluation, with hit-rate telemetry), and the
+//     sharded engine (WithShards: shard-parallel steps over contiguous node
+//     ranges, bit-identical to the sequential engine for the synchronous
+//     daemon, a documented locally-central daemon family otherwise);
 //   - internal/core     — Algorithm SDR (the paper's contribution) and the
 //     composition operator I ∘ SDR;
 //   - internal/unison   — Algorithm U, U ∘ SDR, and the Boulinier-Petit-

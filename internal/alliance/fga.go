@@ -325,8 +325,8 @@ func (a *FGA) InnerRules() []core.InnerRule {
 // ptr ∈ {⊥} ∪ {identifiers of N[u]}.
 func (a *FGA) EnumerateInner(u int, net *sim.Network) []sim.State {
 	pointers := []int{NoPointer, net.ID(u)}
-	for _, w := range net.Neighbors(u) {
-		pointers = append(pointers, net.ID(w))
+	for i, deg := 0, net.Degree(u); i < deg; i++ {
+		pointers = append(pointers, net.ID(net.Neighbor(u, i)))
 	}
 	var out []sim.State
 	for _, col := range []bool{false, true} {
@@ -363,7 +363,7 @@ func (a *FGA) InnerStateAt(u int, net *sim.Network, i int) sim.State {
 	case 1:
 		s.Ptr = net.ID(u)
 	default:
-		s.Ptr = net.ID(net.Neighbors(u)[pi-2])
+		s.Ptr = net.ID(net.Neighbor(u, pi-2))
 	}
 	return s
 }

@@ -9,8 +9,8 @@ import (
 // membersIn counts the neighbours of u that belong to the set.
 func membersIn(g *graph.Graph, set map[int]bool, u int) int {
 	count := 0
-	for _, v := range g.Neighbors(u) {
-		if set[v] {
+	for i, deg := 0, g.Degree(u); i < deg; i++ {
+		if set[g.Neighbor(u, i)] {
 			count++
 		}
 	}

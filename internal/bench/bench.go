@@ -39,6 +39,11 @@ type Config struct {
 	// sim.DefaultMemoEntries. Past the cap trials fall back to direct guard
 	// evaluation for uncached neighbourhoods.
 	MemoCap int
+	// Shards is the engine shard count sweeps run their cells on (see
+	// sim.WithShards); 0 or 1 means the sequential engine. Sharded cells run
+	// unmemoized: the memo table is not safe for concurrent guard evaluation,
+	// so the sweep runners drop their memo shares when Shards > 1.
+	Shards int
 }
 
 // QuickConfig returns the configuration used by unit tests and by the

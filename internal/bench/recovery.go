@@ -34,6 +34,10 @@ func RunRecovery(sw scenario.Sweep, cfg Config) (Table, error) {
 	if err := sw.Validate(); err != nil {
 		return Table{}, err
 	}
+	if sw.Shards > 1 {
+		// Sharded cells run unmemoized, as in RunSweep.
+		cfg.MemoOff = true
+	}
 	trials := sw.Trials
 	if trials <= 0 {
 		trials = 1

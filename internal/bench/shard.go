@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"sdr/internal/scenario"
+	"sdr/internal/sim"
+)
+
+// RunShardBench measures the sharded engine against the sequential one on a
+// single large synchronous unison∘SDR run: one torus of about n processes,
+// one corrupted start, a fixed step budget, executed once per shard count.
+// The synchronous daemon is the engine's exact daemon under sharding, so
+// besides the wall-clock column the table checks that every shard count
+// produces the byte-identical final configuration (a checksum mismatch counts
+// as a violation).
+//
+// The speedup column is relative to the first shard count (conventionally 1,
+// the sequential engine). On a single-CPU host the sharded runs cannot
+// overlap, so the honest expectation there is speedup ≈ 1 with a small
+// coordination overhead; the GOMAXPROCS note in the table records the
+// parallelism the numbers were taken under.
+func RunShardBench(n, steps int, shardCounts []int, seed int64) (Table, error) {
+	if n <= 0 {
+		n = 1_000_000
+	}
+	if steps <= 0 {
+		steps = 12
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	t := Table{
+		ID:      "SHARD",
+		Title:   fmt.Sprintf("sharded synchronous engine: torus unison∘SDR, n≈%d, %d steps, seed %d", n, steps, seed),
+		Columns: []string{"shards", "n", "steps", "moves", "resolve", "run", "speedup", "final-sum", "identical"},
+	}
+	var baseline time.Duration
+	var baseSum uint64
+	for i, k := range shardCounts {
+		if k < 1 {
+			return Table{}, fmt.Errorf("bench: shard count %d < 1", k)
+		}
+		spec := scenario.Spec{
+			Algorithm: "unison",
+			Topology:  "torus",
+			N:         n,
+			Daemon:    "synchronous",
+			Fault:     "random-all",
+			Seed:      seed,
+			MaxSteps:  steps,
+			Shards:    k,
+		}
+		resolveStart := time.Now()
+		run, err := spec.Resolve()
+		if err != nil {
+			return Table{}, err
+		}
+		resolve := time.Since(resolveStart)
+		// Run the engine directly, without the registry's stop-at-legitimacy
+		// option: random-all corruption converges in a handful of synchronous
+		// steps at any n, and after convergence unison keeps every process
+		// enabled, so the full step budget measures steady-state throughput.
+		runStart := time.Now()
+		res := run.Engine.Run(run.Start, sim.WithMaxSteps(steps), sim.WithShards(k))
+		elapsed := time.Since(runStart)
+		sum := configChecksum(res.Final)
+		if i == 0 {
+			baseline, baseSum = elapsed, sum
+		}
+		identical := sum == baseSum
+		if !identical {
+			t.Violations++
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%d", res.Final.N()),
+			fmt.Sprintf("%d", res.Steps),
+			fmt.Sprintf("%d", res.Moves),
+			fmt.Sprintf("%.2fs", resolve.Seconds()),
+			fmt.Sprintf("%.2fs", elapsed.Seconds()),
+			fmt.Sprintf("%.2fx", baseline.Seconds()/elapsed.Seconds()),
+			fmt.Sprintf("%016x", sum),
+			fmt.Sprintf("%v", identical),
+		)
+		// Two full state vectors per engine dominate the footprint at this
+		// scale; release this run's before resolving the next.
+		run = nil
+		res = sim.Result{}
+		runtime.GC()
+	}
+	t.AddNote("GOMAXPROCS=%d NumCPU=%d; speedup is wall-clock of the first row over each row", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	t.AddNote("synchronous sharding is exact: every row must reproduce the first row's final-sum")
+	return t, nil
+}
+
+// configChecksum is an FNV-64a hash of the rendered per-process states, a
+// cheap order-sensitive fingerprint of a final configuration.
+func configChecksum(c *sim.Configuration) uint64 {
+	h := fnv.New64a()
+	c.ForEach(func(u int, s sim.State) {
+		h.Write([]byte(s.String()))
+		h.Write([]byte{'|'})
+	})
+	return h.Sum64()
+}

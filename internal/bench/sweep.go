@@ -21,6 +21,11 @@ func RunSweep(sw scenario.Sweep, cfg Config) (Table, error) {
 	if err := sw.Validate(); err != nil {
 		return Table{}, err
 	}
+	if sw.Shards > 1 {
+		// Sharded cells run unmemoized: WithMemo + WithShards is a validation
+		// error (the memo table is not safe for concurrent guard evaluation).
+		cfg.MemoOff = true
+	}
 	trials := sw.Trials
 	if trials <= 0 {
 		trials = 1

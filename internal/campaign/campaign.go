@@ -105,6 +105,14 @@ type Spec struct {
 	SeedStride int64 `json:"seed_stride,omitempty"`
 	// MaxSteps bounds each execution; 0 means sim.DefaultMaxSteps.
 	MaxSteps int `json:"max_steps,omitempty"`
+	// Shards is the engine shard count every trial runs with (see
+	// sim.WithShards); 0 or 1 means the sequential engine — the field
+	// marshals away, so existing spec files, streams and baselines keep
+	// their byte encoding. Sharded cells run without memoization (the
+	// memoized evaluator is sequential-only); synchronous-daemon cells are
+	// bit-identical across shard counts, other daemons switch to the
+	// locally-central sharded family.
+	Shards int `json:"shards,omitempty"`
 	// Params carries the entry-specific scenario knobs shared by every cell.
 	Params scenario.Params `json:"params,omitzero"`
 	// MinTrials is the number of trials every cell always runs
@@ -166,6 +174,9 @@ func (s Spec) Validate() error {
 	if s.MinTrials < 0 || s.MaxTrials < 0 {
 		return fmt.Errorf("campaign: negative trial counts")
 	}
+	if s.Shards < 0 {
+		return fmt.Errorf("campaign: negative shards")
+	}
 	if s.CITarget < 0 {
 		return fmt.Errorf("campaign: negative ci_target")
 	}
@@ -192,6 +203,7 @@ func (s Spec) sweep() scenario.Sweep {
 		Seed:       s.Seed,
 		SeedStride: s.SeedStride,
 		MaxSteps:   s.MaxSteps,
+		Shards:     s.Shards,
 		Params:     s.Params,
 		Trials:     1, // trials are driven per cell by the campaign runner
 	}

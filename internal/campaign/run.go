@@ -151,9 +151,12 @@ func runStream(spec Spec, sw scenario.Sweep, cells []scenario.Cell, existing [][
 		// alone, fills the share's table and donates it; every later trial
 		// reads it frozen. Keeping the donor designated (rather than letting
 		// concurrent trials race to donate) makes the recorded hit rates as
-		// independent of Parallel as the cost metrics.
+		// independent of Parallel as the cost metrics. Sharded cells run
+		// unmemoized: the memoized evaluator is sequential-only (see
+		// sim.WithShards), so a sharded campaign simply drops the
+		// memo_hit_rate metric.
 		var share *sim.MemoShare
-		if !spec.MemoOff {
+		if !spec.MemoOff && spec.Shards <= 1 {
 			share = sim.NewMemoShare(opts.MemoCap)
 		}
 		donated := false

@@ -183,7 +183,11 @@ func (i *Injector) targets(p sim.InjectionPoint, count int) []int {
 				hub = u
 			}
 		}
-		targets := append([]int{hub}, p.Net.Neighbors(hub)...)
+		targets := make([]int, 0, p.Net.Degree(hub)+1)
+		targets = append(targets, hub)
+		for j, deg := 0, p.Net.Degree(hub); j < deg; j++ {
+			targets = append(targets, p.Net.Neighbor(hub, j))
+		}
 		return targets
 	}
 	if count > n {
@@ -259,7 +263,8 @@ func (i *Injector) partitionCut(p sim.InjectionPoint) [][2]int {
 	for len(queue) > 0 && size < target {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.Neighbors(u) {
+		for j, deg := 0, g.Degree(u); j < deg; j++ {
+			v := g.Neighbor(u, j)
 			if side[v] || size >= target {
 				continue
 			}

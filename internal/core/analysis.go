@@ -22,10 +22,10 @@ func ResetParents(inner Resettable, net *sim.Network, c *sim.Configuration, u in
 		return nil
 	}
 	var parents []int
-	for i, v := range net.Neighbors(u) {
+	for i, deg := 0, net.Degree(u); i < deg; i++ {
 		nb := SDRPart(view.Neighbor(i))
 		if nb.D < self.D && (nb.St == self.St || nb.St == StatusRB) {
-			parents = append(parents, v)
+			parents = append(parents, net.Neighbor(u, i))
 		}
 	}
 	return parents

@@ -34,7 +34,7 @@ func PReset(inner Resettable, v sim.View) bool {
 // pResetNeighbor evaluates P_reset at the i-th neighbour of the view.
 func pResetNeighbor(inner Resettable, v sim.View, i int) bool {
 	net := v.Network()
-	w := net.Neighbors(v.Process())[i]
+	w := net.Neighbor(v.Process(), i)
 	return inner.IsReset(w, net, InnerPart(v.Neighbor(i)))
 }
 

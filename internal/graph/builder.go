@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Builder accumulates an edge list and compiles it into a Graph directly in
+// CSR form, without ever materializing per-node slices. Structured
+// generators (rings, tori, hypercubes, ...) know their full edge set up
+// front, so they build through it: two counting passes plus one sort per
+// node replace m insertSorted calls and n incremental slice growths, which
+// is what makes million-node topologies cheap to generate.
+type Builder struct {
+	n      int
+	us, vs []int32
+}
+
+// NewBuilder returns a builder for a graph on n nodes, pre-sizing the edge
+// list for edgeHint edges (0 is fine). It panics if n is negative.
+func NewBuilder(n, edgeHint int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	if edgeHint < 0 {
+		edgeHint = 0
+	}
+	return &Builder{
+		n:  n,
+		us: make([]int32, 0, edgeHint),
+		vs: make([]int32, 0, edgeHint),
+	}
+}
+
+// Add records the undirected edge {u, v}. Range violations and self-loops
+// panic immediately (they are generator bugs); duplicate edges are detected
+// at Graph time.
+func (b *Builder) Add(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on node %d is not allowed", u))
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+}
+
+// Graph compiles the accumulated edges into a compact CSR graph: count
+// degrees, prefix-sum into offsets, scatter both edge directions, sort each
+// node's range, and reject duplicates. The builder can be reused afterwards
+// only by discarding it; the returned graph owns fresh arrays.
+func (b *Builder) Graph() (*Graph, error) {
+	off := make([]int32, b.n+1)
+	for i := range b.us {
+		off[b.us[i]+1]++
+		off[b.vs[i]+1]++
+	}
+	for u := 0; u < b.n; u++ {
+		off[u+1] += off[u]
+	}
+	tgt := make([]int32, 2*len(b.us))
+	next := make([]int32, b.n)
+	copy(next, off[:b.n])
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		tgt[next[u]] = v
+		next[u]++
+		tgt[next[v]] = u
+		next[v]++
+	}
+	for u := 0; u < b.n; u++ {
+		row := tgt[off[u]:off[u+1]]
+		slices.Sort(row)
+		for i := 1; i < len(row); i++ {
+			if row[i] == row[i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", u, row[i])
+			}
+		}
+	}
+	return &Graph{n: b.n, m: len(b.us), off: off, tgt: tgt}, nil
+}
+
+// MustGraph is Graph for edge sets known to be duplicate-free (structured
+// generators); it panics on error.
+func (b *Builder) MustGraph() *Graph {
+	g, err := b.Graph()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -10,17 +10,21 @@ import (
 // grids and tori (bounded-degree topologies), stars (low diameter / high
 // degree), hypercubes, random connected graphs, and a few pathological
 // shapes (caterpillar, lollipop) used to stress the daemon.
+//
+// Structured families compile their edge set through a Builder straight
+// into CSR form; only the random families that probe the partial graph
+// while building (RandomConnected, RandomRegularish) grow incrementally.
 
 // Ring returns a cycle C_n. It panics for n < 3.
 func Ring(n int) *Graph {
 	if n < 3 {
 		panic(fmt.Sprintf("graph: ring requires n >= 3, got %d", n))
 	}
-	g := New(n)
+	b := NewBuilder(n, n)
 	for u := 0; u < n; u++ {
-		g.MustAddEdge(u, (u+1)%n)
+		b.Add(u, (u+1)%n)
 	}
-	return g
+	return b.MustGraph()
 }
 
 // Path returns a path P_n. It panics for n < 1.
@@ -28,11 +32,11 @@ func Path(n int) *Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("graph: path requires n >= 1, got %d", n))
 	}
-	g := New(n)
+	b := NewBuilder(n, n-1)
 	for u := 0; u+1 < n; u++ {
-		g.MustAddEdge(u, u+1)
+		b.Add(u, u+1)
 	}
-	return g
+	return b.MustGraph()
 }
 
 // Star returns a star K_{1,n-1} with node 0 at the centre. It panics for n < 2.
@@ -40,11 +44,11 @@ func Star(n int) *Graph {
 	if n < 2 {
 		panic(fmt.Sprintf("graph: star requires n >= 2, got %d", n))
 	}
-	g := New(n)
+	b := NewBuilder(n, n-1)
 	for u := 1; u < n; u++ {
-		g.MustAddEdge(0, u)
+		b.Add(0, u)
 	}
-	return g
+	return b.MustGraph()
 }
 
 // Complete returns the complete graph K_n. It panics for n < 1.
@@ -52,13 +56,13 @@ func Complete(n int) *Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("graph: complete graph requires n >= 1, got %d", n))
 	}
-	g := New(n)
+	b := NewBuilder(n, n*(n-1)/2)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			g.MustAddEdge(u, v)
+			b.Add(u, v)
 		}
 	}
-	return g
+	return b.MustGraph()
 }
 
 // BinaryTree returns a complete-ish binary tree with n nodes rooted at 0.
@@ -67,11 +71,11 @@ func BinaryTree(n int) *Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("graph: binary tree requires n >= 1, got %d", n))
 	}
-	g := New(n)
+	b := NewBuilder(n, n-1)
 	for u := 1; u < n; u++ {
-		g.MustAddEdge(u, (u-1)/2)
+		b.Add(u, (u-1)/2)
 	}
-	return g
+	return b.MustGraph()
 }
 
 // Grid returns an rows x cols grid graph. It panics when rows or cols < 1.
@@ -79,19 +83,19 @@ func Grid(rows, cols int) *Graph {
 	if rows < 1 || cols < 1 {
 		panic(fmt.Sprintf("graph: grid requires positive dimensions, got %dx%d", rows, cols))
 	}
-	g := New(rows * cols)
+	b := NewBuilder(rows*cols, 2*rows*cols)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				g.MustAddEdge(id(r, c), id(r, c+1))
+				b.Add(id(r, c), id(r, c+1))
 			}
 			if r+1 < rows {
-				g.MustAddEdge(id(r, c), id(r+1, c))
+				b.Add(id(r, c), id(r+1, c))
 			}
 		}
 	}
-	return g
+	return b.MustGraph()
 }
 
 // Torus returns an rows x cols torus (grid with wrap-around edges).
@@ -100,15 +104,15 @@ func Torus(rows, cols int) *Graph {
 	if rows < 3 || cols < 3 {
 		panic(fmt.Sprintf("graph: torus requires dimensions >= 3, got %dx%d", rows, cols))
 	}
-	g := New(rows * cols)
+	b := NewBuilder(rows*cols, 2*rows*cols)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
-			g.MustAddEdge(id(r, c), id(r, (c+1)%cols))
-			g.MustAddEdge(id(r, c), id((r+1)%rows, c))
+			b.Add(id(r, c), id(r, (c+1)%cols))
+			b.Add(id(r, c), id((r+1)%rows, c))
 		}
 	}
-	return g
+	return b.MustGraph()
 }
 
 // Hypercube returns the d-dimensional hypercube Q_d with 2^d nodes.
@@ -118,16 +122,16 @@ func Hypercube(d int) *Graph {
 		panic(fmt.Sprintf("graph: hypercube dimension must be in [1,20], got %d", d))
 	}
 	n := 1 << uint(d)
-	g := New(n)
+	b := NewBuilder(n, n*d/2)
 	for u := 0; u < n; u++ {
-		for b := 0; b < d; b++ {
-			v := u ^ (1 << uint(b))
+		for bit := 0; bit < d; bit++ {
+			v := u ^ (1 << uint(bit))
 			if u < v {
-				g.MustAddEdge(u, v)
+				b.Add(u, v)
 			}
 		}
 	}
-	return g
+	return b.MustGraph()
 }
 
 // Caterpillar returns a caterpillar tree: a spine path of length spine with
@@ -138,18 +142,18 @@ func Caterpillar(spine, legs int) *Graph {
 		panic(fmt.Sprintf("graph: caterpillar requires spine >= 1 and legs >= 0, got %d, %d", spine, legs))
 	}
 	n := spine * (legs + 1)
-	g := New(n)
+	b := NewBuilder(n, n-1)
 	for s := 0; s+1 < spine; s++ {
-		g.MustAddEdge(s, s+1)
+		b.Add(s, s+1)
 	}
 	next := spine
 	for s := 0; s < spine; s++ {
 		for l := 0; l < legs; l++ {
-			g.MustAddEdge(s, next)
+			b.Add(s, next)
 			next++
 		}
 	}
-	return g
+	return b.MustGraph()
 }
 
 // Lollipop returns a lollipop graph: a clique of size cliqueSize joined to a
@@ -159,17 +163,17 @@ func Lollipop(cliqueSize, pathLen int) *Graph {
 	if cliqueSize < 3 || pathLen < 1 {
 		panic(fmt.Sprintf("graph: lollipop requires clique >= 3 and path >= 1, got %d, %d", cliqueSize, pathLen))
 	}
-	g := New(cliqueSize + pathLen)
+	b := NewBuilder(cliqueSize+pathLen, cliqueSize*(cliqueSize-1)/2+pathLen)
 	for u := 0; u < cliqueSize; u++ {
 		for v := u + 1; v < cliqueSize; v++ {
-			g.MustAddEdge(u, v)
+			b.Add(u, v)
 		}
 	}
-	g.MustAddEdge(cliqueSize-1, cliqueSize)
+	b.Add(cliqueSize-1, cliqueSize)
 	for u := cliqueSize; u+1 < cliqueSize+pathLen; u++ {
-		g.MustAddEdge(u, u+1)
+		b.Add(u, u+1)
 	}
-	return g
+	return b.MustGraph()
 }
 
 // RandomTree returns a uniformly random labelled tree on n nodes built from a
@@ -179,11 +183,11 @@ func RandomTree(n int, rng *rand.Rand) *Graph {
 	if n < 1 {
 		panic(fmt.Sprintf("graph: random tree requires n >= 1, got %d", n))
 	}
-	g := New(n)
+	b := NewBuilder(n, n-1)
 	for u := 1; u < n; u++ {
-		g.MustAddEdge(u, rng.Intn(u))
+		b.Add(u, rng.Intn(u))
 	}
-	return g
+	return b.MustGraph()
 }
 
 // RandomConnected returns a random connected graph on n nodes: a random tree

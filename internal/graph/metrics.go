@@ -22,7 +22,8 @@ func (g *Graph) BFS(src int) []int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.adj[u] {
+		for _, w := range g.row(u) {
+			v := int(w)
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)
@@ -110,7 +111,8 @@ func (g *Graph) componentCount() int {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, v := range g.adj[u] {
+			for _, w := range g.row(u) {
+				v := int(w)
 				if !seen[v] {
 					seen[v] = true
 					stack = append(stack, v)
@@ -143,7 +145,8 @@ func (g *Graph) Girth() int {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range g.adj[u] {
+			for _, w := range g.row(u) {
+				v := int(w)
 				if dist[v] < 0 {
 					dist[v] = dist[u] + 1
 					parent[v] = u
@@ -181,7 +184,8 @@ func (g *Graph) LongestChordlessCycle(maxLen int) int {
 		if len(path) > maxLen {
 			return
 		}
-		for _, next := range g.adj[cur] {
+		for _, w := range g.row(cur) {
+			next := int(w)
 			if next == start && len(path) >= 3 {
 				// Candidate cycle: verify chordlessness (the path is induced
 				// by construction except possibly for chords to the start).

@@ -93,6 +93,12 @@ type Spec struct {
 	Seed int64
 	// MaxSteps bounds the execution; 0 means sim.DefaultMaxSteps.
 	MaxSteps int
+	// Shards is the number of engine shards the run executes on (see
+	// sim.WithShards); 0 or 1 means the sequential engine. Synchronous-daemon
+	// runs are bit-identical across shard counts; other daemons switch to the
+	// locally-central sharded family, so their measurements are only
+	// comparable at a fixed shard count.
+	Shards int
 	// Params carries the entry-specific numeric knobs.
 	Params Params
 }
@@ -237,6 +243,9 @@ func (r *Run) Options(extra ...sim.Option) []sim.Option {
 	}
 	if r.Churn != nil {
 		opts = append(opts, sim.WithInjector(r.Churn))
+	}
+	if r.Spec.Shards > 1 {
+		opts = append(opts, sim.WithShards(r.Spec.Shards))
 	}
 	return append(opts, extra...)
 }

@@ -36,6 +36,12 @@ type Sweep struct {
 	SeedStride int64
 	// MaxSteps bounds each execution; 0 means sim.DefaultMaxSteps.
 	MaxSteps int
+	// Shards is the engine shard count shared by every cell (see
+	// Spec.Shards); 0 or 1 means the sequential engine. It is a shared knob,
+	// not a sweep axis: non-synchronous daemons change semantics with the
+	// shard count, so a sweep mixing shard counts would compare different
+	// adversaries.
+	Shards int
 	// Params carries the entry-specific knobs shared by every cell.
 	Params Params
 }
@@ -93,6 +99,7 @@ func (s Sweep) Trial(c Cell, trial int) Spec {
 		Churn:     c.Churn,
 		Seed:      s.Seed + int64(trial)*stride,
 		MaxSteps:  s.MaxSteps,
+		Shards:    s.Shards,
 		Params:    s.Params,
 	}
 }

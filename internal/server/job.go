@@ -23,31 +23,38 @@ import (
 // SpecRequest is the job-request form of a single scenario.Spec: one
 // seeded execution of one algorithm × topology × daemon × fault point.
 type SpecRequest struct {
-	Algorithm string          `json:"algorithm"`
-	Topology  string          `json:"topology"`
-	N         int             `json:"n"`
-	Daemon    string          `json:"daemon"`
-	Fault     string          `json:"fault,omitempty"`
-	Churn     string          `json:"churn,omitempty"`
-	Seed      int64           `json:"seed"`
-	MaxSteps  int             `json:"max_steps,omitempty"`
-	Params    scenario.Params `json:"params,omitzero"`
+	Algorithm string `json:"algorithm"`
+	Topology  string `json:"topology"`
+	N         int    `json:"n"`
+	Daemon    string `json:"daemon"`
+	Fault     string `json:"fault,omitempty"`
+	Churn     string `json:"churn,omitempty"`
+	Seed      int64  `json:"seed"`
+	MaxSteps  int    `json:"max_steps,omitempty"`
+	// Shards is the engine shard count of the run (see sim.WithShards);
+	// omitted or 1 means the sequential engine, so existing requests keep
+	// their byte encoding and dedup hashes.
+	Shards int             `json:"shards,omitempty"`
+	Params scenario.Params `json:"params,omitzero"`
 }
 
 // SweepRequest is the job-request form of a scenario.Sweep: a cross-product
 // grid with a fixed number of seeded trials per cell.
 type SweepRequest struct {
-	Algorithms []string        `json:"algorithms"`
-	Topologies []string        `json:"topologies"`
-	Daemons    []string        `json:"daemons"`
-	Faults     []string        `json:"faults,omitempty"`
-	Churns     []string        `json:"churns,omitempty"`
-	Sizes      []int           `json:"sizes"`
-	Trials     int             `json:"trials,omitempty"`
-	Seed       int64           `json:"seed"`
-	SeedStride int64           `json:"seed_stride,omitempty"`
-	MaxSteps   int             `json:"max_steps,omitempty"`
-	Params     scenario.Params `json:"params,omitzero"`
+	Algorithms []string `json:"algorithms"`
+	Topologies []string `json:"topologies"`
+	Daemons    []string `json:"daemons"`
+	Faults     []string `json:"faults,omitempty"`
+	Churns     []string `json:"churns,omitempty"`
+	Sizes      []int    `json:"sizes"`
+	Trials     int      `json:"trials,omitempty"`
+	Seed       int64    `json:"seed"`
+	SeedStride int64    `json:"seed_stride,omitempty"`
+	MaxSteps   int      `json:"max_steps,omitempty"`
+	// Shards is the engine shard count shared by every cell; omitted or 1
+	// means the sequential engine.
+	Shards int             `json:"shards,omitempty"`
+	Params scenario.Params `json:"params,omitzero"`
 }
 
 // JobRequest is the body of POST /v1/jobs: exactly one of Spec, Sweep or
@@ -92,6 +99,7 @@ func (r JobRequest) Normalize() (campaign.Spec, error) {
 			Daemons:    []string{s.Daemon},
 			Seed:       s.Seed,
 			MaxSteps:   s.MaxSteps,
+			Shards:     s.Shards,
 			Params:     s.Params,
 			MinTrials:  1,
 		}
@@ -117,6 +125,7 @@ func (r JobRequest) Normalize() (campaign.Spec, error) {
 			Seed:       s.Seed,
 			SeedStride: s.SeedStride,
 			MaxSteps:   s.MaxSteps,
+			Shards:     s.Shards,
 			Params:     s.Params,
 			MinTrials:  trials,
 		}

@@ -62,8 +62,23 @@ func (n *Network) ID(u int) int { return n.ids[u] }
 // Degree returns the degree of process u.
 func (n *Network) Degree(u int) int { return n.g.Degree(u) }
 
-// Neighbors returns the neighbour process indices of u (sorted, not to be
-// modified by the caller).
+// Neighbor returns the i-th neighbour of process u (0 ≤ i < Degree(u)), in
+// sorted order. Together with Degree it is the allocation-free adjacency
+// iteration API; hot loops that stream whole neighbourhoods grab the raw
+// arrays with CSR instead.
+func (n *Network) Neighbor(u, i int) int { return n.g.Neighbor(u, i) }
+
+// CSR returns the compact adjacency arrays of the topology (see graph.CSR):
+// the neighbours of u are targets[offsets[u]:offsets[u+1]]. The arrays are
+// read-only and are invalidated by a topology mutation (churn events); the
+// engine re-fetches them at every injection boundary.
+func (n *Network) CSR() (offsets, targets []int32) { return n.g.CSR() }
+
+// Neighbors returns the neighbour process indices of u, sorted.
+//
+// Deprecated: Neighbors allocates a fresh slice on every call since the
+// topology moved to the CSR layout. Iterate with Degree(u) and
+// Neighbor(u, i), or use CSR, instead.
 func (n *Network) Neighbors(u int) []int { return n.g.Neighbors(u) }
 
 // View returns the view of process u on configuration c.
@@ -91,7 +106,7 @@ func (v View) Degree() int { return v.net.Degree(v.u) }
 
 // Neighbor returns the state of the i-th neighbour (local label i).
 func (v View) Neighbor(i int) State {
-	return v.cfg.State(v.net.Neighbors(v.u)[i])
+	return v.cfg.State(v.net.Neighbor(v.u, i))
 }
 
 // ID returns the identifier of the process. Only identified algorithms may
@@ -101,7 +116,7 @@ func (v View) ID() int { return v.net.ID(v.u) }
 // NeighborID returns the identifier of the i-th neighbour. Only identified
 // algorithms may use it.
 func (v View) NeighborID(i int) int {
-	return v.net.ID(v.net.Neighbors(v.u)[i])
+	return v.net.ID(v.net.Neighbor(v.u, i))
 }
 
 // Process returns the simulator-level index of the process. It exists for

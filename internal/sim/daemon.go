@@ -129,8 +129,8 @@ func (d *LocallyCentralDaemon) Select(sel Selection) []int {
 	for _, i := range perm {
 		u := sel.Enabled[i]
 		conflict := false
-		for _, v := range sel.Net.Neighbors(u) {
-			if taken[v] {
+		for j, deg := 0, sel.Net.Degree(u); j < deg; j++ {
+			if taken[sel.Net.Neighbor(u, j)] {
 				conflict = true
 				break
 			}
@@ -235,7 +235,8 @@ func (d *GreedyAdversarialDaemon) Select(sel Selection) []int {
 			if !d.ev.Enabled(patched, u) {
 				score--
 			}
-			for _, w := range sel.Net.Neighbors(u) {
+			for i, deg := 0, sel.Net.Degree(u); i < deg; i++ {
+				w := sel.Net.Neighbor(u, i)
 				_, before := slices.BinarySearch(sel.Enabled, w)
 				after := d.ev.Enabled(patched, w)
 				if after && !before {

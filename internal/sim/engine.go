@@ -44,7 +44,9 @@ type StepInfo struct {
 // StepHook observes executed steps.
 type StepHook func(StepInfo)
 
-// Options configures a run. Use the With* functions to set them.
+// Options configures a run. Use the With* functions to set them. The
+// combination is checked once per run by validate; RunE surfaces violations
+// as errors, Run panics on them.
 type Options struct {
 	maxSteps           int
 	legitimate         Predicate
@@ -55,10 +57,40 @@ type Options struct {
 	injector           Injector
 	memo               *MemoShare
 	memoReadOnly       bool
+	shards             int
 }
 
 // Option customises a run.
 type Option func(*Options)
+
+// validate checks the option combination. It is the single place run
+// preconditions are enforced, so every constraint reads as one line here
+// instead of being scattered across option constructors as panics.
+func (o *Options) validate() error {
+	if o.maxSteps < 0 {
+		return fmt.Errorf("sim: WithMaxSteps(%d): the step bound must be non-negative", o.maxSteps)
+	}
+	switch o.ruleChoice {
+	case FirstEnabledRule, RandomEnabledRule:
+	default:
+		return fmt.Errorf("sim: WithRuleChoice(%d): unknown rule-choice policy", o.ruleChoice)
+	}
+	if o.ruleChoice == RandomEnabledRule && o.rng == nil {
+		return fmt.Errorf("sim: WithRuleChoice(RandomEnabledRule, nil): the random policy requires a non-nil rng")
+	}
+	if o.shards < 0 {
+		return fmt.Errorf("sim: WithShards(%d): the shard count must be non-negative", o.shards)
+	}
+	if o.shards > 1 {
+		if o.ruleChoice == RandomEnabledRule {
+			return fmt.Errorf("sim: WithShards(%d) is incompatible with RandomEnabledRule: shards execute rules concurrently, so draws from the shared rng would consume it in a nondeterministic order", o.shards)
+		}
+		if o.memo != nil {
+			return fmt.Errorf("sim: WithShards(%d) is incompatible with WithMemo: the memoized evaluator is not safe for concurrent guard evaluation", o.shards)
+		}
+	}
+	return nil
+}
 
 // WithMaxSteps bounds the number of steps of the run.
 func WithMaxSteps(maxSteps int) Option {
@@ -79,13 +111,12 @@ func WithStepHook(h StepHook) Option {
 }
 
 // WithRuleChoice sets the rule-choice policy (default FirstEnabledRule). The
-// RandomEnabledRule policy requires a non-nil rng and panics otherwise: a nil
-// rng would silently degrade the policy to deterministic first-rule choice,
-// losing the nondeterminism the caller asked for.
+// RandomEnabledRule policy requires a non-nil rng: a nil rng would silently
+// degrade the policy to deterministic first-rule choice, losing the
+// nondeterminism the caller asked for. The violation is reported when the
+// run starts (an error from RunE, a panic from Run), not here, so that
+// option values can be assembled and inspected freely.
 func WithRuleChoice(p RuleChoicePolicy, rng *rand.Rand) Option {
-	if p == RandomEnabledRule && rng == nil {
-		panic("sim: WithRuleChoice(RandomEnabledRule, nil): the random policy requires a non-nil rng")
-	}
 	return func(o *Options) {
 		o.ruleChoice = p
 		o.rng = rng
@@ -275,7 +306,20 @@ func (e *Engine) checkStart(start *Configuration) {
 
 // Run executes the algorithm from the given starting configuration until a
 // terminal configuration is reached or the step bound is hit. The starting
-// configuration is not modified.
+// configuration is not modified. It is RunE with invalid option combinations
+// turned into panics; callers that prefer errors use RunE directly.
+func (e *Engine) Run(start *Configuration, opts ...Option) Result {
+	res, err := e.RunE(start, opts...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// RunE executes the algorithm from the given starting configuration until a
+// terminal configuration is reached or the step bound is hit, reporting
+// invalid option combinations as errors. The starting configuration is not
+// modified.
 //
 // The loop is incremental and allocation-free in the steady state: the
 // enabled set is maintained as a bitset and, after a step, only the
@@ -286,13 +330,28 @@ func (e *Engine) checkStart(start *Configuration) {
 // round accounting runs on reusable bitsets. RunReference retains the
 // straightforward implementation; the two are differentially tested to
 // produce bit-identical Results.
-func (e *Engine) Run(start *Configuration, opts ...Option) Result {
+//
+// With WithShards(k), k > 1, the run executes the sharded loop of
+// runSharded instead: guard evaluation and rule execution are partitioned
+// across k contiguous node ranges and run concurrently (see WithShards for
+// the daemon semantics).
+func (e *Engine) RunE(start *Configuration, opts ...Option) (Result, error) {
 	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if err := o.validate(); err != nil {
+		return Result{}, err
+	}
 	e.checkStart(start)
+	if o.shards > 1 {
+		return e.runSharded(start, o), nil
+	}
+	return e.run(start, o), nil
+}
 
+// run is the sequential engine loop behind Run and RunE.
+func (e *Engine) run(start *Configuration, o Options) Result {
 	n := e.net.N()
 	ev := NewEvaluator(e.alg, e.net)
 	rules := ev.Rules()
@@ -533,8 +592,8 @@ func (e *Engine) Run(start *Configuration, opts ...Option) Result {
 		for _, u := range selected {
 			activated.set(u)
 			touched.set(u)
-			for _, w := range e.net.Neighbors(u) {
-				touched.set(w)
+			for i, deg := 0, e.net.Degree(u); i < deg; i++ {
+				touched.set(e.net.Neighbor(u, i))
 			}
 		}
 
@@ -653,7 +712,7 @@ func chooseRule(rules []Rule, v View, o Options, scratch []int) int {
 	if len(enabled) == 0 {
 		return -1
 	}
-	// WithRuleChoice rejects a nil rng for RandomEnabledRule, so o.rng is
+	// Options.validate rejects a nil rng for RandomEnabledRule, so o.rng is
 	// always set here.
 	return enabled[o.rng.Intn(len(enabled))]
 }

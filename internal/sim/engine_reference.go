@@ -16,8 +16,14 @@ func (e *Engine) RunReference(start *Configuration, opts ...Option) Result {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if err := o.validate(); err != nil {
+		panic(err.Error())
+	}
 	if o.injector != nil {
 		panic("sim: RunReference does not support injectors; it is the differential oracle for static runs")
+	}
+	if o.shards > 1 {
+		panic("sim: RunReference does not support sharding; it is the differential oracle for the sequential loop")
 	}
 	e.checkStart(start)
 
@@ -198,7 +204,7 @@ func referenceChooseRule(rules []Rule, v View, o Options) int {
 	if len(enabled) == 0 {
 		return -1
 	}
-	// WithRuleChoice rejects a nil rng for RandomEnabledRule, so o.rng is
+	// Options.validate rejects a nil rng for RandomEnabledRule, so o.rng is
 	// always set here.
 	return enabled[o.rng.Intn(len(enabled))]
 }

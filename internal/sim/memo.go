@@ -338,8 +338,8 @@ func (m *MemoEvaluator) Stats() MemoStats { return m.stats }
 func (m *MemoEvaluator) Invalidate(u int) {
 	m.valid.clear(u)
 	m.maskValid.clear(u)
-	for _, w := range m.net.Neighbors(u) {
-		m.maskValid.clear(w)
+	for i, deg := 0, m.net.Degree(u); i < deg; i++ {
+		m.maskValid.clear(m.net.Neighbor(u, i))
 	}
 }
 
@@ -374,7 +374,8 @@ func (m *MemoEvaluator) syncNeighborhood(c *Configuration, u int) {
 		m.ids[u] = m.stateID(c.State(u))
 		m.valid.set(u)
 	}
-	for _, w := range m.net.Neighbors(u) {
+	for i, deg := 0, m.net.Degree(u); i < deg; i++ {
+		w := m.net.Neighbor(u, i)
 		if !m.valid.get(w) {
 			m.ids[w] = m.stateID(c.State(w))
 			m.valid.set(w)
@@ -402,22 +403,22 @@ func (m *MemoEvaluator) Mask(c *Configuration, u int) uint64 {
 // the frozen or local memo table, or by direct guard evaluation on a miss.
 func (m *MemoEvaluator) lookupMask(c *Configuration, u int) uint64 {
 	m.syncNeighborhood(c, u)
-	neighbors := m.net.Neighbors(u)
+	degree := m.net.Degree(u)
 	comps := m.comps[:0]
 	if m.identified {
 		comps = append(comps, ZigZag64(m.net.ID(u)), m.ids[u])
-		for _, w := range neighbors {
+		for i := 0; i < degree; i++ {
+			w := m.net.Neighbor(u, i)
 			comps = append(comps, ZigZag64(m.net.ID(w)), m.ids[w])
 		}
 	} else {
 		comps = append(comps, m.ids[u])
-		for _, w := range neighbors {
-			comps = append(comps, m.ids[w])
+		for i := 0; i < degree; i++ {
+			comps = append(comps, m.ids[m.net.Neighbor(u, i)])
 		}
 	}
 	m.comps = comps
 
-	degree := len(neighbors)
 	var mask uint64
 	var ok bool
 	if m.frozen != nil {

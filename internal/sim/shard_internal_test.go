@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+// TestMakeShardsPartition checks the white-box invariants of the shard
+// layout: the shards cover [0,n) contiguously without gaps or overlap, every
+// boundary is word-aligned (so each bitset word has exactly one owner), the
+// word ranges partition [0,⌈n/64⌉), and the count is clamped to [1,⌈n/64⌉].
+func TestMakeShardsPartition(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{1, 1}, {1, 8}, {63, 2}, {64, 2}, {65, 2}, {100, 3},
+		{128, 2}, {1000, 7}, {4096, 16}, {100489, 4}, {64, 0}, {64, -3},
+	}
+	for _, tc := range cases {
+		shards := makeShards(tc.n, tc.k)
+		words := (tc.n + 63) / 64
+		wantK := tc.k
+		if wantK > words {
+			wantK = words
+		}
+		if wantK < 1 {
+			wantK = 1
+		}
+		if len(shards) != wantK {
+			t.Errorf("makeShards(%d,%d): %d shards, want %d", tc.n, tc.k, len(shards), wantK)
+			continue
+		}
+		prevHi, prevWordHi := 0, 0
+		for i, sh := range shards {
+			if sh.lo != prevHi || sh.wordLo != prevWordHi {
+				t.Errorf("makeShards(%d,%d): shard %d starts at (%d,%d), want (%d,%d)",
+					tc.n, tc.k, i, sh.lo, sh.wordLo, prevHi, prevWordHi)
+			}
+			if sh.lo%64 != 0 {
+				t.Errorf("makeShards(%d,%d): shard %d lo=%d not word-aligned", tc.n, tc.k, i, sh.lo)
+			}
+			if sh.hi%64 != 0 && sh.hi != tc.n {
+				t.Errorf("makeShards(%d,%d): shard %d hi=%d neither word-aligned nor n", tc.n, tc.k, i, sh.hi)
+			}
+			if sh.lo != sh.wordLo*64 {
+				t.Errorf("makeShards(%d,%d): shard %d lo=%d does not match wordLo=%d", tc.n, tc.k, i, sh.lo, sh.wordLo)
+			}
+			prevHi, prevWordHi = sh.hi, sh.wordHi
+		}
+		if prevHi != tc.n || prevWordHi != words {
+			t.Errorf("makeShards(%d,%d): coverage ends at (%d,%d), want (%d,%d)",
+				tc.n, tc.k, prevHi, prevWordHi, tc.n, words)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdr/internal/alliance"
+	"sdr/internal/core"
+	"sdr/internal/faults"
+	"sdr/internal/graph"
+	"sdr/internal/sim"
+	"sdr/internal/spantree"
+	"sdr/internal/unison"
+)
+
+// The sharded engine's exactness contract: under the SynchronousDaemon a run
+// with WithShards(k) is bit-identical to the sequential run for every k,
+// because the union of the per-shard selections is exactly the global
+// enabled set and all accounting merges in ascending shard order. Under
+// every other daemon the sharded run is a different (but deterministic)
+// adversary — the locally-central sharded family — so the tests there pin
+// determinism and schedule legality rather than equality.
+
+// shardWorkloads builds medium-sized instantiations: large enough that the
+// requested shard counts survive the 64-alignment cap (7 shards need
+// n ≥ 7·64).
+func shardWorkloads(seed int64) []diffWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	var ws []diffWorkload
+
+	// U∘SDR on a torus from a fully corrupted configuration, with
+	// legitimacy tracking and early stop.
+	{
+		g := graph.Torus(8, 60)
+		net := sim.NewNetwork(g)
+		u := unison.New(unison.DefaultPeriod(g.N()))
+		comp := core.Compose(u)
+		start := faults.MustRandomConfiguration(comp, net, rng)
+		ws = append(ws, diffWorkload{
+			name:  "unison∘SDR/torus480",
+			net:   net,
+			alg:   comp,
+			start: start,
+			opts: []sim.Option{
+				sim.WithMaxSteps(600),
+				sim.WithLegitimate(core.NormalPredicate(u, net)),
+				sim.WithStopWhenLegitimate(),
+			},
+		})
+	}
+
+	// B∘SDR (BFS spanning tree) on a grid, run to termination (silent).
+	{
+		g := graph.Grid(20, 25)
+		net := sim.NewNetwork(g)
+		comp := spantree.NewSelfStabilizing(g, 7)
+		start := faults.MustRandomConfiguration(comp, net, rng)
+		ws = append(ws, diffWorkload{
+			name:  "B∘SDR/grid500",
+			net:   net,
+			alg:   comp,
+			start: start,
+			opts:  []sim.Option{sim.WithMaxSteps(5_000)},
+		})
+	}
+
+	// FGA∘SDR on a random connected graph.
+	{
+		g := graph.RandomConnected(300, 0.02, rng)
+		net := sim.NewNetwork(g)
+		comp := alliance.NewSelfStabilizing(alliance.DominatingSet())
+		start := faults.MustRandomConfiguration(comp, net, rng)
+		ws = append(ws, diffWorkload{
+			name:  "FGA∘SDR/random300",
+			net:   net,
+			alg:   comp,
+			start: start,
+			opts:  []sim.Option{sim.WithMaxSteps(2_000)},
+		})
+	}
+	return ws
+}
+
+// TestShardedSynchronousBitIdentical is the pinned exactness check of the
+// acceptance criteria: sharded synchronous runs at shard counts 1, 2 and 7
+// reproduce the sequential Result bit for bit, across the paper's
+// instantiations.
+func TestShardedSynchronousBitIdentical(t *testing.T) {
+	for _, w := range shardWorkloads(11) {
+		seq := sim.NewEngine(w.net, w.alg, sim.SynchronousDaemon{}).Run(w.start, w.opts...)
+		for _, shards := range []int{1, 2, 7} {
+			opts := append(append([]sim.Option{}, w.opts...), sim.WithShards(shards))
+			sharded, err := sim.NewEngine(w.net, w.alg, sim.SynchronousDaemon{}).RunE(w.start, opts...)
+			if err != nil {
+				t.Fatalf("%s/shards=%d: %v", w.name, shards, err)
+			}
+			assertResultsIdentical(t, w.name+"/shards="+string(rune('0'+shards)), sharded, seq)
+		}
+	}
+}
+
+// TestShardedHooksMatchSequentialSynchronous extends the exactness check to
+// the step-by-step trace: the sharded loop must hand hooks the same
+// activation sets, rule names and round indices as the sequential loop.
+func TestShardedHooksMatchSequentialSynchronous(t *testing.T) {
+	type step struct {
+		step, round int
+		activated   []int
+		rules       []string
+	}
+	record := func(dst *[]step) sim.StepHook {
+		return func(info sim.StepInfo) {
+			*dst = append(*dst, step{
+				step:      info.Step,
+				round:     info.Round,
+				activated: append([]int(nil), info.Activated...),
+				rules:     append([]string(nil), info.Rules...),
+			})
+		}
+	}
+	g := graph.Torus(8, 20)
+	net := sim.NewNetwork(g)
+	u := unison.New(unison.DefaultPeriod(g.N()))
+	comp := core.Compose(u)
+	start := faults.MustRandomConfiguration(comp, net, rand.New(rand.NewSource(23)))
+
+	var seqSteps, shSteps []step
+	sim.NewEngine(net, comp, sim.SynchronousDaemon{}).Run(start,
+		sim.WithMaxSteps(200), sim.WithStepHook(record(&seqSteps)))
+	if _, err := sim.NewEngine(net, comp, sim.SynchronousDaemon{}).RunE(start,
+		sim.WithMaxSteps(200), sim.WithStepHook(record(&shSteps)), sim.WithShards(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqSteps) != len(shSteps) {
+		t.Fatalf("%d sequential steps vs %d sharded steps", len(seqSteps), len(shSteps))
+	}
+	for i := range seqSteps {
+		a, b := shSteps[i], seqSteps[i]
+		if a.step != b.step || a.round != b.round {
+			t.Fatalf("step %d: step/round %d/%d vs %d/%d", i, a.step, a.round, b.step, b.round)
+		}
+		if len(a.activated) != len(b.activated) {
+			t.Fatalf("step %d: %d activated vs %d", i, len(a.activated), len(b.activated))
+		}
+		for j := range a.activated {
+			if a.activated[j] != b.activated[j] || a.rules[j] != b.rules[j] {
+				t.Fatalf("step %d: (%d,%q) vs (%d,%q)",
+					i, a.activated[j], a.rules[j], b.activated[j], b.rules[j])
+			}
+		}
+	}
+}
+
+// TestShardedLocallyCentralFamilyDeterministic pins the documented semantics
+// of non-synchronous daemons under sharding: for a fixed daemon seed and
+// shard count the run is deterministic (two executions are bit-identical),
+// and every step activates at least one process per non-empty shard — the
+// union of per-shard selections is a legal unfair-daemon schedule.
+func TestShardedLocallyCentralFamilyDeterministic(t *testing.T) {
+	g := graph.Ring(200)
+	net := sim.NewNetwork(g)
+	u := unison.New(unison.DefaultPeriod(g.N()))
+	comp := core.Compose(u)
+	start := faults.MustRandomConfiguration(comp, net, rand.New(rand.NewSource(31)))
+
+	for _, df := range sim.StandardDaemonFactories() {
+		runOnce := func() sim.Result {
+			res, err := sim.NewEngine(net, comp, df.New(5)).RunE(start,
+				sim.WithMaxSteps(300), sim.WithShards(3))
+			if err != nil {
+				t.Fatalf("%s: %v", df.Name, err)
+			}
+			return res
+		}
+		first := runOnce()
+		second := runOnce()
+		assertResultsIdentical(t, "locally-central-family/"+df.Name, first, second)
+		if first.Steps == 0 {
+			t.Fatalf("%s: sharded run executed no steps", df.Name)
+		}
+	}
+}
+
+// TestShardedInjectorCrossShardChurn drives a mid-run topology-churn event
+// whose dropped and added edges cross a shard boundary (with 128 processes
+// and 2 shards the boundary sits between 63 and 64), plus state corruption
+// on both sides of it. The sharded synchronous run must match the sequential
+// one bit for bit, per-event recovery records included: the injection
+// boundary re-fetches the CSR arrays and re-seeds the enabled set, so churn
+// is exact under sharding too.
+func TestShardedInjectorCrossShardChurn(t *testing.T) {
+	makeInjector := func() sim.Injector {
+		return &scriptedInjector{
+			at: 10,
+			build: func(sim.InjectionPoint) *sim.Injection {
+				injn := &sim.Injection{
+					Label:     "cross-shard-churn",
+					DropEdges: [][2]int{{63, 64}},
+					AddEdges:  [][2]int{{60, 70}},
+				}
+				for _, proc := range []int{63, 64} {
+					injn.SetStates = append(injn.SetStates, sim.StateChange{
+						Process: proc,
+						State:   core.ComposedState{SDR: core.SDRState{St: core.StatusRB, D: 0}, Inner: unison.ClockState{C: 1}},
+					})
+				}
+				return injn
+			},
+		}
+	}
+
+	start := faults.MustRandomConfiguration(
+		core.Compose(unison.New(unison.DefaultPeriod(128))),
+		sim.NewNetwork(graph.Ring(128)),
+		rand.New(rand.NewSource(41)))
+
+	// The injector mutates the live graph, so each run needs a fresh
+	// topology (and network) of its own.
+	runWith := func(shards int) sim.Result {
+		g := graph.Ring(128)
+		net := sim.NewNetwork(g)
+		u := unison.New(unison.DefaultPeriod(g.N()))
+		comp := core.Compose(u)
+		o := []sim.Option{
+			sim.WithMaxSteps(50_000),
+			sim.WithLegitimate(core.NormalPredicate(u, net)),
+			sim.WithStopWhenLegitimate(),
+			sim.WithInjector(makeInjector()),
+			sim.WithShards(shards),
+		}
+		res, err := sim.NewEngine(net, comp, sim.SynchronousDaemon{}).RunE(start, o...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	seq := runWith(1)
+	sharded := runWith(2)
+	assertResultsIdentical(t, "cross-shard-churn", sharded, seq)
+	if len(seq.Events) != 1 || len(sharded.Events) != 1 {
+		t.Fatalf("expected exactly one event: sequential %d, sharded %d", len(seq.Events), len(sharded.Events))
+	}
+	a, b := sharded.Events[0], seq.Events[0]
+	if a != b {
+		t.Fatalf("event records diverged:\n  sharded    %+v\n  sequential %+v", a, b)
+	}
+	if !a.Recovered {
+		t.Fatal("the run never recovered from the cross-shard churn event")
+	}
+}
+
+// TestShardOptionValidation pins the documented invalid combinations: a
+// negative shard count, sharding with the random rule-choice policy, and
+// sharding with memoization are all reported as errors by RunE (and panics
+// by Run), never silently degraded.
+func TestShardOptionValidation(t *testing.T) {
+	g := graph.Ring(8)
+	net := sim.NewNetwork(g)
+	u := unison.New(unison.DefaultPeriod(g.N()))
+	comp := core.Compose(u)
+	start := sim.InitialConfiguration(comp, net)
+	eng := sim.NewEngine(net, comp, sim.SynchronousDaemon{})
+
+	cases := []struct {
+		name string
+		opts []sim.Option
+	}{
+		{"negative-shards", []sim.Option{sim.WithShards(-1)}},
+		{"shards+random-rule-choice", []sim.Option{
+			sim.WithShards(2),
+			sim.WithRuleChoice(sim.RandomEnabledRule, rand.New(rand.NewSource(1))),
+		}},
+		{"shards+memo", []sim.Option{
+			sim.WithShards(2),
+			sim.WithMemo(sim.NewMemoShare(1 << 16)),
+		}},
+		{"negative-max-steps", []sim.Option{sim.WithMaxSteps(-1)}},
+	}
+	for _, tc := range cases {
+		if _, err := eng.RunE(start, tc.opts...); err == nil {
+			t.Errorf("%s: RunE accepted an invalid option combination", tc.name)
+		}
+	}
+
+	// A huge shard count is not an error: it is capped at ⌈n/64⌉ (here 1)
+	// and the run proceeds sequentially.
+	res, err := eng.RunE(start, sim.WithShards(1000), sim.WithMaxSteps(100))
+	if err != nil {
+		t.Fatalf("WithShards(1000) on a small graph: %v", err)
+	}
+	if res.Steps == 0 {
+		t.Fatal("capped sharded run executed no steps")
+	}
+}

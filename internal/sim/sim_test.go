@@ -620,12 +620,22 @@ func TestStabilizationRoundsCountsPartialRound(t *testing.T) {
 }
 
 // TestWithRuleChoiceRejectsNilRNG pins that the random rule-choice policy can
-// never silently degrade to deterministic first-rule choice.
+// never silently degrade to deterministic first-rule choice: RunE reports the
+// missing rng as a validation error and Run panics on it.
 func TestWithRuleChoiceRejectsNilRNG(t *testing.T) {
+	g := graph.Ring(4)
+	net := NewNetwork(g)
+	eng := NewEngine(net, ticker{}, SynchronousDaemon{})
+	start := InitialConfiguration(ticker{}, net)
+
+	if _, err := eng.RunE(start, WithRuleChoice(RandomEnabledRule, nil)); err == nil {
+		t.Error("RunE with WithRuleChoice(RandomEnabledRule, nil) must return an error")
+	}
+
 	defer func() {
 		if recover() == nil {
-			t.Error("WithRuleChoice(RandomEnabledRule, nil) must panic")
+			t.Error("Run with WithRuleChoice(RandomEnabledRule, nil) must panic")
 		}
 	}()
-	WithRuleChoice(RandomEnabledRule, nil)
+	eng.Run(start, WithRuleChoice(RandomEnabledRule, nil))
 }

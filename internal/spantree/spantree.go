@@ -242,8 +242,8 @@ func (b *BFS) InnerRules() []core.InnerRule {
 // parents in {⊥} ∪ identifiers of the neighbourhood.
 func (b *BFS) EnumerateInner(u int, net *sim.Network) []sim.State {
 	parents := []int{NoParent}
-	for _, w := range net.Neighbors(u) {
-		parents = append(parents, net.ID(w))
+	for i, deg := 0, net.Degree(u); i < deg; i++ {
+		parents = append(parents, net.ID(net.Neighbor(u, i)))
 	}
 	var out []sim.State
 	for d := 0; d <= b.maxDist; d++ {
@@ -268,7 +268,7 @@ func (b *BFS) InnerStateAt(u int, net *sim.Network, i int) sim.State {
 	if pi == 0 {
 		return NodeState{Dist: d, Parent: NoParent}
 	}
-	return NodeState{Dist: d, Parent: net.ID(net.Neighbors(u)[pi-1])}
+	return NodeState{Dist: d, Parent: net.ID(net.Neighbor(u, pi-1))}
 }
 
 // NewSelfStabilizing returns the silent self-stabilizing BFS spanning tree
