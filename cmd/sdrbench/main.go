@@ -10,6 +10,11 @@
 // machine-readable BENCH_<id>.json so the benchmark trajectory can be
 // tracked across revisions.
 //
+// -profile-steps k samples every k-th engine step of one profiled run per
+// grid cell and prints the per-phase timing table (guard evaluation, daemon
+// selection, rule execution, accounting; per-shard execute/boundary-exchange
+// with -shards > 1) — with -json it lands as BENCH_PROFILE.json.
+//
 // -campaign runs a JSON campaign spec (internal/campaign): trials stream to
 // CAMPAIGN_<id>.jsonl as they complete (resumable with -resume after an
 // interruption), and the per-cell aggregates snapshot to a versioned
@@ -23,6 +28,7 @@
 //	sdrbench -sweep -algorithms unison,bfstree -topologies ring,tree,grid -daemons synchronous,distributed-random -sizes 8
 //	sdrbench -churn "periodic-corrupt;poisson-mixed" -algorithms unison -topologies ring,torus -sizes 8,16
 //	sdrbench -verify -algorithms unison,dominating-set -topologies ring,tree -sizes 4,5,6 -json
+//	sdrbench -profile-steps 4 -algorithms unison -topologies torus -sizes 1024 [-shards 4] [-json]
 //	sdrbench -campaign spec.json [-resume] [-json-dir out] [-parallel 8]
 //	sdrbench -compare [-metric moves] [-threshold 0.1] baselines/BENCH_GATE.json out/BENCH_GATE.json
 //	sdrbench -list
@@ -87,6 +93,7 @@ func run(args []string, out io.Writer) error {
 		shardN       = fs.Int("shard-n", 1_000_000, "approximate network size of the -shard-bench torus (rounded up to the next square)")
 		shardSteps   = fs.Int("shard-steps", 12, "synchronous steps each -shard-bench run executes")
 		shardCounts  = fs.String("shard-counts", "1,2,4", "comma-separated shard counts -shard-bench compares (first entry is the speedup baseline)")
+		profileSteps = fs.Int("profile-steps", 0, "sample every k-th engine step and print the per-phase timing table over the -algorithms × -topologies × -daemons × -sizes grid (with -shards > 1: per-shard breakdown); writes BENCH_PROFILE.json with -json")
 		memo         = fs.Bool("memo", true, "share each cell's neighbourhood→enabled-rules table across its trials (results are bit-identical either way; -memo=false for A/B timing)")
 		memoCap      = fs.Int("memo-cap", 0, "max entries per memo table (0 = the sim package default)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -208,6 +215,28 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%d shard count(s) diverged from the first shard count's final configuration", table.Violations)
 		}
 		return nil
+	}
+
+	if *profileSteps != 0 {
+		if *profileSteps < 0 {
+			return fmt.Errorf("-profile-steps must be ≥ 1, got %d", *profileSteps)
+		}
+		sw := scenario.Sweep{
+			Algorithms: splitNames(*algorithms),
+			Topologies: splitNames(*topologies),
+			Daemons:    splitNames(*daemons),
+			Faults:     splitNames(*faultList),
+			Sizes:      cfg.Sizes,
+			Trials:     1,
+			Seed:       cfg.Seed,
+			MaxSteps:   cfg.MaxSteps,
+			Shards:     cfg.Shards,
+		}
+		table, err := bench.RunProfile(sw, *profileSteps, cfg)
+		if err != nil {
+			return err
+		}
+		return emit(table)
 	}
 
 	if *campaignPath != "" {

@@ -290,6 +290,44 @@ func TestShardBenchMode(t *testing.T) {
 	}
 }
 
+func TestProfileStepsMode(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{
+		"-profile-steps", "2",
+		"-algorithms", "unison", "-topologies", "torus",
+		"-daemons", "synchronous", "-sizes", "64",
+		"-seed", "7", "-json", "-json-dir", dir,
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run -profile-steps: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"PROFILE", "guard_eval", "step_wall", "cover"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("profile output missing %q:\n%s", want, text)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_PROFILE.json"))
+	if err != nil {
+		t.Fatalf("read BENCH_PROFILE.json: %v", err)
+	}
+	var table struct {
+		ID   string
+		Rows [][]string
+	}
+	if err := json.Unmarshal(data, &table); err != nil {
+		t.Fatalf("unmarshal BENCH_PROFILE.json: %v", err)
+	}
+	if table.ID != "PROFILE" || len(table.Rows) == 0 {
+		t.Errorf("unexpected BENCH_PROFILE.json: %+v", table)
+	}
+
+	if err := run([]string{"-profile-steps", "-3"}, &out); err == nil {
+		t.Error("negative -profile-steps must be rejected")
+	}
+}
+
 func TestShardedSweepMatchesSequentialSynchronous(t *testing.T) {
 	base := []string{
 		"-sweep",

@@ -9,6 +9,12 @@
 // The record stream a job serves is byte-identical to the CAMPAIGN_<id>.jsonl
 // file an offline `sdrbench -campaign` run writes for the same spec and seed.
 //
+// Observability: GET /metrics exposes the shared obs registry (queue depth,
+// job/dedup/backpressure counters, request and job latency histograms,
+// records/sec, memo hit rate) in Prometheus text format, request and
+// job-lifecycle events go to structured stderr logs, and -pprof additionally
+// mounts GET /debug/pprof/* for runtime profiles.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting
 // submissions, interrupts in-flight campaigns at their next record boundary
 // (the same checkpoint semantics as the CLI's SIGINT handling), and exits
@@ -16,7 +22,7 @@
 //
 // Usage:
 //
-//	sdrd [-addr :8321] [-workers 2] [-queue 16] [-parallel 8] [-cache 64] [-memo-cap 0]
+//	sdrd [-addr :8321] [-workers 2] [-queue 16] [-parallel 8] [-cache 64] [-memo-cap 0] [-pprof] [-log-json]
 package main
 
 import (
@@ -24,7 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -51,18 +57,32 @@ func run(args []string) error {
 	fs.IntVar(&cfg.Parallel, "parallel", 0, "per-job trial parallelism (0 = one per CPU); record streams are identical for every value")
 	fs.IntVar(&cfg.ResultCache, "cache", 64, "completed jobs retained for dedup and record serving (LRU)")
 	fs.IntVar(&cfg.MemoCap, "memo-cap", 0, "max entries per cell's transition-memo table (0 = the sim package default)")
+	pprofOn := fs.Bool("pprof", false, "mount GET /debug/pprof/* (exposes stacks and heap contents; opt-in)")
+	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	cfg.Logger = logger
+
 	mgr := server.NewManager(cfg)
-	srv := &http.Server{Addr: *addr, Handler: server.New(mgr)}
+	api := server.New(mgr)
+	if *pprofOn {
+		api.EnablePprof()
+	}
+	srv := &http.Server{Addr: *addr, Handler: api}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("sdrd: listening on %s (workers=%d queue=%d)", ln.Addr(), cfg.Workers, cfg.QueueDepth)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", cfg.Workers, "queue", cfg.QueueDepth, "pprof", *pprofOn)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -76,7 +96,7 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills the process outright
-	log.Printf("sdrd: draining — interrupting jobs at their next record boundary")
+	logger.Info("draining: interrupting jobs at their next record boundary")
 	// Drain first so every record log finishes and followers disconnect;
 	// only then can Shutdown's wait for active connections complete.
 	mgr.Drain()
@@ -88,6 +108,6 @@ func run(args []string) error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("sdrd: drained, exiting")
+	logger.Info("drained, exiting")
 	return nil
 }

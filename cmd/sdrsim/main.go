@@ -17,6 +17,7 @@
 //	sdrsim -algorithm bpv -topology ring -n 10 -scenario random-all
 //	sdrsim -algorithm unison -topology ring -n 5 -verify -verify-starts 8
 //	sdrsim -algorithm unison -topology torus -n 16 -churn poisson-mixed
+//	sdrsim -algorithm unison -topology torus -n 1024 -profile-steps 4
 //	sdrsim -list
 //	sdrsim -list -json
 package main
@@ -29,6 +30,7 @@ import (
 	"runtime"
 
 	"sdr/internal/core"
+	"sdr/internal/obs"
 	"sdr/internal/scenario"
 	"sdr/internal/sim"
 	"sdr/internal/trace"
@@ -68,8 +70,12 @@ func run(args []string, out io.Writer) error {
 	fs.Int64Var(&sp.Seed, "seed", 1, "random seed")
 	fs.IntVar(&sp.MaxSteps, "max-steps", 2_000_000, "step bound")
 	fs.IntVar(&sp.Shards, "shards", 0, "engine shard count (see sim.WithShards); 0 or 1 runs the sequential engine, >1 runs sharded (bit-identical for -daemon synchronous, locally-central daemon family otherwise)")
+	profileSteps := fs.Int("profile-steps", 0, "sample every k-th engine step and append a per-phase timing block to the report (0 = off; timing is observational, the run itself is unchanged)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *profileSteps < 0 {
+		return fmt.Errorf("-profile-steps must be ≥ 0, got %d", *profileSteps)
 	}
 	if *list {
 		if *jsonList {
@@ -90,7 +96,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return certify(sp, vo, out)
 	}
-	return simulate(sp, *showTrace, *format, out)
+	return simulate(sp, *showTrace, *format, *profileSteps, out)
 }
 
 // certify resolves the Spec and model-checks its convergence property on the
@@ -164,7 +170,7 @@ func printRegistries(out io.Writer) {
 	})
 }
 
-func simulate(sp scenario.Spec, showTrace bool, format string, out io.Writer) error {
+func simulate(sp scenario.Spec, showTrace bool, format string, profileSteps int, out io.Writer) error {
 	run, err := sp.Resolve()
 	if err != nil {
 		return err
@@ -172,6 +178,11 @@ func simulate(sp scenario.Spec, showTrace bool, format string, out io.Writer) er
 
 	recorder := trace.NewRecorder(run.Net.N(), trace.WithMaxEvents(10_000))
 	opts := []sim.Option{sim.WithStepHook(recorder.Hook())}
+	var prof *obs.PhaseProfiler
+	if profileSteps > 0 {
+		prof = obs.NewPhaseProfiler(profileSteps)
+		opts = append(opts, sim.WithProfiler(prof))
+	}
 	observer := run.Observer()
 	if observer != nil {
 		opts = append(opts, sim.WithStepHook(observer.Hook()))
@@ -229,6 +240,9 @@ func simulate(sp scenario.Spec, showTrace bool, format string, out io.Writer) er
 	for _, line := range run.Report(res).Lines {
 		fmt.Fprintln(out, line)
 	}
+	if prof != nil {
+		printProfile(out, prof.Profile())
+	}
 
 	if showTrace {
 		switch format {
@@ -244,4 +258,30 @@ func simulate(sp scenario.Spec, showTrace bool, format string, out io.Writer) er
 	}
 	fmt.Fprint(out, recorder.Summary())
 	return nil
+}
+
+// printProfile renders the sampled phase timings as a trailing report block:
+// one line per global phase with its mean per sampled step and share of the
+// step wall time, per-shard breakdowns indented beneath, and a closing line
+// whose coverage shows how much of the wall the named phases account for.
+func printProfile(out io.Writer, p obs.EngineProfile) {
+	if p.SampledSteps == 0 {
+		fmt.Fprintln(out, "profile   : no steps sampled")
+		return
+	}
+	fmt.Fprintf(out, "profile   : %d of %d steps sampled (every %d)\n", p.SampledSteps, p.Steps, p.Every)
+	n := float64(p.SampledSteps)
+	for _, ph := range p.Phases {
+		fmt.Fprintf(out, "  %-18s %10.1fµs/step  %5.1f%%\n",
+			ph.Phase, float64(ph.Total.Nanoseconds())/n/1e3, 100*float64(ph.Total)/float64(p.StepWall))
+	}
+	for _, sb := range p.Shards {
+		for _, ph := range sb.Phases {
+			fmt.Fprintf(out, "  %-18s %10.1fµs/step  %5.1f%%\n",
+				fmt.Sprintf("%s[shard %d]", ph.Phase, sb.Shard),
+				float64(ph.Total.Nanoseconds())/n/1e3, 100*float64(ph.Total)/float64(p.StepWall))
+		}
+	}
+	fmt.Fprintf(out, "  %-18s %10.1fµs/step  cover %.0f%%\n",
+		"step_wall", float64(p.StepWall.Nanoseconds())/n/1e3, 100*p.Coverage())
 }

@@ -41,6 +41,49 @@ func TestSimulateAllianceWithTrace(t *testing.T) {
 	}
 }
 
+// TestProfileStepsFlag pins two things: the profile block appears (with the
+// sequential engine's phases and the coverage line), and profiling is purely
+// additive — the report lines before the block are byte-identical to an
+// unprofiled run.
+func TestProfileStepsFlag(t *testing.T) {
+	base := []string{"-algorithm", "unison", "-topology", "ring", "-n", "8", "-seed", "3"}
+	var plain, profiled bytes.Buffer
+	if err := run(base, &plain); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run(append(append([]string{}, base...), "-profile-steps", "2"), &profiled); err != nil {
+		t.Fatalf("run -profile-steps: %v", err)
+	}
+	text := profiled.String()
+	for _, want := range []string{"profile   :", "guard_eval", "step_wall", "cover"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("profiled output missing %q:\n%s", want, text)
+		}
+	}
+	// Strip the profile block (the only wall-clock-dependent lines) and the
+	// two outputs must match exactly.
+	var stripped []string
+	inBlock := false
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, "profile   :"):
+			inBlock = true
+			continue
+		case inBlock && strings.HasPrefix(line, "  "):
+			continue
+		default:
+			inBlock = false
+		}
+		stripped = append(stripped, line)
+	}
+	if got := strings.Join(stripped, "\n"); got != plain.String() {
+		t.Errorf("profiling changed the report:\n--- plain\n%s--- profiled (stripped)\n%s", plain.String(), got)
+	}
+	if err := run([]string{"-profile-steps", "-1"}, &plain); err == nil {
+		t.Error("negative -profile-steps must be rejected")
+	}
+}
+
 func TestSimulateStandaloneAndBPV(t *testing.T) {
 	for _, algo := range []string{"unison-standalone", "alliance-standalone", "bpv"} {
 		var out bytes.Buffer

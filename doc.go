@@ -42,10 +42,15 @@
 //     trial counts, versioned baseline snapshots and the noise-aware
 //     baseline comparison behind the CI regression gate
 //     (sdrbench -campaign / -compare);
+//   - internal/obs      — the zero-dependency observability core: atomic
+//     counters/gauges/histograms with Prometheus text exposition (the sdrd
+//     /metrics endpoint) and the sampled engine phase profiler behind
+//     sim.WithProfiler and the -profile-steps modes;
 //   - internal/server   — the sdrd simulation service: an HTTP+JSON API over
 //     the campaign stream core with content-hash deduplicated, backpressured
 //     job execution, live-followable record streams byte-identical to the
-//     offline campaign files, and graceful record-boundary drain.
+//     offline campaign files, structured request/job-lifecycle logs, a
+//     Prometheus /metrics exposition, and graceful record-boundary drain.
 //
 // The executables cmd/sdrsim and cmd/sdrbench, the long-running service
 // daemon cmd/sdrd (with its load generator cmd/sdrload), and the runnable

@@ -29,6 +29,15 @@ type Meta struct {
 	GoVersion string `json:"go_version,omitempty"`
 	// Host is the machine fingerprint (hostname, OS and architecture).
 	Host string `json:"host,omitempty"`
+	// GoMaxProcs and NumCPU record the parallelism context of the run:
+	// wall-clock metrics (duration_ns, phase_*) are only comparable between
+	// baselines measured with similar CPU budgets.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
+	// Shards is the engine shard count the campaign ran with (omitted when
+	// sequential), stamped by Snapshot rather than Fingerprint: it is a
+	// property of the spec, not the host.
+	Shards int `json:"shards,omitempty"`
 	// CreatedAt is the RFC 3339 UTC snapshot time.
 	CreatedAt string `json:"created_at,omitempty"`
 }
@@ -46,8 +55,10 @@ var (
 func Fingerprint() Meta {
 	fingerprintOnce.Do(func() {
 		fingerprint = Meta{
-			GoVersion: runtime.Version(),
-			Host:      runtime.GOOS + "/" + runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+			Host:       runtime.GOOS + "/" + runtime.GOARCH,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
 		}
 		if host, err := os.Hostname(); err == nil {
 			fingerprint.Host = host + " " + fingerprint.Host
@@ -82,8 +93,13 @@ type Baseline struct {
 }
 
 // Snapshot captures the campaign result as a baseline stamped with meta.
-// Pass a zero Meta to keep the snapshot byte-reproducible.
+// Pass a zero Meta to keep the snapshot byte-reproducible; a non-zero meta
+// additionally gains the spec's shard count (sequential campaigns omit it,
+// keeping pre-existing baseline bytes unchanged).
 func (r *Result) Snapshot(meta Meta) Baseline {
+	if meta != (Meta{}) && r.Spec.Shards > 1 {
+		meta.Shards = r.Spec.Shards
+	}
 	return Baseline{
 		SchemaVersion: BaselineSchemaVersion,
 		ID:            r.Spec.ID,

@@ -23,6 +23,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strings"
 
 	"sdr/internal/scenario"
 	"sdr/internal/stats"
@@ -57,6 +58,12 @@ const (
 	// only when Spec.RecordTime is set (it makes resumed output differ from
 	// uninterrupted output byte-for-byte).
 	MetricDuration = "duration_ns"
+	// MetricPhasePrefix prefixes the engine phase-timing metrics recorded
+	// when Spec.ProfileSteps is set: phase_<name>_ns is the mean wall time
+	// (nanoseconds) of that engine phase per sampled step, and phase_step_ns
+	// the mean sampled-step wall time (see internal/obs.PhaseProfiler). Like
+	// duration_ns they are wall-clock measurements, not deterministic counts.
+	MetricPhasePrefix = "phase_"
 )
 
 // Metrics lists every metric name a campaign can aggregate, in render order.
@@ -134,6 +141,12 @@ type Spec struct {
 	// off by default because timings are non-deterministic: a resumed
 	// campaign no longer reproduces an uninterrupted one byte-for-byte.
 	RecordTime bool `json:"record_time,omitempty"`
+	// ProfileSteps, when positive, attaches an engine phase profiler to
+	// every trial, sampling every ProfileSteps-th step, and adds the
+	// phase_* timing metrics to each trial record. Off by default for the
+	// same reason as RecordTime: timings are non-deterministic, so profiled
+	// streams are not byte-reproducible.
+	ProfileSteps int `json:"profile_steps,omitempty"`
 	// MemoOff disables the per-cell transition memoization (the zero value
 	// keeps it on: each cell's first satisfiable trial fills a shared
 	// read-only guard cache for the rest of the cell). Measurements are
@@ -170,6 +183,12 @@ func (s Spec) Validate() error {
 	}
 	if s.Metric == MetricDuration && !s.RecordTime {
 		return fmt.Errorf("campaign: metric %q needs record_time", MetricDuration)
+	}
+	if strings.HasPrefix(s.Metric, MetricPhasePrefix) && s.ProfileSteps <= 0 {
+		return fmt.Errorf("campaign: metric %q needs profile_steps", s.Metric)
+	}
+	if s.ProfileSteps < 0 {
+		return fmt.Errorf("campaign: negative profile_steps")
 	}
 	if s.MinTrials < 0 || s.MaxTrials < 0 {
 		return fmt.Errorf("campaign: negative trial counts")
@@ -240,7 +259,10 @@ func validMetric(name string) bool {
 			return true
 		}
 	}
-	return false
+	// The phase-timing metrics are open-ended (phase names come from the
+	// engine), so they are validated by prefix; Validate additionally ties
+	// them to ProfileSteps.
+	return len(name) > len(MetricPhasePrefix) && strings.HasPrefix(name, MetricPhasePrefix)
 }
 
 // CellKey identifies one cell of a campaign: one point of the sweep

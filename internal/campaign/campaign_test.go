@@ -232,6 +232,64 @@ func TestRecordTimeAddsDuration(t *testing.T) {
 	}
 }
 
+// TestProfileStepsAddsPhaseMetrics runs a campaign with step profiling on:
+// every trial record must carry phase_* timing metrics, the aggregates must
+// cover them, and a phase_* primary metric must drive the adaptive stopping
+// rule without tripping validation.
+func TestProfileStepsAddsPhaseMetrics(t *testing.T) {
+	spec := testSpec()
+	spec.ID = "proftest"
+	spec.ProfileSteps = 1
+	spec.Metric = "phase_step_ns"
+	res, path := runInto(t, spec, Options{})
+	lines := readLines(t, path)
+	for i, line := range lines[1:] {
+		var rec TrialRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Metrics["phase_step_ns"] <= 0 {
+			t.Errorf("trial %d: missing phase_step_ns: %+v", i, rec.Metrics)
+		}
+		// Both daemons of the grid run the sequential engine, so the
+		// select/execute phases must have been sampled.
+		for _, m := range []string{"phase_select_ns", "phase_execute_ns"} {
+			if _, ok := rec.Metrics[m]; !ok {
+				t.Errorf("trial %d: missing %s: %+v", i, m, rec.Metrics)
+			}
+		}
+	}
+	for _, c := range res.Cells {
+		if m, ok := c.Metrics["phase_step_ns"]; !ok || m.Count != c.Trials {
+			t.Errorf("cell %s: phase_step_ns aggregate missing or short: %+v", c.Cell, c.Metrics)
+		}
+	}
+}
+
+// TestProfileStepsKeepsStreamDeterministic pins that profiling is purely
+// observational: the deterministic metrics of a profiled run are identical to
+// an unprofiled run of the same spec (only the spec header and the wall-clock
+// phase_* values may differ).
+func TestProfileStepsKeepsStreamDeterministic(t *testing.T) {
+	plain := testSpec()
+	profiled := testSpec()
+	profiled.ProfileSteps = 2
+	resPlain, _ := runInto(t, plain, Options{})
+	resProf, _ := runInto(t, profiled, Options{})
+	if len(resPlain.Cells) != len(resProf.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(resPlain.Cells), len(resProf.Cells))
+	}
+	for i := range resPlain.Cells {
+		a, b := resPlain.Cells[i], resProf.Cells[i]
+		for _, m := range []string{MetricMoves, MetricRounds, MetricSteps} {
+			if a.Metrics[m] != b.Metrics[m] {
+				t.Errorf("cell %s metric %s changed under profiling: %+v vs %+v",
+					a.Cell, m, a.Metrics[m], b.Metrics[m])
+			}
+		}
+	}
+}
+
 // TestResumeByteIdentity is the pinned checkpoint/resume contract: a
 // campaign interrupted at any point — between records or mid-line — and
 // resumed produces byte-identical JSONL and aggregates to an uninterrupted
@@ -410,15 +468,17 @@ func TestSpecValidate(t *testing.T) {
 		t.Fatalf("valid spec rejected: %v", err)
 	}
 	cases := map[string]func(*Spec){
-		"empty id":           func(s *Spec) { s.ID = "" },
-		"bad id chars":       func(s *Spec) { s.ID = "a b" },
-		"unknown algorithm":  func(s *Spec) { s.Algorithms = []string{"nope"} },
-		"unknown metric":     func(s *Spec) { s.Metric = "nope" },
-		"duration sans time": func(s *Spec) { s.Metric = MetricDuration },
-		"ci without max":     func(s *Spec) { s.CITarget = 0.1 },
-		"max below min":      func(s *Spec) { s.CITarget = 0.1; s.MinTrials = 8; s.MaxTrials = 4 },
-		"negative trials":    func(s *Spec) { s.MinTrials = -1 },
-		"negative ci target": func(s *Spec) { s.CITarget = -0.5 },
+		"empty id":                    func(s *Spec) { s.ID = "" },
+		"bad id chars":                func(s *Spec) { s.ID = "a b" },
+		"unknown algorithm":           func(s *Spec) { s.Algorithms = []string{"nope"} },
+		"unknown metric":              func(s *Spec) { s.Metric = "nope" },
+		"duration sans time":          func(s *Spec) { s.Metric = MetricDuration },
+		"ci without max":              func(s *Spec) { s.CITarget = 0.1 },
+		"max below min":               func(s *Spec) { s.CITarget = 0.1; s.MinTrials = 8; s.MaxTrials = 4 },
+		"negative trials":             func(s *Spec) { s.MinTrials = -1 },
+		"negative ci target":          func(s *Spec) { s.CITarget = -0.5 },
+		"phase metric sans profiling": func(s *Spec) { s.Metric = "phase_step_ns" },
+		"negative profile steps":      func(s *Spec) { s.ProfileSteps = -1 },
 	}
 	for name, mutate := range cases {
 		s := testSpec()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sdr/internal/bench"
+	"sdr/internal/obs"
 	"sdr/internal/scenario"
 	"sdr/internal/sim"
 	"sdr/internal/stats"
@@ -180,7 +181,7 @@ func runStream(spec Spec, sw scenario.Sweep, cells []scenario.Cell, existing [][
 				// run's remaining trials would have seen by re-running the
 				// cell's donor trial; its record is already in the stream and
 				// the re-run's is discarded.
-				if tr := runTrial(sw, cell, donorTrial, false, sim.WithMemo(share)); tr.err != nil {
+				if tr := runTrial(sw, cell, donorTrial, false, 0, sim.WithMemo(share)); tr.err != nil {
 					return nil, tr.err
 				}
 			}
@@ -207,7 +208,7 @@ func runStream(spec Spec, sw scenario.Sweep, cells []scenario.Cell, existing [][
 			first := len(recs)
 			memoOpts := memoTrialOpt(share, donated)
 			batch := bench.MapGridContext(opts.context(), opts.Parallel, 1, wave, func(_, k int) trialOutcome {
-				tr := runTrial(sw, cells[ci], first+k, spec.RecordTime, memoOpts...)
+				tr := runTrial(sw, cells[ci], first+k, spec.RecordTime, spec.ProfileSteps, memoOpts...)
 				tr.executed = true
 				return tr
 			})
@@ -270,8 +271,12 @@ func memoTrialOpt(share *sim.MemoShare, donated bool) []sim.Option {
 
 // runTrial resolves and executes one (cell, trial) point and extracts its
 // metric record. Unsatisfiable cells record a skipped trial; any other
-// resolution error aborts the campaign.
-func runTrial(sw scenario.Sweep, cell scenario.Cell, trial int, recordTime bool, memo ...sim.Option) trialOutcome {
+// resolution error aborts the campaign. When profileEvery > 0 the run is
+// profiled (every profileEvery-th step phase-timed, see obs.PhaseProfiler)
+// and the per-phase means land in the record as phase_* metrics — wall-clock
+// measurements, so like duration_ns they are excluded from -compare's
+// deterministic byte-identity expectations.
+func runTrial(sw scenario.Sweep, cell scenario.Cell, trial int, recordTime bool, profileEvery int, memo ...sim.Option) trialOutcome {
 	sp := sw.Trial(cell, trial)
 	rec := TrialRecord{Type: "trial", CellKey: cellKey(cell), Trial: trial, Seed: sp.Seed}
 	run, err := sp.Resolve()
@@ -283,8 +288,16 @@ func runTrial(sw scenario.Sweep, cell scenario.Cell, trial int, recordTime bool,
 		}
 		return trialOutcome{err: err}
 	}
+	opts := memo
+	var prof *obs.PhaseProfiler
+	if profileEvery > 0 {
+		prof = obs.NewPhaseProfiler(profileEvery)
+		// Full slice expression: appending must never scribble on a shared
+		// memo option slice another trial of the wave is reading.
+		opts = append(opts[:len(opts):len(opts)], sim.WithProfiler(prof))
+	}
 	start := time.Now()
-	res := run.Execute(memo...)
+	res := run.Execute(opts...)
 	elapsed := time.Since(start)
 	rec.OK = run.Report(res).OK
 	rec.Metrics = map[string]float64{
@@ -327,6 +340,11 @@ func runTrial(sw scenario.Sweep, cell scenario.Cell, trial int, recordTime bool,
 	}
 	if recordTime {
 		rec.Metrics[MetricDuration] = float64(elapsed.Nanoseconds())
+	}
+	if prof != nil {
+		for name, v := range prof.Profile().Metrics() {
+			rec.Metrics[name] = v
+		}
 	}
 	return trialOutcome{rec: rec}
 }

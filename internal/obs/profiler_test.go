@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfilerSampling(t *testing.T) {
+	p := NewPhaseProfiler(3)
+	sampled := 0
+	for i := 0; i < 10; i++ {
+		if p.StartStep() {
+			sampled++
+			p.Observe(PhaseSelect, time.Millisecond)
+			p.Observe(PhaseExecute, 2*time.Millisecond)
+			p.EndStep(4 * time.Millisecond)
+		}
+	}
+	// Steps 0,3,6,9 are sampled.
+	if sampled != 4 {
+		t.Fatalf("sampled %d steps, want 4", sampled)
+	}
+	ep := p.Profile()
+	if ep.Steps != 10 || ep.SampledSteps != 4 || ep.Every != 3 {
+		t.Fatalf("profile steps=%d sampled=%d every=%d, want 10/4/3", ep.Steps, ep.SampledSteps, ep.Every)
+	}
+	if len(ep.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(ep.Phases))
+	}
+	if ep.Phases[0].Phase != PhaseSelect || ep.Phases[0].Count != 4 || ep.Phases[0].Total != 4*time.Millisecond {
+		t.Errorf("select stat = %+v", ep.Phases[0])
+	}
+	if ep.Phases[1].Phase != PhaseExecute || ep.Phases[1].Total != 8*time.Millisecond {
+		t.Errorf("execute stat = %+v", ep.Phases[1])
+	}
+	if got := ep.PhaseTotal(); got != 12*time.Millisecond {
+		t.Errorf("PhaseTotal = %v, want 12ms", got)
+	}
+	if got := ep.Coverage(); got != 0.75 {
+		t.Errorf("Coverage = %v, want 0.75", got)
+	}
+}
+
+func TestProfilerEveryClamps(t *testing.T) {
+	p := NewPhaseProfiler(0)
+	for i := 0; i < 5; i++ {
+		if !p.StartStep() {
+			t.Fatalf("every<1 must sample every step; step %d skipped", i)
+		}
+	}
+}
+
+func TestProfilerShardBreakdown(t *testing.T) {
+	p := NewPhaseProfiler(1)
+	p.StartStep()
+	p.Observe(PhaseExecute, 3*time.Millisecond)
+	p.ObserveShard(0, PhaseExecute, time.Millisecond)
+	p.ObserveShard(1, PhaseExecute, 2*time.Millisecond)
+	p.ObserveShard(1, PhaseBoundary, time.Millisecond)
+	p.EndStep(5 * time.Millisecond)
+	ep := p.Profile()
+	if len(ep.Shards) != 2 {
+		t.Fatalf("shards = %d, want 2", len(ep.Shards))
+	}
+	if ep.Shards[0].Shard != 0 || len(ep.Shards[0].Phases) != 1 || ep.Shards[0].Phases[0].Total != time.Millisecond {
+		t.Errorf("shard 0 = %+v", ep.Shards[0])
+	}
+	if ep.Shards[1].Shard != 1 || len(ep.Shards[1].Phases) != 1 {
+		t.Errorf("shard 1 = %+v", ep.Shards[1])
+	}
+	// PhaseBoundary was never observed globally, so it is absent from the
+	// shard view too (shard rows mirror the global phase order).
+	if ep.Shards[1].Phases[0].Phase != PhaseExecute {
+		t.Errorf("shard 1 first phase = %q, want execute", ep.Shards[1].Phases[0].Phase)
+	}
+}
+
+func TestProfileMetrics(t *testing.T) {
+	p := NewPhaseProfiler(1)
+	for i := 0; i < 2; i++ {
+		p.StartStep()
+		p.Observe(PhaseSelect, time.Microsecond)
+		p.EndStep(2 * time.Microsecond)
+	}
+	m := p.Profile().Metrics()
+	if got := m["phase_select_ns"]; got != 1000 {
+		t.Errorf("phase_select_ns = %v, want 1000", got)
+	}
+	if got := m["phase_step_ns"]; got != 2000 {
+		t.Errorf("phase_step_ns = %v, want 2000", got)
+	}
+	var empty PhaseProfiler
+	if got := empty.Profile().Metrics(); got != nil {
+		t.Errorf("empty profile metrics = %v, want nil", got)
+	}
+}

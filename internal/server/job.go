@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sdr/internal/campaign"
+	"sdr/internal/obs"
 	"sdr/internal/scenario"
 )
 
@@ -217,8 +218,8 @@ type JobStatus struct {
 	FinishedAt  string `json:"finished_at,omitempty"`
 }
 
-func newJob(id, hash string, spec campaign.Spec, now time.Time) *Job {
-	return &Job{ID: id, Hash: hash, Spec: spec, log: newRecordLog(), state: StateQueued, submitted: now}
+func newJob(id, hash string, spec campaign.Spec, now time.Time, records *obs.Counter) *Job {
+	return &Job{ID: id, Hash: hash, Spec: spec, log: newRecordLog(records), state: StateQueued, submitted: now}
 }
 
 // Status snapshots the job for the API.

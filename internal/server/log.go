@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"sdr/internal/campaign"
+	"sdr/internal/obs"
 )
 
 // recordLog is the in-memory record stream of one job: a campaign.Sink that
@@ -14,6 +15,11 @@ import (
 // arrive or the log finishes, which is what makes the endpoint resumable:
 // a client that saw k lines reconnects with ?from=k and misses nothing.
 type recordLog struct {
+	// records, when non-nil, counts every appended line into the manager's
+	// shared sdrd_campaign_records_total counter (rate() over it is the
+	// service's records/sec).
+	records *obs.Counter
+
 	mu     sync.Mutex
 	lines  [][]byte
 	closed bool
@@ -22,8 +28,8 @@ type recordLog struct {
 	change chan struct{}
 }
 
-func newRecordLog() *recordLog {
-	return &recordLog{change: make(chan struct{})}
+func newRecordLog(records *obs.Counter) *recordLog {
+	return &recordLog{records: records, change: make(chan struct{})}
 }
 
 // WriteLine implements campaign.Sink: the line is visible to readers as soon
@@ -38,6 +44,9 @@ func (l *recordLog) WriteLine(v any) error {
 	l.lines = append(l.lines, data)
 	l.broadcastLocked()
 	l.mu.Unlock()
+	if l.records != nil {
+		l.records.Inc()
+	}
 	return nil
 }
 

@@ -5,12 +5,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"sdr/internal/campaign"
-	"sdr/internal/stats"
+	"sdr/internal/obs"
 )
 
 // Config sizes the job manager.
@@ -30,6 +31,15 @@ type Config struct {
 	ResultCache int
 	// MemoCap bounds each cell's transition-memo table (0 = sim default).
 	MemoCap int
+	// Registry receives the manager's metric families (job counters, queue
+	// gauges, the job-duration histogram, the records counter); nil creates
+	// a private registry. The HTTP layer serves it at GET /metrics, and
+	// GET /v1/stats reads the same instruments.
+	Registry *obs.Registry
+	// Logger receives structured job-lifecycle logs (submit, dedup hit,
+	// finish — each carrying the job's id and content hash); nil disables
+	// them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -45,12 +55,15 @@ func (c Config) withDefaults() Config {
 	if c.ResultCache <= 0 {
 		c.ResultCache = 64
 	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
 	return c
 }
 
-// latencyWindow is the number of recent job run durations the latency
-// percentiles are computed over.
-const latencyWindow = 512
+// jobDurationBuckets are the upper bounds (milliseconds) of the job run
+// duration histogram: 0.5ms to ~16s, exponential.
+var jobDurationBuckets = obs.ExponentialBuckets(0.5, 2, 16)
 
 // ErrQueueFull reports a submission rejected because the job queue is at
 // capacity — the backpressure signal (HTTP 429 + Retry-After).
@@ -65,8 +78,12 @@ var ErrDraining = errors.New("server: draining, not accepting jobs")
 // concurrent duplicates attach to the in-flight job, completed ones are
 // served from a bounded LRU of result streams — and graceful drain that
 // stops every in-flight campaign at a record boundary.
+//
+// All throughput counters live in the shared obs.Registry, so GET /v1/stats
+// and GET /metrics report from one source.
 type Manager struct {
 	cfg      Config
+	logger   *slog.Logger
 	queue    chan *Job
 	drainCtx context.Context
 	drainAll context.CancelFunc
@@ -80,13 +97,19 @@ type Manager struct {
 	draining bool
 	seq      int
 
-	submitted, done, failed, interrupted int
-	running                              int
-	dedupInFlight, dedupCached           int
-	memoRateSum                          float64
-	memoRateN                            int
-	latencies                            []float64 // run durations (ms), ring of latencyWindow
-	latNext                              int
+	memoRateSum float64
+	memoRateN   int
+
+	accepted      *obs.Counter // newly created jobs
+	done          *obs.Counter
+	failed        *obs.Counter
+	interrupted   *obs.Counter
+	rejectedFull  *obs.Counter // backpressured submissions (429)
+	dedupInFlight *obs.Counter
+	dedupCached   *obs.Counter
+	recordsTotal  *obs.Counter // campaign record lines streamed by all jobs
+	running       *obs.Gauge
+	jobDuration   *obs.Histogram // run durations, milliseconds
 
 	// testJobStart, when set, is called by a worker right after claiming a
 	// job and before executing it — the deterministic gate the lifecycle
@@ -100,6 +123,7 @@ func NewManager(cfg Config) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:      cfg,
+		logger:   cfg.Logger,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		drainCtx: ctx,
 		drainAll: cancel,
@@ -108,12 +132,41 @@ func NewManager(cfg Config) *Manager {
 		lru:      list.New(),
 		lruIndex: make(map[string]*list.Element),
 	}
+	reg := cfg.Registry
+	m.accepted = reg.Counter("sdrd_jobs_accepted_total", "Newly created jobs (deduplicated submissions excluded).")
+	m.done = reg.Counter("sdrd_jobs_finished_total", "Finished jobs by terminal state.", "state", "done")
+	m.failed = reg.Counter("sdrd_jobs_finished_total", "Finished jobs by terminal state.", "state", "failed")
+	m.interrupted = reg.Counter("sdrd_jobs_finished_total", "Finished jobs by terminal state.", "state", "interrupted")
+	m.rejectedFull = reg.Counter("sdrd_jobs_rejected_total", "Submissions rejected by queue backpressure.")
+	m.dedupInFlight = reg.Counter("sdrd_dedup_hits_total", "Submissions answered by an existing job.", "kind", "in_flight")
+	m.dedupCached = reg.Counter("sdrd_dedup_hits_total", "Submissions answered by an existing job.", "kind", "cached")
+	m.recordsTotal = reg.Counter("sdrd_campaign_records_total", "Campaign record lines produced by all jobs (headers included).")
+	m.running = reg.Gauge("sdrd_jobs_running", "Jobs currently executing.")
+	m.jobDuration = reg.Histogram("sdrd_job_duration_ms", "Run duration of finished jobs in milliseconds.", jobDurationBuckets)
+	reg.GaugeFunc("sdrd_queue_depth", "Accepted-but-not-started jobs.", func() float64 { return float64(len(m.queue)) })
+	reg.GaugeFunc("sdrd_queue_capacity", "Job queue capacity.", func() float64 { return float64(cfg.QueueDepth) })
+	reg.GaugeFunc("sdrd_result_cache_jobs", "Finished jobs retained in the result LRU.", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.lru.Len())
+	})
+	reg.GaugeFunc("sdrd_memo_hit_rate_mean", "Mean memo_hit_rate over completed cells that recorded it.", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.memoRateN == 0 {
+			return 0
+		}
+		return m.memoRateSum / float64(m.memoRateN)
+	})
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
 }
+
+// Registry returns the metric registry the manager records into.
+func (m *Manager) Registry() *obs.Registry { return m.cfg.Registry }
 
 // Submit normalizes and validates the request, then either attaches it to
 // an existing job with the same content hash (dedup — the request performs
@@ -126,30 +179,45 @@ func (m *Manager) Submit(req JobRequest) (*Job, bool, error) {
 	}
 	hash := specHash(spec)
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.draining {
+		m.mu.Unlock()
 		return nil, false, ErrDraining
 	}
 	if j := m.byHash[hash]; j != nil {
 		j.addDedupHit()
+		kind := "in_flight"
 		if el, ok := m.lruIndex[j.ID]; ok {
 			m.lru.MoveToFront(el)
-			m.dedupCached++
+			m.dedupCached.Inc()
+			kind = "cached"
 		} else {
-			m.dedupInFlight++
+			m.dedupInFlight.Inc()
+		}
+		m.mu.Unlock()
+		if m.logger != nil {
+			m.logger.Info("job dedup hit", "job", j.ID, "hash", shortHash(hash), "kind", kind)
 		}
 		return j, false, nil
 	}
 	m.seq++
-	job := newJob(fmt.Sprintf("j%06d", m.seq), hash, spec, time.Now())
+	job := newJob(fmt.Sprintf("j%06d", m.seq), hash, spec, time.Now(), m.recordsTotal)
 	select {
 	case m.queue <- job:
 	default:
+		m.mu.Unlock()
+		m.rejectedFull.Inc()
+		if m.logger != nil {
+			m.logger.Warn("job rejected: queue full", "hash", shortHash(hash), "capacity", m.cfg.QueueDepth)
+		}
 		return nil, false, ErrQueueFull
 	}
 	m.jobs[job.ID] = job
 	m.byHash[hash] = job
-	m.submitted++
+	m.mu.Unlock()
+	m.accepted.Inc()
+	if m.logger != nil {
+		m.logger.Info("job accepted", "job", job.ID, "hash", shortHash(hash), "spec", spec.ID)
+	}
 	return job, true, nil
 }
 
@@ -224,12 +292,15 @@ func (m *Manager) process(job *Job) {
 		m.finalize(job, StateInterrupted, nil, 0)
 		return
 	}
+	m.running.Add(1)
 	m.mu.Lock()
-	m.running++
 	hook := m.testJobStart
 	m.mu.Unlock()
 	if hook != nil {
 		hook(job)
+	}
+	if m.logger != nil {
+		m.logger.Info("job started", "job", job.ID, "hash", shortHash(job.Hash))
 	}
 	start := time.Now()
 	res, err := campaign.RunSink(job.Spec, job.log, campaign.Options{
@@ -263,27 +334,27 @@ func (m *Manager) process(job *Job) {
 // failed job's stream is not the full answer, so an identical resubmission
 // runs fresh.
 func (m *Manager) finalize(job *Job, state JobState, res *campaign.Result, elapsed time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	switch state {
 	case StateDone:
-		m.done++
+		m.done.Inc()
 	case StateFailed:
-		m.failed++
-		delete(m.byHash, job.Hash)
+		m.failed.Inc()
 	case StateInterrupted:
-		m.interrupted++
-		delete(m.byHash, job.Hash)
+		m.interrupted.Inc()
 	}
 	if elapsed > 0 {
-		m.running--
-		ms := float64(elapsed.Nanoseconds()) / 1e6
-		if len(m.latencies) < latencyWindow {
-			m.latencies = append(m.latencies, ms)
-		} else {
-			m.latencies[m.latNext] = ms
-			m.latNext = (m.latNext + 1) % latencyWindow
-		}
+		m.running.Add(-1)
+		m.jobDuration.Observe(float64(elapsed.Nanoseconds()) / 1e6)
+	}
+	if m.logger != nil {
+		m.logger.Info("job finished",
+			"job", job.ID, "hash", shortHash(job.Hash), "state", string(state),
+			"duration_ms", float64(elapsed.Nanoseconds())/1e6, "records", job.log.len())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if state == StateFailed || state == StateInterrupted {
+		delete(m.byHash, job.Hash)
 	}
 	if res != nil {
 		for _, c := range res.Cells {
@@ -305,7 +376,19 @@ func (m *Manager) finalize(job *Job, state JobState, res *campaign.Result, elaps
 	}
 }
 
-// LatencySummary are percentiles over the recent job run durations.
+// shortHash abbreviates a content hash for log lines, matching the 12-char
+// prefix deriveID embeds in job spec IDs.
+func shortHash(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}
+
+// LatencySummary summarises the job run duration histogram. The percentiles
+// are bucket-interpolated estimates (obs.Histogram.Quantile) over every
+// finished job — unlike the fixed 512-sample ring this replaces, the window
+// never wraps, so the count keeps growing and no sample is overwritten.
 type LatencySummary struct {
 	Count  int     `json:"count"`
 	MeanMS float64 `json:"mean_ms"`
@@ -314,7 +397,8 @@ type LatencySummary struct {
 	P99MS  float64 `json:"p99_ms"`
 }
 
-// Stats is the GET /v1/stats snapshot.
+// Stats is the GET /v1/stats snapshot. Every counter is read from the same
+// obs.Registry instruments GET /metrics exposes.
 type Stats struct {
 	Workers       int  `json:"workers"`
 	Draining      bool `json:"draining,omitempty"`
@@ -336,35 +420,40 @@ type Stats struct {
 	// MemoHitRateMean averages the memo_hit_rate metric over every completed
 	// cell that recorded it (see internal/sim memoization).
 	MemoHitRateMean float64 `json:"memo_hit_rate_mean"`
-	// JobLatency summarises run durations of recently finished jobs.
+	// JobLatency summarises run durations of finished jobs.
 	JobLatency LatencySummary `json:"job_latency"`
 }
 
 // Stats snapshots the manager counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := Stats{
 		Workers:           m.cfg.Workers,
 		Draining:          m.draining,
 		QueueDepth:        len(m.queue),
 		QueueCapacity:     m.cfg.QueueDepth,
-		JobsAccepted:      m.submitted,
-		JobsRunning:       m.running,
-		JobsDone:          m.done,
-		JobsFailed:        m.failed,
-		JobsInterrupted:   m.interrupted,
-		DedupHits:         m.dedupInFlight + m.dedupCached,
-		DedupHitsInFlight: m.dedupInFlight,
-		DedupHitsCached:   m.dedupCached,
 		CachedJobs:        m.lru.Len(),
+		JobsAccepted:      int(m.accepted.Value()),
+		JobsRunning:       int(m.running.Value()),
+		JobsDone:          int(m.done.Value()),
+		JobsFailed:        int(m.failed.Value()),
+		JobsInterrupted:   int(m.interrupted.Value()),
+		DedupHitsInFlight: int(m.dedupInFlight.Value()),
+		DedupHitsCached:   int(m.dedupCached.Value()),
 	}
+	s.DedupHits = s.DedupHitsInFlight + s.DedupHitsCached
 	if m.memoRateN > 0 {
 		s.MemoHitRateMean = m.memoRateSum / float64(m.memoRateN)
 	}
-	if len(m.latencies) > 0 {
-		agg := stats.AggregateSamples(m.latencies)
-		s.JobLatency = LatencySummary{Count: agg.Count, MeanMS: agg.Mean, P50MS: agg.P50, P95MS: agg.P95, P99MS: agg.P99}
+	m.mu.Unlock()
+	if n := m.jobDuration.Count(); n > 0 {
+		s.JobLatency = LatencySummary{
+			Count:  int(n),
+			MeanMS: m.jobDuration.Mean(),
+			P50MS:  m.jobDuration.Quantile(0.50),
+			P95MS:  m.jobDuration.Quantile(0.95),
+			P99MS:  m.jobDuration.Quantile(0.99),
+		}
 	}
 	return s
 }

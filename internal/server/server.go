@@ -2,7 +2,7 @@
 // over the campaign stream core with deduplicated, backpressured job
 // execution.
 //
-// Endpoints (all under /v1):
+// Endpoints (all under /v1, plus the observability pair):
 //
 //	GET    /v1/registry          registered algorithms/topologies/daemons/faults/churns
 //	GET    /v1/version           environment fingerprint (same helper as campaign baselines)
@@ -11,6 +11,8 @@
 //	GET    /v1/jobs/{id}         job status
 //	DELETE /v1/jobs/{id}         cancel at the next record boundary
 //	GET    /v1/jobs/{id}/records stream the job's campaign JSONL records (?from= resumes)
+//	GET    /metrics              Prometheus text-format exposition of the shared obs registry
+//	GET    /debug/pprof/*        runtime profiles, mounted only by EnablePprof (sdrd -pprof)
 //
 // The record stream for a given spec and seed is byte-identical to the file
 // `sdrbench -campaign` writes offline: both funnel through campaign.RunSink
@@ -21,38 +23,118 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"sdr/internal/campaign"
+	"sdr/internal/obs"
 	"sdr/internal/scenario"
 )
 
 // maxRequestBytes bounds a POST /v1/jobs body.
 const maxRequestBytes = 1 << 20
 
-// Server routes the sdrd HTTP API onto a Manager.
+// Server routes the sdrd HTTP API onto a Manager. Every /v1 route is
+// wrapped with request instrumentation: a per-route latency histogram and a
+// per-route-and-status counter in the manager's registry, plus a structured
+// request log line when the manager has a logger.
 type Server struct {
-	m   *Manager
-	mux *http.ServeMux
+	m      *Manager
+	mux    *http.ServeMux
+	logger *slog.Logger
 }
 
 // New builds the HTTP API over the given manager.
 func New(m *Manager) *Server {
-	s := &Server{m: m, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
-	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
+	s := &Server{m: m, mux: http.NewServeMux(), logger: m.logger}
+	s.handle("GET /v1/registry", s.handleRegistry)
+	s.handle("GET /v1/version", s.handleVersion)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("POST /v1/jobs", s.handleSubmit)
+	s.handle("GET /v1/jobs/{id}", s.handleStatus)
+	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.handle("GET /v1/jobs/{id}/records", s.handleRecords)
+	// The scrape endpoint itself stays uninstrumented so the request series
+	// measure API traffic, not the scraper.
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ (sdrd's
+// -pprof flag). Off by default: the profiling endpoints expose stacks and
+// heap contents, so operators opt in explicitly.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// handle registers an instrumented route: the handler runs behind a
+// status-capturing writer, and on return the request is recorded into the
+// route's latency histogram, the route×status counter, and the request log.
+// The route label is the full mux pattern, so path parameters ({id}) do not
+// explode the series cardinality.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	reg := s.m.Registry()
+	hist := reg.Histogram("sdrd_http_request_duration_seconds",
+		"HTTP request latency by route.", obs.DefBuckets, "route", pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		elapsed := time.Since(start)
+		hist.Observe(elapsed.Seconds())
+		reg.Counter("sdrd_http_requests_total", "HTTP requests by route and status.",
+			"route", pattern, "code", strconv.Itoa(sw.code)).Inc()
+		if s.logger != nil {
+			s.logger.Info("request",
+				"method", r.Method, "path", r.URL.Path, "status", sw.code,
+				"duration_ms", float64(elapsed.Nanoseconds())/1e6)
+		}
+	})
+}
+
+// statusWriter captures the response status for instrumentation. It keeps
+// forwarding Flush so the live record stream of handleRecords still flushes
+// per line through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code        int
+	wroteHeader bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.code = code
+		w.wroteHeader = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wroteHeader = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.m.Registry().WritePrometheus(w)
 }
 
 // SubmitResponse is the body of a successful POST /v1/jobs: the job status

@@ -5,6 +5,9 @@ import (
 	"math/bits"
 	"math/rand"
 	"slices"
+	"time"
+
+	"sdr/internal/obs"
 )
 
 // DefaultMaxSteps bounds a run when the caller does not override it; it
@@ -58,6 +61,7 @@ type Options struct {
 	memo               *MemoShare
 	memoReadOnly       bool
 	shards             int
+	profiler           *obs.PhaseProfiler
 }
 
 // Option customises a run.
@@ -150,6 +154,19 @@ func WithMemo(share *MemoShare) Option {
 // instead of racing the remaining trials for donation.
 func WithMemoReadOnly(share *MemoShare) Option {
 	return func(o *Options) { o.memo = share; o.memoReadOnly = true }
+}
+
+// WithProfiler attaches a phase profiler to the run: on the profiler's
+// sampled steps (see obs.NewPhaseProfiler) the engine records wall time per
+// step phase — daemon select, rule execution, guard re-evaluation and
+// accounting sequentially; select, per-shard execute, merge, per-shard
+// boundary exchange and accounting when sharded. Timing never feeds back
+// into the execution, so profiled runs stay bit-identical to unprofiled
+// ones, and without a profiler (the default) the loop pays one nil check
+// per step and allocates nothing. The profiler belongs to a single run; read
+// it with Profile after the run returns.
+func WithProfiler(p *obs.PhaseProfiler) Option {
+	return func(o *Options) { o.profiler = p }
 }
 
 func defaultOptions() Options {
@@ -552,6 +569,18 @@ func (e *Engine) run(start *Configuration, o Options) Result {
 			}
 		}
 
+		// Phase profiling: on sampled steps the loop records the wall time of
+		// each phase. The clock reads sit between phases, never inside them,
+		// and nothing here feeds back into the execution.
+		profStep := false
+		var tStep, t0 time.Time
+		if o.profiler != nil {
+			if profStep = o.profiler.StartStep(); profStep {
+				tStep = time.Now()
+				t0 = tStep
+			}
+		}
+
 		raw := e.daemon.Select(Selection{
 			Net:     e.net,
 			Alg:     e.alg,
@@ -561,6 +590,10 @@ func (e *Engine) run(start *Configuration, o Options) Result {
 		})
 		selected := sanitizeSelectionInto(selectedBuf[:0], raw, n, enabledBits, dedup, enabledList)
 		selectedBuf = selected[:0]
+		if profStep {
+			o.profiler.Observe(obs.PhaseSelect, time.Since(t0))
+			t0 = time.Now()
+		}
 
 		// Composite atomicity: all selected processes read cur and their
 		// writes are installed together in next.
@@ -582,6 +615,10 @@ func (e *Engine) run(start *Configuration, o Options) Result {
 			nextStates[u] = rules[ri].Action(v)
 			ruleNames = append(ruleNames, rules[ri].Name)
 			res.recordMove(u, rules[ri].Name)
+		}
+		if profStep {
+			o.profiler.Observe(obs.PhaseExecute, time.Since(t0))
+			t0 = time.Now()
 		}
 
 		// Snapshot the pre-step enabled set for neutralization accounting and
@@ -620,6 +657,10 @@ func (e *Engine) run(start *Configuration, o Options) Result {
 			}
 		}
 		enabledList = enabledBits.appendIndices(enabledList[:0])
+		if profStep {
+			o.profiler.Observe(obs.PhaseGuard, time.Since(t0))
+			t0 = time.Now()
+		}
 		roundProgress = true
 
 		// pending loses the activated processes and the neutralized ones
@@ -654,6 +695,10 @@ func (e *Engine) run(start *Configuration, o Options) Result {
 		}
 		recordLegit(roundProgress)
 		closeRecovered(roundProgress)
+		if profStep {
+			o.profiler.Observe(obs.PhaseAccount, time.Since(t0))
+			o.profiler.EndStep(time.Since(tStep))
+		}
 	}
 
 	if roundProgress {

@@ -1,0 +1,134 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sdr/internal/obs"
+	"sdr/internal/scenario"
+	"sdr/internal/sim"
+)
+
+func profiledRun(t *testing.T, extra ...sim.Option) (sim.Result, sim.Result, *obs.PhaseProfiler) {
+	t.Helper()
+	spec := scenario.Spec{
+		Algorithm: "unison",
+		Topology:  "ring",
+		N:         64,
+		Daemon:    "synchronous",
+		Fault:     "random-all",
+		Seed:      7,
+		MaxSteps:  200,
+	}
+	run, err := spec.Resolve()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	plain := run.Execute(extra...)
+	prof := obs.NewPhaseProfiler(2)
+	profiled := run.Execute(append(append([]sim.Option{}, extra...), sim.WithProfiler(prof))...)
+	return plain, profiled, prof
+}
+
+// TestProfilerBitIdentical pins the tentpole's safety property: attaching a
+// profiler must not change a single bit of the run's Result, sequential or
+// sharded.
+func TestProfilerBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		extra []sim.Option
+	}{
+		{"sequential", nil},
+		{"sharded", []sim.Option{sim.WithShards(4)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plain, profiled, _ := profiledRun(t, tc.extra...)
+			if !reflect.DeepEqual(plain, profiled) {
+				t.Errorf("profiled result differs from unprofiled one:\nplain:    %+v\nprofiled: %+v", plain, profiled)
+			}
+		})
+	}
+}
+
+func TestProfilerSequentialPhases(t *testing.T) {
+	_, res, prof := profiledRun(t)
+	ep := prof.Profile()
+	if ep.Steps != res.Steps {
+		t.Fatalf("profiler saw %d steps, engine ran %d", ep.Steps, res.Steps)
+	}
+	// Steps 0,2,4,… are sampled.
+	if want := (res.Steps + 1) / 2; ep.SampledSteps != want {
+		t.Fatalf("sampled %d steps, want %d of %d", ep.SampledSteps, want, res.Steps)
+	}
+	wantPhases := []string{obs.PhaseSelect, obs.PhaseExecute, obs.PhaseGuard, obs.PhaseAccount}
+	if len(ep.Phases) != len(wantPhases) {
+		t.Fatalf("phases = %+v, want %v", ep.Phases, wantPhases)
+	}
+	for i, ph := range ep.Phases {
+		if ph.Phase != wantPhases[i] {
+			t.Errorf("phase %d = %q, want %q", i, ph.Phase, wantPhases[i])
+		}
+		if ph.Count != ep.SampledSteps {
+			t.Errorf("phase %q count = %d, want one per sampled step (%d)", ph.Phase, ph.Count, ep.SampledSteps)
+		}
+	}
+	if len(ep.Shards) != 0 {
+		t.Errorf("sequential run reported shard breakdowns: %+v", ep.Shards)
+	}
+	// The four phases bracket the whole loop body, so their sum cannot
+	// exceed the measured step wall time.
+	if ep.PhaseTotal() > ep.StepWall {
+		t.Errorf("phase total %v exceeds step wall %v", ep.PhaseTotal(), ep.StepWall)
+	}
+	if ep.StepWall <= 0 {
+		t.Error("no step wall time recorded")
+	}
+}
+
+func TestProfilerShardedPhases(t *testing.T) {
+	_, _, prof := profiledRun(t, sim.WithShards(4))
+	ep := prof.Profile()
+	wantPhases := []string{obs.PhaseSelect, obs.PhaseExecute, obs.PhaseMerge, obs.PhaseBoundary, obs.PhaseAccount}
+	if len(ep.Phases) != len(wantPhases) {
+		t.Fatalf("phases = %+v, want %v", ep.Phases, wantPhases)
+	}
+	for i, ph := range ep.Phases {
+		if ph.Phase != wantPhases[i] {
+			t.Errorf("phase %d = %q, want %q", i, ph.Phase, wantPhases[i])
+		}
+	}
+	// n=64 yields a single 64-aligned word, so the effective shard count is
+	// clamped — re-run at a size that actually shards.
+	spec := scenario.Spec{
+		Algorithm: "unison",
+		Topology:  "ring",
+		N:         256,
+		Daemon:    "synchronous",
+		Fault:     "random-all",
+		Seed:      7,
+		MaxSteps:  50,
+		Shards:    4,
+	}
+	run, err := spec.Resolve()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	prof = obs.NewPhaseProfiler(1)
+	run.Execute(sim.WithProfiler(prof))
+	ep = prof.Profile()
+	if len(ep.Shards) != 4 {
+		t.Fatalf("shard breakdowns = %d, want 4", len(ep.Shards))
+	}
+	for _, sb := range ep.Shards {
+		phases := map[string]bool{}
+		for _, ph := range sb.Phases {
+			phases[ph.Phase] = true
+			if ph.Total < 0 {
+				t.Errorf("shard %d phase %q has negative total", sb.Shard, ph.Phase)
+			}
+		}
+		if !phases[obs.PhaseExecute] || !phases[obs.PhaseBoundary] {
+			t.Errorf("shard %d missing execute/boundary breakdown: %+v", sb.Shard, sb.Phases)
+		}
+	}
+}

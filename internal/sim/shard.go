@@ -4,6 +4,9 @@ import (
 	"math/bits"
 	"slices"
 	"sync"
+	"time"
+
+	"sdr/internal/obs"
 )
 
 // Sharded execution. WithShards(k) partitions the processes into k contiguous
@@ -56,6 +59,7 @@ func WithShards(k int) Option {
 
 // engineShard is the per-shard state of a sharded run.
 type engineShard struct {
+	idx            int // position in the shard slice
 	lo, hi         int // node range [lo, hi)
 	wordLo, wordHi int // bitset word range [wordLo, wordHi), exclusively owned
 
@@ -96,7 +100,8 @@ func makeShards(n, k int) []engineShard {
 			hi = n
 		}
 		shards[s] = engineShard{
-			lo: lo, hi: hi,
+			idx: s,
+			lo:  lo, hi: hi,
 			wordLo: wordLo, wordHi: wordHi,
 			touched: newBitset(n),
 			dedup:   newBitset(n),
@@ -195,6 +200,16 @@ func (e *Engine) runSharded(start *Configuration, o Options) Result {
 	selectedAll := make([]int, 0, n)
 	ruleNamesAll := make([]string, 0, n)
 
+	// Phase profiling. Per-shard durations of the parallel phases are
+	// measured inside the workers into shardDur — each shard writes only its
+	// own slot, and parallelShards' join is the happens-before edge — then
+	// handed to the profiler sequentially.
+	prof := o.profiler
+	var shardDur []time.Duration
+	if prof != nil {
+		shardDur = make([]time.Duration, len(shards))
+	}
+
 	evalLegit()
 	recordLegit(false)
 	closeRecovered(false)
@@ -272,6 +287,15 @@ func (e *Engine) runSharded(start *Configuration, o Options) Result {
 			}
 		}
 
+		profStep := false
+		var tStep, t0 time.Time
+		if prof != nil {
+			if profStep = prof.StartStep(); profStep {
+				tStep = time.Now()
+				t0 = tStep
+			}
+		}
+
 		// Selection phase, sequential: the daemon is consulted once per shard
 		// holding enabled processes, in ascending shard order, on the shard's
 		// contiguous slice of the sorted enabled list. Stateful daemons (rng,
@@ -299,6 +323,10 @@ func (e *Engine) runSharded(start *Configuration, o Options) Result {
 			})
 			sh.selected = sanitizeShardSelectionInto(sh.selected[:0], raw, sh.lo, sh.hi, enabledBits, sh.dedup, shardEnabled)
 		}
+		if profStep {
+			prof.Observe(obs.PhaseSelect, time.Since(t0))
+			t0 = time.Now()
+		}
 
 		// Apply phase, parallel: each shard copies its segment of the double
 		// buffer and executes the chosen rule of each of its selected
@@ -307,6 +335,10 @@ func (e *Engine) runSharded(start *Configuration, o Options) Result {
 		// counters and the MovesPerRule map are not safe for concurrent
 		// writes.
 		parallelShards(shards, func(sh *engineShard) {
+			var shardStart time.Time
+			if profStep {
+				shardStart = time.Now()
+			}
 			copy(nextStates[sh.lo:sh.hi], curStates[sh.lo:sh.hi])
 			sh.ruleIdxs = sh.ruleIdxs[:0]
 			for _, u := range sh.selected {
@@ -328,7 +360,17 @@ func (e *Engine) runSharded(start *Configuration, o Options) Result {
 					sh.touched.set(e.net.Neighbor(u, i))
 				}
 			}
+			if profStep {
+				shardDur[sh.idx] = time.Since(shardStart)
+			}
 		})
+		if profStep {
+			prof.Observe(obs.PhaseExecute, time.Since(t0))
+			for i, d := range shardDur {
+				prof.ObserveShard(i, obs.PhaseExecute, d)
+			}
+			t0 = time.Now()
+		}
 
 		// Sequential merge, ascending shard order (= ascending process
 		// order, shards are contiguous): selection lists concatenate into
@@ -358,6 +400,10 @@ func (e *Engine) runSharded(start *Configuration, o Options) Result {
 		// Install the step.
 		curStates, nextStates = nextStates, curStates
 		curCfg, nextCfg = nextCfg, curCfg
+		if profStep {
+			prof.Observe(obs.PhaseMerge, time.Since(t0))
+			t0 = time.Now()
+		}
 
 		// Boundary exchange + re-evaluation, parallel: each shard OR-merges
 		// every shard's touched marks for its own word range — this is the
@@ -365,6 +411,10 @@ func (e *Engine) runSharded(start *Configuration, o Options) Result {
 		// re-evaluates the marked processes of its range, updating
 		// exclusively its own enabledBits words.
 		parallelShards(shards, func(sh *engineShard) {
+			var shardStart time.Time
+			if profStep {
+				shardStart = time.Now()
+			}
 			for wi := sh.wordLo; wi < sh.wordHi; wi++ {
 				var word uint64
 				for s := range shards {
@@ -382,8 +432,18 @@ func (e *Engine) runSharded(start *Configuration, o Options) Result {
 					}
 				}
 			}
+			if profStep {
+				shardDur[sh.idx] = time.Since(shardStart)
+			}
 		})
 		enabledList = enabledBits.appendIndices(enabledList[:0])
+		if profStep {
+			prof.Observe(obs.PhaseBoundary, time.Since(t0))
+			for i, d := range shardDur {
+				prof.ObserveShard(i, obs.PhaseBoundary, d)
+			}
+			t0 = time.Now()
+		}
 		roundProgress = true
 
 		pending.subtract(activated)
@@ -415,6 +475,10 @@ func (e *Engine) runSharded(start *Configuration, o Options) Result {
 		}
 		recordLegit(roundProgress)
 		closeRecovered(roundProgress)
+		if profStep {
+			prof.Observe(obs.PhaseAccount, time.Since(t0))
+			prof.EndStep(time.Since(tStep))
+		}
 	}
 
 	if roundProgress {

@@ -154,6 +154,98 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+// TestExportMatrix pins the JSON and CSV export paths across the recorder's
+// option matrix: event cap (unbounded vs truncating) × configuration keeping
+// (on vs off). The run is fully deterministic, so the exports of a truncated
+// recorder must be exact prefixes of the unbounded recorder's exports — same
+// events, same bytes per row — with only the truncation marker and the After
+// fields varying by option.
+func TestExportMatrix(t *testing.T) {
+	type variant struct {
+		name        string
+		maxEvents   int
+		keepConfigs bool
+	}
+	variants := []variant{
+		{"unbounded", 0, false},
+		{"unbounded-configs", 0, true},
+		{"truncated", 4, false},
+		{"truncated-configs", 4, true},
+	}
+	type export struct {
+		csv  string
+		json JSONExport
+		res  sim.Result
+	}
+	exports := make(map[string]export)
+	for _, v := range variants {
+		var opts []RecorderOption
+		if v.maxEvents > 0 {
+			opts = append(opts, WithMaxEvents(v.maxEvents))
+		}
+		if v.keepConfigs {
+			opts = append(opts, WithConfigurations())
+		}
+		rec, res := recordedRun(t, opts...)
+		var csvBuf, jsonBuf bytes.Buffer
+		if err := rec.WriteCSV(&csvBuf); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", v.name, err)
+		}
+		if err := rec.WriteJSON(&jsonBuf); err != nil {
+			t.Fatalf("%s: WriteJSON: %v", v.name, err)
+		}
+		var ex JSONExport
+		if err := json.Unmarshal(jsonBuf.Bytes(), &ex); err != nil {
+			t.Fatalf("%s: JSON export does not parse: %v", v.name, err)
+		}
+		exports[v.name] = export{csv: csvBuf.String(), json: ex, res: res}
+
+		wantEvents := res.Steps
+		if v.maxEvents > 0 && v.maxEvents < wantEvents {
+			wantEvents = v.maxEvents
+		}
+		if len(ex.Events) != wantEvents {
+			t.Errorf("%s: %d exported events, want %d", v.name, len(ex.Events), wantEvents)
+		}
+		if ex.Truncated != (v.maxEvents > 0 && res.Steps > v.maxEvents) {
+			t.Errorf("%s: truncated = %v with %d steps and cap %d", v.name, ex.Truncated, res.Steps, v.maxEvents)
+		}
+		// The histograms always cover the whole run, cap or not.
+		if ex.Moves != res.Moves {
+			t.Errorf("%s: exported %d moves, engine reports %d", v.name, ex.Moves, res.Moves)
+		}
+		for _, ev := range ex.Events {
+			if v.keepConfigs && ev.After == "" {
+				t.Errorf("%s: event %d lost its configuration", v.name, ev.Step)
+			}
+			if !v.keepConfigs && ev.After != "" {
+				t.Errorf("%s: event %d carries a configuration without the option", v.name, ev.Step)
+			}
+		}
+	}
+
+	// Prefix pinning: the deterministic run makes the truncated CSV exactly
+	// the head of the unbounded CSV, and the truncated event list exactly the
+	// head of the unbounded event list.
+	full, cut := exports["unbounded"], exports["truncated"]
+	if !strings.HasPrefix(full.csv, cut.csv) {
+		t.Errorf("truncated CSV is not a prefix of the full CSV:\n--- truncated\n%s--- full\n%s", cut.csv, full.csv)
+	}
+	for i, ev := range cut.json.Events {
+		fe := full.json.Events[i]
+		if ev.Step != fe.Step || ev.Round != fe.Round ||
+			len(ev.Activated) != len(fe.Activated) || len(ev.Rules) != len(fe.Rules) {
+			t.Errorf("truncated event %d diverges from the full export: %+v vs %+v", i, ev, fe)
+		}
+	}
+	// Keeping configurations must not perturb what is recorded, only add the
+	// After field: the configs-on CSV is byte-identical (CSV never includes
+	// configurations).
+	if exports["unbounded-configs"].csv != full.csv {
+		t.Error("WithConfigurations changed the CSV export")
+	}
+}
+
 // failingWriter fails after a fixed number of writes, to exercise the error
 // paths of the writers.
 type failingWriter struct{ remaining int }
